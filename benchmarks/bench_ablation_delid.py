@@ -1,0 +1,64 @@
+"""Ablation A2 — delId delta storage vs full FSG-id lists in the A2F-index.
+
+Section III: storing only ``delId(f) = fsgIds(f) − ⋃ children fsgIds`` (the
+FG-Index containment trick) instead of the full ``fsgIds(f)`` per vertex.
+This ablation measures the space saved and the probe-time price of
+reconstruction.
+"""
+
+import pytest
+
+from repro.bench import emit, format_table, mb
+from repro.bench.harness import aids_db, aids_indexes
+from repro.bench.metrics import time_call
+from repro.index.persistence import pickled_size_bytes
+
+
+@pytest.mark.benchmark(group="ablation_delid")
+def test_ablation_delid_storage(benchmark):
+    db = aids_db()
+    indexes = aids_indexes()
+    a2f = indexes.a2f
+
+    delta_payload = [
+        (v.a2f_id, v.code, v.del_ids, v.children)
+        for v in (a2f.vertex(i) for i in range(len(a2f)))
+    ]
+    full_payload = [
+        (v.a2f_id, v.code, a2f.fsg_ids(v.a2f_id), v.children)
+        for v in (a2f.vertex(i) for i in range(len(a2f)))
+    ]
+    delta_mb = mb(pickled_size_bytes(delta_payload))
+    full_mb = mb(pickled_size_bytes(full_payload))
+
+    # Probe price: reconstructing every fsgIds list from deltas, cold cache.
+    def reconstruct_all():
+        a2f._fsg_cache.clear()
+        for i in range(len(a2f)):
+            a2f.fsg_ids(i)
+
+    _, reconstruct_seconds = time_call(reconstruct_all)
+    benchmark(reconstruct_all)
+
+    stored_delta = sum(len(a2f.vertex(i).del_ids) for i in range(len(a2f)))
+    stored_full = sum(len(a2f.fsg_ids(i)) for i in range(len(a2f)))
+
+    table = format_table(
+        f"Ablation A2: delId deltas vs full FSG lists ({len(a2f)} fragments)",
+        ["storage", "ids stored", "pickled MB", "full-reconstruct s"],
+        [
+            ["delId deltas", stored_delta, f"{delta_mb:.2f}",
+             f"{reconstruct_seconds:.3f}"],
+            ["full fsgIds", stored_full, f"{full_mb:.2f}", "0 (direct)"],
+        ],
+    )
+    emit("ablation_delid", table, {
+        "delta_mb": delta_mb,
+        "full_mb": full_mb,
+        "ids_delta": stored_delta,
+        "ids_full": stored_full,
+        "reconstruct_seconds": reconstruct_seconds,
+    })
+    # The paper's design choice: deltas store strictly fewer ids.
+    assert stored_delta < stored_full
+    assert delta_mb < full_mb

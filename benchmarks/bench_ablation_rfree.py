@@ -1,0 +1,90 @@
+"""Ablation A3 — the verification-free candidate split (Rfree vs Rver).
+
+Section VI-B's key idea: candidates whose witnessing fragment is *indexed*
+(frequent or DIF) need no similarity verification.  This ablation disables
+the split by forcing every candidate through SimVerify and measures the
+verification-time penalty — largest on best-case (Rfree-heavy) queries.
+"""
+
+import pytest
+
+from repro.bench import emit, format_table
+from repro.bench.harness import aids_db, aids_indexes
+from repro.bench.metrics import time_call
+from repro.core import PragueEngine
+from repro.core.results import SimilarCandidates
+from repro.core.similar import similar_results_gen, similar_sub_candidates
+
+SIGMA = 3
+
+
+def _prepare(db, indexes, spec):
+    engine = PragueEngine(db, indexes, sigma=SIGMA)
+    for node, label in spec.nodes.items():
+        engine.add_node(node, label)
+    for u, v in spec.edges:
+        engine.add_edge(u, v, spec.edge_labels.get((u, v)))
+    candidates = similar_sub_candidates(
+        engine.query, SIGMA, engine.manager, indexes, engine.db_ids,
+        include_exact_level=False,
+    )
+    return engine, candidates
+
+
+def _merged_into_rver(candidates: SimilarCandidates) -> SimilarCandidates:
+    """The ablated configuration: nothing is verification-free."""
+    merged = SimilarCandidates()
+    for level in candidates.levels():
+        merged.free[level] = set()
+        merged.ver[level] = candidates.free_at(level) | candidates.ver_at(level)
+    return merged
+
+
+@pytest.mark.benchmark(group="ablation_rfree")
+def test_ablation_verification_free_split(benchmark, aids_workload):
+    db = aids_db()
+    indexes = aids_indexes()
+    rows = []
+    data = {}
+    for name, wq in aids_workload.items():
+        engine, candidates = _prepare(db, indexes, wq.spec)
+        merged = _merged_into_rver(candidates)
+        results_split, t_split = time_call(
+            similar_results_gen, engine.query, candidates, SIGMA,
+            engine.manager, db,
+        )
+        results_merged, t_merged = time_call(
+            similar_results_gen, engine.query, merged, SIGMA,
+            engine.manager, db, True,
+        )
+        # The split is a pure optimisation: identical ranked answers...
+        assert [(m.graph_id, m.distance) for m in results_split] == [
+            (m.graph_id, m.distance) for m in results_merged
+        ]
+        rows.append([
+            name, candidates.candidate_count,
+            sum(len(v) for v in candidates.free.values()),
+            f"{1000 * t_split:.2f}", f"{1000 * t_merged:.2f}",
+        ])
+        data[name] = {
+            "candidates": candidates.candidate_count,
+            "rfree_entries": sum(len(v) for v in candidates.free.values()),
+            "ms_with_split": 1000 * t_split,
+            "ms_without_split": 1000 * t_merged,
+        }
+
+    engine, candidates = _prepare(db, indexes, aids_workload["Q1"].spec)
+    benchmark(
+        similar_results_gen, engine.query, candidates, SIGMA, engine.manager, db
+    )
+
+    table = format_table(
+        "Ablation A3: verification-free split (result-gen ms)",
+        ["query", "candidates", "Rfree entries", "with split", "without split"],
+        rows,
+    )
+    emit("ablation_rfree", table, data)
+    # ...while never slower in aggregate.
+    assert sum(d["ms_with_split"] for d in data.values()) <= sum(
+        d["ms_without_split"] for d in data.values()
+    ) * 1.2

@@ -1,0 +1,74 @@
+"""Figures 9(f)-(i) — similarity-query SRT of Q1-Q4 for σ = 1..4.
+
+Paper: PRG beats GR/SG overall; on worst-case queries it can trail slightly
+at σ ∈ {1, 2} but wins at larger σ, and its SRT "grows gracefully with σ".
+DVP is reported for Q1 only (it returns empty results elsewhere); here it is
+reported for Q1 as well.  Only PRG returns distance-ranked results.
+"""
+
+import pytest
+
+from repro.baselines import DistVpIndex, DistVpSearch, FeatureIndex, GrafilSearch, SigmaSearch
+from repro.bench import emit, format_table
+from repro.bench.harness import aids_db, aids_indexes
+from repro.core import PragueEngine, formulate
+
+SIGMAS = (1, 2, 3, 4)
+EDGE_LATENCY = 2.0
+
+
+@pytest.mark.benchmark(group="fig9_srt")
+def test_fig9_similarity_srt(benchmark, aids_workload):
+    db = aids_db()
+    indexes = aids_indexes()
+    feature_index = FeatureIndex(db, indexes.frequent, max_feature_edges=4)
+    systems = {
+        "GR": GrafilSearch(db, feature_index),
+        "SG": SigmaSearch(db, feature_index),
+    }
+    dvp_indexes = {s: DistVpIndex(db, s) for s in SIGMAS}
+
+    rows = []
+    data = {}
+    names = list(aids_workload)
+    for name in names:
+        wq = aids_workload[name]
+        query = wq.spec.graph()
+        for sigma in SIGMAS:
+            engine = PragueEngine(db, indexes, sigma=sigma)
+            trace = formulate(engine, wq.spec, edge_latency=EDGE_LATENCY)
+            entry = {"PRG": trace.srt_seconds}
+            for sys_name, system in systems.items():
+                entry[sys_name] = system.search(query, sigma).total_seconds
+            if name == names[0]:  # DVP: best-case query only (paper, Fig 9f)
+                entry["DVP"] = (
+                    DistVpSearch(db, dvp_indexes[sigma])
+                    .search(query, sigma)
+                    .total_seconds
+                )
+            rows.append([
+                name, sigma,
+                f"{entry['PRG']:.3f}", f"{entry['GR']:.3f}",
+                f"{entry['SG']:.3f}",
+                f"{entry.get('DVP', float('nan')):.3f}" if "DVP" in entry else "-",
+            ])
+            data[f"{name}/sigma{sigma}"] = entry
+
+    def prague_run():
+        engine = PragueEngine(db, indexes, sigma=3)
+        return formulate(engine, aids_workload[names[0]].spec,
+                         edge_latency=EDGE_LATENCY)
+
+    benchmark(prague_run)
+
+    table = format_table(
+        f"Figures 9(f)-(i): similarity SRT (s), |D|={len(db)}",
+        ["query", "sigma", "PRG", "GR", "SG", "DVP"],
+        rows,
+    )
+    emit("fig9_srt", table, data)
+    # Shape: PRG's total SRT across the workload beats GR and SG.
+    for competitor in ("GR", "SG"):
+        prg_total = sum(e["PRG"] for e in data.values())
+        other_total = sum(e[competitor] for e in data.values())
+        assert prg_total <= other_total

@@ -1,0 +1,73 @@
+"""Figure 9(a) — SPIG-based subgraph containment SRT: PRG vs GBR.
+
+Paper: PRAGUE's SRT on the six containment queries of [6] is similar to
+GBLENDER's (small queries < 0.1 ms) — the unified framework costs nothing on
+exact queries.  Reproduced shape: PRG and GBR SRTs within the same order of
+magnitude, and both return identical (oracle-checked) results.
+"""
+
+import time
+
+import pytest
+
+from repro.baselines import GBlenderEngine
+from repro.bench import emit, format_table, ms
+from repro.bench.harness import aids_db, aids_indexes
+from repro.core import PragueEngine, formulate
+
+EDGE_LATENCY = 2.0
+
+
+def _gblender_srt(db, indexes, spec):
+    """Drive GBLENDER through the same latency model as PRAGUE."""
+    engine = GBlenderEngine(db, indexes)
+    for node, label in spec.nodes.items():
+        engine.add_node(node, label)
+    backlog = 0.0
+    for u, v in spec.edges:
+        step = engine.add_edge(u, v, spec.edge_labels.get((u, v)))
+        backlog = max(0.0, backlog + step.processing_seconds - EDGE_LATENCY)
+    results, run_seconds = engine.run()
+    return results, backlog + run_seconds
+
+
+@pytest.mark.benchmark(group="fig9a")
+def test_fig9a_containment_srt(benchmark, containment_workload):
+    db = aids_db()
+    indexes = aids_indexes()
+    rows = []
+    data = {}
+    for name, spec in containment_workload.items():
+        prg_engine = PragueEngine(db, indexes)
+        trace = formulate(prg_engine, spec, edge_latency=EDGE_LATENCY)
+        gbr_results, gbr_srt = _gblender_srt(db, indexes, spec)
+        assert trace.results.exact_ids == gbr_results  # identical answers
+        rows.append([
+            name, spec.size, f"{ms(trace.srt_seconds):.3f}",
+            f"{ms(gbr_srt):.3f}", len(gbr_results),
+        ])
+        data[name] = {
+            "edges": spec.size,
+            "prg_srt_ms": ms(trace.srt_seconds),
+            "gbr_srt_ms": ms(gbr_srt),
+            "results": len(gbr_results),
+        }
+
+    # Benchmarked op: one full blended formulation + run (PRG, largest query).
+    largest = max(containment_workload.values(), key=lambda s: s.size)
+
+    def run_prague():
+        engine = PragueEngine(db, indexes)
+        return formulate(engine, largest, edge_latency=EDGE_LATENCY)
+
+    benchmark(run_prague)
+
+    table = format_table(
+        f"Figure 9(a): containment SRT (ms), PRG vs GBR, |D|={len(db)}",
+        ["query", "edges", "PRG SRT", "GBR SRT", "matches"],
+        rows,
+    )
+    emit("fig9a_containment_srt", table, data)
+    # Shape: same order of magnitude (PRG never > 10x GBR + 1ms slack).
+    for entry in data.values():
+        assert entry["prg_srt_ms"] <= entry["gbr_srt_ms"] * 10 + 1.0

@@ -1,0 +1,86 @@
+"""Section V-B analysis — SPIG-set size vs. query size.
+
+The paper bounds the k-th-level vertex count by C(n−1, k−1) per SPIG and by
+C(n, k) across the set (Lemma 1), and observes that shared node labels make
+real SPIGs far smaller.  This bench measures, for query sizes 3..8 over the
+AIDS-like corpus, the realised total vertex count against the worst-case
+``2^n − 1`` connected-subset bound, plus the per-step construction cost.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.bench import emit, format_table
+from repro.bench.harness import aids_db, aids_indexes
+from repro.core import PragueEngine
+from repro.datasets import sample_containment_query
+
+SIZES = (3, 4, 5, 6, 7, 8)
+QUERIES_PER_SIZE = 3
+
+
+def _measure(db, indexes, spec):
+    engine = PragueEngine(db, indexes, sigma=3)
+    for node, label in spec.nodes.items():
+        engine.add_node(node, label)
+    for u, v in spec.edges:
+        engine.add_edge(u, v, spec.edge_labels.get((u, v)))
+    spig_seconds = sum(r.spig_seconds for r in engine.history)
+    vertices = engine.manager.num_vertices()
+    edge_sets = sum(
+        len(v.edge_sets)
+        for spig in engine.manager.spigs.values()
+        for v in spig.vertices()
+    )
+    return vertices, edge_sets, spig_seconds
+
+
+@pytest.mark.benchmark(group="spig_size")
+def test_spig_size_vs_query_size(benchmark):
+    db = aids_db()
+    indexes = aids_indexes()
+    rng = random.Random(99)
+    rows = []
+    data = {}
+    last_spec = None
+    for size in SIZES:
+        vertex_counts = []
+        set_counts = []
+        times = []
+        for i in range(QUERIES_PER_SIZE):
+            spec = sample_containment_query(db, rng, size, name=f"q{size}-{i}")
+            last_spec = spec
+            vertices, edge_sets, seconds = _measure(db, indexes, spec)
+            vertex_counts.append(vertices)
+            set_counts.append(edge_sets)
+            times.append(seconds)
+        worst_case = 2**size - 1  # all non-empty edge subsets
+        avg_v = sum(vertex_counts) / len(vertex_counts)
+        avg_s = sum(set_counts) / len(set_counts)
+        rows.append([
+            size, f"{avg_v:.1f}", f"{avg_s:.1f}", worst_case,
+            f"{1000 * sum(times) / len(times):.2f}",
+        ])
+        data[size] = {
+            "avg_vertices": avg_v,
+            "avg_edge_sets": avg_s,
+            "worst_case_subsets": worst_case,
+            "avg_build_ms": 1000 * sum(times) / len(times),
+        }
+        # Lemma 1 aggregated: the edge-set count never exceeds the subset
+        # bound, and dedup keeps vertices <= edge sets.
+        assert avg_s <= worst_case
+        assert avg_v <= avg_s
+
+    assert last_spec is not None
+    benchmark(_measure, db, indexes, last_spec)
+
+    table = format_table(
+        f"Section V-B: SPIG-set size vs query size, |D|={len(db)}",
+        ["query edges", "avg vertices", "avg edge-sets",
+         "worst case (2^n - 1)", "avg build ms"],
+        rows,
+    )
+    emit("spig_size_analysis", table, data)

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures and helpers.
+
+The first run mines and caches all datasets/indexes under ``.bench_cache/``
+in the repository root (several minutes); later runs are fast.  Dataset sizes
+honour ``REPRO_SCALE`` (see EXPERIMENTS.md for the mapping to paper scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import harness
+from repro.core import PragueEngine, formulate
+from repro.core.session import QuerySpec
+
+
+@pytest.fixture(scope="session")
+def aids():
+    """(db, indexes) for the AIDS-like corpus at default scale."""
+    return harness.aids_db(), harness.aids_indexes()
+
+
+@pytest.fixture(scope="session")
+def aids_workload(aids):
+    """Q1-Q4 analogues (Q1 best case, Q2-Q4 worst-leaning)."""
+    return harness.aids_similarity_workload()
+
+
+@pytest.fixture(scope="session")
+def containment_workload(aids):
+    return harness.aids_containment_workload()
+
+
+def prague_trace(db, indexes, spec: QuerySpec, sigma: int, latency: float = 2.0):
+    """Formulate ``spec`` on a fresh PRAGUE engine; returns the trace."""
+    engine = PragueEngine(db, indexes, sigma=sigma)
+    return formulate(engine, spec, edge_latency=latency)

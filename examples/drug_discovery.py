@@ -1,0 +1,68 @@
+"""Drug-discovery scenario: substructure *similarity* search while drawing.
+
+A chemist sketches a scaffold that turns out not to exist in the compound
+library.  Instead of an empty answer (GBLENDER's behaviour), PRAGUE keeps
+processing while she draws and delivers distance-ranked approximate matches
+the moment she presses Run.  For contrast, the same query is answered by the
+traditional Grafil pipeline, which starts only at Run time.
+
+Run with:  python examples/drug_discovery.py
+"""
+
+import random
+
+from repro import MiningParams, PragueEngine, build_indexes, generate_aids_like
+from repro.baselines import FeatureIndex, GBlenderEngine, GrafilSearch
+from repro.core import formulate
+from repro.datasets import sample_similarity_query
+
+SIGMA = 2  # allow up to two missing bonds
+
+
+def main() -> None:
+    db = generate_aids_like(400, seed=11)
+    indexes = build_indexes(db, MiningParams(0.1, 4, 7))
+    print(f"compound library: {len(db)} molecules; "
+          f"{len(indexes.frequent)} frequent fragments, {len(indexes.difs)} DIFs\n")
+
+    # A realistic "no exact hit" sketch: a real substructure extended by one
+    # plausible bond that pushes it out of the library.
+    rng = random.Random(3)
+    workload = sample_similarity_query(db, indexes, rng, num_edges=6, sigma=SIGMA)
+    assert workload is not None, "could not synthesise a no-hit sketch"
+    spec = workload.spec
+    print(f"sketch: {spec.size} bonds; the candidate set provably empties at "
+          f"stroke {workload.empty_step} (the paper's 'bold edge')\n")
+
+    # --- PRAGUE: blended formulation + processing --------------------------
+    engine = PragueEngine(db, indexes, sigma=SIGMA)
+    trace = formulate(engine, spec, edge_latency=2.0)
+    print("PRAGUE (blended):")
+    print(f"  work done during drawing : {trace.total_step_processing * 1000:.1f} ms"
+          f" (hidden inside {trace.formulation_seconds:.0f} s of GUI latency)")
+    print(f"  SRT felt at Run          : {trace.srt_seconds * 1000:.1f} ms")
+    print("  top matches (by missing-bond count):")
+    for match in trace.results.similar[:5]:
+        print(f"    molecule {match.graph_id}: {match.distance} bond(s) missing"
+              f"{'  [no verification needed]' if match.verification_free else ''}")
+
+    # --- GBLENDER: blended but exact-only ----------------------------------
+    gblender = GBlenderEngine(db, indexes)
+    for node, label in spec.nodes.items():
+        gblender.add_node(node, label)
+    for u, v in spec.edges:
+        gblender.add_edge(u, v, spec.edge_labels.get((u, v)))
+    results, _ = gblender.run()
+    print(f"\nGBLENDER (exact-only predecessor): {results!r} "
+          "<- empty result set, the limitation PRAGUE removes")
+
+    # --- Grafil: traditional paradigm --------------------------------------
+    grafil = GrafilSearch(db, FeatureIndex(db, indexes.frequent, 4))
+    outcome = grafil.search(spec.graph(), SIGMA)
+    print(f"\nGrafil (traditional): same {len(outcome.matches)} matches, but "
+          f"everything happens after Run: SRT = {outcome.total_seconds * 1000:.1f} ms "
+          f"({outcome.candidate_count} candidates verified)")
+
+
+if __name__ == "__main__":
+    main()

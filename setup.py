@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e . --no-build-isolation``
+works on offline machines whose environment lacks the ``wheel`` package (the
+legacy editable path does not build a wheel).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

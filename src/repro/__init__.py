@@ -1,0 +1,91 @@
+"""PRAGUE — blending practical visual subgraph query formulation and processing.
+
+A from-scratch reproduction of *"PRAGUE: Towards Blending Practical Visual
+Subgraph Query Formulation and Query Processing"* (Jin, Bhowmick, Choi, Zhou —
+ICDE 2012): the SPIG data structure, the action-aware indexes of GBLENDER,
+the blended query engine with exact/similarity/modification support, the
+headless visual interface, the comparator systems (GBLENDER, Grafil, SIGMA,
+DistVP) and the full evaluation harness.
+
+Quickstart::
+
+    from repro import (GraphDatabase, MiningParams, PragueEngine,
+                       build_indexes, generate_aids_like)
+
+    db = generate_aids_like(200)
+    indexes = build_indexes(db, MiningParams(min_support=0.1))
+    engine = PragueEngine(db, indexes, sigma=2)
+    a = engine.add_node("a", "C"); b = engine.add_node("b", "O")
+    engine.add_edge(a, b)             # processed while you "draw"
+    report = engine.run()             # only leftover work remains
+    print(report.results.exact_ids)
+"""
+
+from repro.config import DEFAULT_SUBGRAPH_DISTANCE, MiningParams
+from repro.core import (
+    Action,
+    PragueEngine,
+    QueryResults,
+    QuerySpec,
+    QueryStatus,
+    RunReport,
+    SessionTrace,
+    SimilarityMatch,
+    StepReport,
+    formulate,
+)
+from repro.graph import (
+    Graph,
+    GraphDatabase,
+    are_isomorphic,
+    canonical_code,
+    is_subgraph_isomorphic,
+    mccs_size,
+    subgraph_distance,
+    subgraph_similarity_degree,
+)
+from repro.datasets import generate_aids_like, generate_graphgen_like
+from repro.gui import SimulatedUser, VisualInterface
+from repro.index import ActionAwareIndexes, build_indexes
+from repro.query_graph import VisualQuery
+from repro.spig import SPIG, SpigManager, SpigVertex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "Graph",
+    "GraphDatabase",
+    "canonical_code",
+    "are_isomorphic",
+    "is_subgraph_isomorphic",
+    "mccs_size",
+    "subgraph_distance",
+    "subgraph_similarity_degree",
+    # configuration + indexes
+    "MiningParams",
+    "DEFAULT_SUBGRAPH_DISTANCE",
+    "ActionAwareIndexes",
+    "build_indexes",
+    # the core system
+    "VisualQuery",
+    "SPIG",
+    "SpigVertex",
+    "SpigManager",
+    "PragueEngine",
+    "Action",
+    "QueryStatus",
+    "StepReport",
+    "RunReport",
+    "QueryResults",
+    "SimilarityMatch",
+    "QuerySpec",
+    "SessionTrace",
+    "formulate",
+    # GUI + datasets
+    "VisualInterface",
+    "SimulatedUser",
+    "generate_aids_like",
+    "generate_graphgen_like",
+]

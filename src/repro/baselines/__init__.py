@@ -1,0 +1,31 @@
+"""Comparator systems: GBLENDER, Grafil, SIGMA, DistVP, and the naive oracle."""
+
+from repro.baselines.counting_features import (
+    CountingFeatureIndex,
+    CountingGrafilSearch,
+)
+from repro.baselines.distvp import DistVpIndex, DistVpIndexError, DistVpSearch
+from repro.baselines.features import FeatureIndex, QueryFeature
+from repro.baselines.static_prague import static_prague_search
+from repro.baselines.gblender import GBlenderEngine, GBlenderStep
+from repro.baselines.grafil import GrafilSearch, SimilaritySearchOutcome
+from repro.baselines.naive import naive_containment_search, naive_similarity_search
+from repro.baselines.sigma import SigmaSearch
+
+__all__ = [
+    "GBlenderEngine",
+    "GBlenderStep",
+    "FeatureIndex",
+    "QueryFeature",
+    "GrafilSearch",
+    "SigmaSearch",
+    "DistVpIndex",
+    "DistVpSearch",
+    "DistVpIndexError",
+    "SimilaritySearchOutcome",
+    "naive_containment_search",
+    "naive_similarity_search",
+    "CountingFeatureIndex",
+    "CountingGrafilSearch",
+    "static_prague_search",
+]

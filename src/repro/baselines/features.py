@@ -1,0 +1,87 @@
+"""The shared frequent-feature index of the GR/SG baselines.
+
+The paper notes "GR and SG use the same indexing scheme" (Section VIII-B):
+a feature-graph matrix over mined frequent fragments.  We reuse the gSpan
+catalog: every frequent fragment up to ``max_feature_edges`` edges becomes a
+feature whose presence list is its (already exact) FSG-id list.
+
+Query-side, a feature occurrence in the query ``q`` is any connected subgraph
+of ``q`` isomorphic to a feature; for each such feature we also record which
+query edges its embeddings touch — the ingredient of both Grafil's
+feature-miss bound and SIGMA's cover-based lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.graph.canonical import CanonicalCode, canonical_code
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import EdgeKey, Graph
+from repro.graph.mccs import iter_connected_subgraph_levels
+from repro.index.persistence import pickled_size_bytes
+from repro.mining.fragments import FragmentCatalog
+
+
+@dataclass(frozen=True)
+class QueryFeature:
+    """One feature hit in the query: its code and the edges it can use."""
+
+    code: CanonicalCode
+    size: int
+    edge_sets: Tuple[FrozenSet[EdgeKey], ...]  # one per occurrence in q
+
+    @property
+    def touched_edges(self) -> FrozenSet[EdgeKey]:
+        out: Set[EdgeKey] = set()
+        for es in self.edge_sets:
+            out |= es
+        return frozenset(out)
+
+
+class FeatureIndex:
+    """Presence-based feature-graph index over frequent fragments."""
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        frequent: FragmentCatalog,
+        max_feature_edges: int = 4,
+    ) -> None:
+        self.db = db
+        self.max_feature_edges = max_feature_edges
+        self._presence: Dict[CanonicalCode, FrozenSet[int]] = {
+            code: frag.fsg_ids
+            for code, frag in frequent.items()
+            if frag.size <= max_feature_edges
+        }
+
+    def __len__(self) -> int:
+        return len(self._presence)
+
+    def __contains__(self, code: CanonicalCode) -> bool:
+        return code in self._presence
+
+    def graphs_with(self, code: CanonicalCode) -> FrozenSet[int]:
+        return self._presence.get(code, frozenset())
+
+    def size_bytes(self) -> int:
+        """Index footprint — the SG/GR column of Table II."""
+        return pickled_size_bytes(sorted(self._presence.items()))
+
+    # ------------------------------------------------------------------
+    def query_features(self, query: Graph) -> List[QueryFeature]:
+        """All index features occurring in ``query`` with their edge sets."""
+        by_code: Dict[CanonicalCode, List[FrozenSet[EdgeKey]]] = {}
+        for level, subsets in iter_connected_subgraph_levels(query):
+            if level > self.max_feature_edges:
+                continue
+            for subset in subsets:
+                code = canonical_code(query.edge_subgraph(subset))
+                if code in self._presence:
+                    by_code.setdefault(code, []).append(frozenset(subset))
+        return [
+            QueryFeature(code=code, size=len(next(iter(sets))), edge_sets=tuple(sets))
+            for code, sets in sorted(by_code.items())
+        ]

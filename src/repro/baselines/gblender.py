@@ -1,0 +1,194 @@
+"""GBLENDER — the paper's predecessor system [6] (the GBR baseline).
+
+GBLENDER shares PRAGUE's action-aware indexes but differs in strategy
+(Section II):
+
+* it records only the *most recent* ``Rq`` — with every new edge the previous
+  candidate set is refined by intersecting it with the FSG ids of the indexed
+  fragments (frequent fragments or DIFs) introduced by the new edge;
+* it assumes exact matches exist: once ``Rq`` empties, every later step and
+  the final *Run* return the empty set (no similarity fallback) — the first
+  limitation PRAGUE removes;
+* edge deletion forces a *replay*: ``Rq`` is recomputed from the earliest
+  step, "which obviously involves unnecessary processing" — the second
+  limitation, and the Table IV/V contrast.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.verification import exact_verification
+from repro.exceptions import SessionError
+from repro.graph.canonical import canonical_code
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import NodeId
+from repro.index.builder import ActionAwareIndexes
+from repro.query_graph import VisualQuery
+
+
+@dataclass
+class GBlenderStep:
+    edge_id: int
+    rq_size: int
+    frequent: bool
+    processing_seconds: float
+
+
+class GBlenderEngine:
+    """Exact-only blended engine with latest-``Rq``-only bookkeeping."""
+
+    def __init__(self, db: GraphDatabase, indexes: ActionAwareIndexes) -> None:
+        self.db = db
+        self.indexes = indexes
+        self.db_ids: FrozenSet[int] = frozenset(db.ids())
+        self.query = VisualQuery()
+        self.rq: FrozenSet[int] = frozenset()
+        self._frequent_fragment = False
+        self.history: List[GBlenderStep] = []
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, label: str) -> NodeId:
+        return self.query.add_node(node, label)
+
+    def add_edge(
+        self, u: NodeId, v: NodeId, label: Optional[str] = None
+    ) -> GBlenderStep:
+        start = time.perf_counter()
+        edge_id = self.query.add_edge(u, v, label)
+        self.rq, self._frequent_fragment = self._refine(self.rq, edge_id, first=edge_id == min(self.query.edge_id_set()))
+        step = GBlenderStep(
+            edge_id=edge_id,
+            rq_size=len(self.rq),
+            frequent=self._frequent_fragment,
+            processing_seconds=time.perf_counter() - start,
+        )
+        self.history.append(step)
+        return step
+
+    def delete_edge(self, edge_id: int) -> float:
+        """Delete an edge and *replay* all steps to rebuild ``Rq``.
+
+        Returns the processing time of the replay — the modification cost the
+        paper benchmarks against PRAGUE's near-zero SPIG maintenance.
+        """
+        start = time.perf_counter()
+        self.query.delete_edge(edge_id)
+        self.rq = frozenset()
+        self._frequent_fragment = False
+        replay = VisualQuery()
+        remaining = self._connected_replay_order()
+        if remaining:
+            # Recompute Rq from the earliest remaining step (Section II).
+            saved_query = self.query
+            self.query = replay
+            rq: FrozenSet[int] = frozenset()
+            for pos, eid in enumerate(remaining):
+                a, b, elabel = saved_query.edge(eid)
+                replay.add_node(a, saved_query.node_label(a))
+                replay.add_node(b, saved_query.node_label(b))
+                replay.add_edge(a, b, elabel)
+                new_id = max(replay.edge_id_set())
+                rq, self._frequent_fragment = self._refine(
+                    rq, new_id, first=pos == 0
+                )
+            self.query = saved_query
+            self.rq = rq
+        return time.perf_counter() - start
+
+    def run(self) -> Tuple[List[int], float]:
+        """Exact results (empty when no exact match exists) plus SRT work."""
+        if self.query.num_edges == 0:
+            raise SessionError("cannot run an empty query")
+        start = time.perf_counter()
+        results = exact_verification(
+            self.query.graph(), self.rq, self.db,
+            verification_free=self._frequent_fragment,
+        )
+        return results, time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def _refine(
+        self, rq: FrozenSet[int], new_edge_id: int, first: bool
+    ) -> Tuple[FrozenSet[int], bool]:
+        """Intersect ``Rq`` with the indexed fragments the new edge introduces.
+
+        If the whole current fragment is frequent its exact FSG list is used
+        directly (the A2F path); otherwise the maximal indexed subgraphs
+        containing the new edge refine the previous ``Rq`` (the A2I path with
+        unique DIFs, Section II).
+        """
+        a2f, a2i = self.indexes.a2f, self.indexes.a2i
+        code = canonical_code(self.query.edge_subgraph_by_ids(
+            self._replay_scope(new_edge_id)))
+        freq_id = a2f.lookup(code)
+        if freq_id is not None:
+            return a2f.fsg_ids(freq_id), True
+        # Infrequent fragment: intersect over indexed subgraphs containing
+        # the new edge (enumerated transiently — GBLENDER keeps no SPIGs).
+        base: Set[int] = set(self.db_ids if first else rq)
+        for sub_code in self._indexed_subfragment_codes(new_edge_id):
+            sid = a2f.lookup(sub_code)
+            if sid is not None:
+                base &= a2f.fsg_ids(sid)
+            else:
+                did = a2i.lookup(sub_code)
+                if did is not None:
+                    base &= a2i.fsg_ids(did)
+                elif len(sub_code) == 1:
+                    base = set()  # out-of-universe edge label: no match
+            if not base:
+                break
+        return frozenset(base), False
+
+    def _connected_replay_order(self) -> List[int]:
+        """Remaining edges in a connected order, earliest ids first.
+
+        After a deletion the original formulation order may have disconnected
+        prefixes (the deleted edge might have bridged an early prefix even if
+        it did not bridge the full query), so the replay greedily follows the
+        earliest remaining edge that keeps the fragment connected.
+        """
+        remaining = sorted(self.query.edge_id_set())
+        if not remaining:
+            return []
+        order = [remaining.pop(0)]
+        nodes = set(self.query.edge(order[0])[:2])
+        while remaining:
+            for eid in remaining:
+                a, b, _ = self.query.edge(eid)
+                if a in nodes or b in nodes:
+                    order.append(eid)
+                    nodes.update((a, b))
+                    remaining.remove(eid)
+                    break
+            else:  # unreachable: the reduced query is connected
+                order.extend(remaining)
+                break
+        return order
+
+    def _replay_scope(self, new_edge_id: int) -> FrozenSet[int]:
+        """Edges present when ``new_edge_id`` is (re)processed."""
+        return frozenset(
+            eid for eid in self.query.edge_id_set() if eid <= new_edge_id
+        )
+
+    def _indexed_subfragment_codes(self, new_edge_id: int):
+        """Canonical codes of connected subgraphs containing the new edge."""
+        scope = self._replay_scope(new_edge_id)
+        level_sets = {frozenset({new_edge_id})}
+        seen_codes = set()
+        while level_sets:
+            for edge_set in level_sets:
+                code = canonical_code(self.query.edge_subgraph_by_ids(edge_set))
+                if code not in seen_codes:
+                    seen_codes.add(code)
+                    yield code
+            next_sets = set()
+            for edge_set in level_sets:
+                for eid in self.query.adjacent_edge_ids(edge_set):
+                    if eid in scope:
+                        next_sets.add(edge_set | {eid})
+            level_sets = next_sets

@@ -1,0 +1,36 @@
+"""Naive scan baselines — the ground-truth oracle for tests and benches.
+
+No index, no filtering: every data graph is verified directly.  Exact search
+runs VF2 per graph; similarity search computes the MCCS-based subgraph
+distance per graph.  Intractable at paper scale, but authoritative — the test
+suite checks every other system against these answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.labeled_graph import Graph
+from repro.graph.mccs import mccs_size
+
+
+def naive_containment_search(query: Graph, db: GraphDatabase) -> List[int]:
+    """All ids of data graphs containing ``query`` (sorted)."""
+    return sorted(
+        gid for gid, g in db.items() if is_subgraph_isomorphic(query, g)
+    )
+
+
+def naive_similarity_search(
+    query: Graph, db: GraphDatabase, sigma: int
+) -> Dict[int, int]:
+    """id -> subgraph distance, for every graph with ``dist(q, g) ≤ σ``."""
+    out: Dict[int, int] = {}
+    q_size = query.num_edges
+    for gid, g in db.items():
+        size = mccs_size(query, g, lower_bound=max(q_size - sigma, 1))
+        if size >= q_size - sigma and size > 0:
+            out[gid] = q_size - size
+    return out

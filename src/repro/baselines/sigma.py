@@ -1,0 +1,89 @@
+"""SIGMA-style set-cover-based inexact matching (Mongiovì et al., paper's [8]).
+
+Traditional paradigm, same feature index as Grafil, but the filter reasons
+about *covering*: a feature of the query that is absent from a data graph can
+only be explained by one of the σ deleted edges lying on it.  SIGMA lower-
+bounds the number of edge deletions a data graph would force and prunes when
+that bound exceeds σ.  Two sound lower bounds are combined:
+
+* *disjoint packing* — greedily pick missing features that are pairwise
+  edge-disjoint in the query; one edge deletion can explain at most one of
+  them, so the packing size bounds the deletions from below;
+* *coverage capacity* — each query edge lies on at most ``Γ(e)`` features, so
+  σ deletions explain at most the sum of the σ largest ``Γ(e)``; more missing
+  features than that is a contradiction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Set
+
+from repro.baselines.features import FeatureIndex, QueryFeature
+from repro.baselines.grafil import SimilaritySearchOutcome, _max_misses
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+from repro.graph.mccs import mccs_at_least
+
+
+def _disjoint_packing_bound(missing: List[QueryFeature]) -> int:
+    """Size of a greedy edge-disjoint packing of the missing features."""
+    used_edges: Set[object] = set()
+    packed = 0
+    # Small features first: they block fewer edges, packing more features.
+    for feature in sorted(missing, key=lambda f: len(f.touched_edges)):
+        touched = feature.touched_edges
+        if touched & used_edges:
+            continue
+        used_edges |= touched
+        packed += 1
+    return packed
+
+
+class SigmaSearch:
+    """Set-cover filtered similarity search over a :class:`FeatureIndex`."""
+
+    def __init__(self, db: GraphDatabase, index: FeatureIndex) -> None:
+        self.db = db
+        self.index = index
+
+    def candidates(self, query: Graph, sigma: int) -> Set[int]:
+        features = self.index.query_features(query)
+        if not features:
+            return set(self.db.ids())
+        max_missing = _max_misses(features, query, sigma)
+        missing_of: Dict[int, List[QueryFeature]] = {
+            gid: [] for gid in self.db.ids()
+        }
+        for feature in features:
+            with_feature = self.index.graphs_with(feature.code)
+            for gid in missing_of:
+                if gid not in with_feature:
+                    missing_of[gid].append(feature)
+        out: Set[int] = set()
+        for gid, missing in missing_of.items():
+            if len(missing) > max_missing:
+                continue  # coverage-capacity bound exceeded
+            if _disjoint_packing_bound(missing) > sigma:
+                continue  # needs more than σ deletions
+            out.add(gid)
+        return out
+
+    def search(self, query: Graph, sigma: int) -> SimilaritySearchOutcome:
+        start = time.perf_counter()
+        candidates = self.candidates(query, sigma)
+        filter_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        threshold = query.num_edges - sigma
+        matches = sorted(
+            gid
+            for gid in candidates
+            if mccs_at_least(query, self.db[gid], threshold)
+        )
+        verify_seconds = time.perf_counter() - start
+        return SimilaritySearchOutcome(
+            matches=matches,
+            candidates=candidates,
+            filter_seconds=filter_seconds,
+            verify_seconds=verify_seconds,
+        )

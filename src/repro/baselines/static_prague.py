@@ -1,0 +1,40 @@
+"""PRAGUE's machinery without blending — the paradigm-contribution control.
+
+The paper's headline improvement mixes two ingredients: (1) the SPIG/index
+candidate machinery and (2) the *blending* — running that machinery during
+GUI latency.  This baseline isolates them: it evaluates a query with exactly
+PRAGUE's algorithms, but only when Run is pressed (the traditional paradigm),
+so its SRT is the full processing time.  The difference to the blended SRT is
+the paradigm's net contribution (ablation A5).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+from repro.core.prague import PragueEngine, RunReport
+from repro.core.session import QuerySpec
+from repro.graph.database import GraphDatabase
+from repro.index.builder import ActionAwareIndexes
+
+
+def static_prague_search(
+    db: GraphDatabase,
+    indexes: ActionAwareIndexes,
+    spec: QuerySpec,
+    sigma: int,
+) -> Tuple[RunReport, float]:
+    """Evaluate ``spec`` in one shot; returns (report, SRT seconds).
+
+    The same SPIG construction, candidate generation and verification run,
+    but nothing overlaps user latency — the SRT is everything.
+    """
+    start = time.perf_counter()
+    engine = PragueEngine(db, indexes, sigma=sigma, auto_similarity=True)
+    for node, label in spec.nodes.items():
+        engine.add_node(node, label)
+    for u, v in spec.edges:
+        engine.add_edge(u, v, spec.edge_labels.get((u, v)))
+    report = engine.run()
+    return report, time.perf_counter() - start

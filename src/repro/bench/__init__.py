@@ -1,0 +1,34 @@
+"""Benchmark harness utilities (cached datasets, table emission, metrics)."""
+
+from repro.bench.harness import (
+    aids_containment_workload,
+    aids_db,
+    aids_indexes,
+    aids_similarity_workload,
+    emit,
+    format_table,
+    scaled,
+    synthetic_db,
+    synthetic_indexes,
+    synthetic_similarity_workload,
+    synthetic_sweep_sizes,
+)
+from repro.bench.metrics import Stopwatch, mb, ms, time_call
+
+__all__ = [
+    "aids_db",
+    "aids_indexes",
+    "aids_similarity_workload",
+    "aids_containment_workload",
+    "synthetic_db",
+    "synthetic_indexes",
+    "synthetic_similarity_workload",
+    "synthetic_sweep_sizes",
+    "scaled",
+    "format_table",
+    "emit",
+    "mb",
+    "ms",
+    "time_call",
+    "Stopwatch",
+]

@@ -1,0 +1,44 @@
+"""Small measurement helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Tuple
+
+
+def mb(num_bytes: int) -> float:
+    """Bytes -> megabytes (the unit of Table II / Figure 10(a))."""
+    return num_bytes / (1024.0 * 1024.0)
+
+
+def ms(seconds: float) -> float:
+    """Seconds -> milliseconds (the unit of Tables IV and V)."""
+    return seconds * 1000.0
+
+
+def time_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+class Stopwatch:
+    """Accumulating stopwatch for multi-phase measurements."""
+
+    def __init__(self) -> None:
+        self.laps: dict = {}
+
+    @contextmanager
+    def lap(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def total(self) -> float:
+        return sum(self.laps.values())

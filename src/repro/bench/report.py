@@ -1,0 +1,123 @@
+"""Combined evaluation report from the benchmark result files.
+
+Every benchmark under ``benchmarks/`` writes its paper-style table to
+``benchmarks/results/<name>.md`` and its raw numbers to ``<name>.json``.
+This module assembles them into one report — the tables verbatim plus small
+ASCII charts for the headline comparisons — consumable via
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Display order: the paper's tables/figures first, then the ablations.
+_SECTION_ORDER = (
+    "table2_index_size",
+    "fig9a_containment_srt",
+    "fig9_candidates",
+    "fig9_srt",
+    "fig9j_alpha",
+    "table3_spig_sequences",
+    "table4_modification",
+    "table5_modification_synth",
+    "fig10a_index_scaling",
+    "fig10_synth_scaling",
+    "spig_size_analysis",
+    "ablation_spig_dedup",
+    "ablation_delid",
+    "ablation_rfree",
+    "ablation_edit_distance",
+    "ablation_blending",
+)
+
+
+def ascii_bar(value: float, max_value: float, width: int = 40) -> str:
+    """A proportional bar, e.g. ``ascii_bar(3, 6) -> '####################'``."""
+    if max_value <= 0:
+        return ""
+    filled = int(round(width * min(value, max_value) / max_value))
+    return "#" * filled
+
+
+def _chart(
+    title: str, rows: Sequence[Tuple[str, float]], unit: str = ""
+) -> List[str]:
+    lines = [title]
+    if not rows:
+        return lines + ["  (no data)"]
+    peak = max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        bar = ascii_bar(value, peak)
+        lines.append(f"  {label.ljust(label_width)} {bar} {value:g}{unit}")
+    return lines
+
+
+def _load(results_dir: Path, name: str) -> Optional[dict]:
+    path = results_dir / f"{name}.json"
+    if not path.exists():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def _headline_charts(results_dir: Path) -> List[str]:
+    lines: List[str] = []
+    table2 = _load(results_dir, "table2_index_size")
+    if table2:
+        rows = [
+            (f"DVP s={s}", table2["dvp_mb"][str(s)])
+            for s in (1, 2, 3, 4)
+            if str(s) in table2["dvp_mb"]
+        ]
+        rows += [("PRG", table2["prg_mb"]), ("SG/GR", table2["sg_gr_mb"])]
+        lines += _chart("Index sizes (MB)", rows, " MB") + [""]
+    srt = _load(results_dir, "fig9_srt")
+    if srt:
+        totals: Dict[str, float] = {}
+        for entry in srt.values():
+            for system, value in entry.items():
+                if isinstance(value, (int, float)):
+                    totals[system] = totals.get(system, 0.0) + value
+        rows = sorted(totals.items(), key=lambda kv: kv[1])
+        lines += _chart("Total similarity SRT across Q1-Q4 x sigma (s)",
+                        [(k, round(v, 3)) for k, v in rows], " s") + [""]
+    modification = _load(results_dir, "table4_modification")
+    if modification:
+        prg = sum(e["PRG_ms"] for e in modification.values())
+        gbr = sum(e["GBR_ms"] for e in modification.values())
+        lines += _chart(
+            "Total modification cost (ms)",
+            [("PRG", round(prg, 2)), ("GBR replay", round(gbr, 2))], " ms",
+        ) + [""]
+    return lines
+
+
+def render_report(results_dir: Path) -> str:
+    """The full textual report; tables verbatim plus headline charts."""
+    results_dir = Path(results_dir)
+    lines: List[str] = [
+        "PRAGUE reproduction — evaluation report",
+        "=" * 39,
+        "",
+    ]
+    available = {p.stem for p in results_dir.glob("*.json")}
+    if not available:
+        return "\n".join(lines + [
+            "no benchmark results found — run:",
+            "  pytest benchmarks/ --benchmark-only",
+        ])
+    lines += _headline_charts(results_dir)
+    ordered = [n for n in _SECTION_ORDER if n in available]
+    ordered += sorted(available - set(_SECTION_ORDER))
+    for name in ordered:
+        md = results_dir / f"{name}.md"
+        if md.exists():
+            table = md.read_text().strip()
+            if table.startswith("```"):
+                table = table.strip("`\n")
+            lines += [table, ""]
+    return "\n".join(lines)

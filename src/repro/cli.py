@@ -1,0 +1,239 @@
+"""Command-line interface: datasets, indexes, queries and scripted sessions.
+
+The paper's system is a GUI; this CLI is its headless counterpart for
+scripting and inspection::
+
+    python -m repro generate --kind aids --size 500 --out db.lg
+    python -m repro stats db.lg
+    python -m repro index db.lg --alpha 0.1 --beta 4 --out db.idx
+    python -m repro query db.lg db.idx --query q.lg --sigma 2 --dot out.dot
+    python -m repro session db.lg db.idx --script session.txt
+
+The ``session`` subcommand replays a formulation script, one GUI action per
+line, printing the Figure 3-style status after every step::
+
+    node a C        # drop a node labelled C
+    node b O
+    edge a b        # draw an edge (optionally: edge a b <edge-label>)
+    delete 1        # delete edge e1
+    relabel a N     # relabel node a
+    similar         # opt into similarity search (the dialogue's SimQuery)
+    run             # press Run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.config import MiningParams
+from repro.core import PragueEngine
+from repro.core.statistics import collect_statistics
+from repro.datasets import generate_aids_like, generate_graphgen_like
+from repro.exceptions import ReproError
+from repro.graph.serialization import read_database, write_database
+from repro.index import (
+    build_indexes,
+    load_indexes,
+    prague_index_size_bytes,
+    save_indexes,
+)
+from repro.render import graph_to_dot, graph_to_text, results_to_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRAGUE (ICDE 2012) reproduction — blended visual "
+                    "subgraph querying",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--kind", choices=("aids", "graphgen"), default="aids")
+    gen.add_argument("--size", type=int, default=500)
+    gen.add_argument("--seed", type=int, default=2012)
+    gen.add_argument("--out", type=Path, required=True)
+
+    stats = sub.add_parser("stats", help="summarise a dataset file")
+    stats.add_argument("database", type=Path)
+
+    index = sub.add_parser("index", help="mine and build the A2F/A2I indexes")
+    index.add_argument("database", type=Path)
+    index.add_argument("--alpha", type=float, default=0.1,
+                       help="minimum support threshold (0 < alpha < 1)")
+    index.add_argument("--beta", type=int, default=4,
+                       help="MF/DF fragment size threshold")
+    index.add_argument("--max-edges", type=int, default=8,
+                       help="largest mined fragment size")
+    index.add_argument("--out", type=Path, required=True)
+
+    query = sub.add_parser("query", help="answer one query graph")
+    query.add_argument("database", type=Path)
+    query.add_argument("indexes", type=Path)
+    query.add_argument("--query", type=Path, required=True,
+                       help="gSpan-format file whose first graph is the query")
+    query.add_argument("--sigma", type=int, default=0,
+                       help="subgraph distance budget (0 = exact only)")
+    query.add_argument("--dot", type=Path, default=None,
+                       help="write the query graph as Graphviz DOT")
+
+    session = sub.add_parser("session", help="replay a formulation script")
+    session.add_argument("database", type=Path)
+    session.add_argument("indexes", type=Path)
+    session.add_argument("--script", type=Path, required=True)
+    session.add_argument("--sigma", type=int, default=3)
+
+    report = sub.add_parser(
+        "report", help="render the combined evaluation report"
+    )
+    report.add_argument(
+        "--results", type=Path, default=None,
+        help="results directory (default: benchmarks/results in the repo)",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    if args.kind == "aids":
+        db = generate_aids_like(args.size, seed=args.seed)
+    else:
+        db = generate_graphgen_like(args.size, seed=args.seed)
+    write_database(db, args.out)
+    stats = db.stats()
+    print(f"wrote {args.out}: {stats['graphs']:.0f} graphs, "
+          f"avg {stats['avg_nodes']:.1f} nodes / {stats['avg_edges']:.1f} edges")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    db = read_database(args.database)
+    stats = db.stats()
+    print(f"graphs     : {stats['graphs']:.0f}")
+    print(f"avg nodes  : {stats['avg_nodes']:.2f}")
+    print(f"avg edges  : {stats['avg_edges']:.2f}")
+    print(f"max nodes  : {stats['max_nodes']:.0f}")
+    print(f"max edges  : {stats['max_edges']:.0f}")
+    print(f"node labels: {', '.join(db.node_label_universe())}")
+    return 0
+
+
+def _cmd_index(args) -> int:
+    db = read_database(args.database)
+    params = MiningParams(args.alpha, args.beta, args.max_edges)
+    indexes = build_indexes(db, params)
+    written = save_indexes(indexes, args.out)
+    print(f"mined {len(indexes.frequent)} frequent fragments and "
+          f"{len(indexes.difs)} DIFs "
+          f"(alpha={args.alpha}, support >= {indexes.min_support_abs})")
+    print(f"wrote {args.out}: {written} bytes on disk, "
+          f"{prague_index_size_bytes(indexes) / 1e6:.2f} MB index footprint")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    db = read_database(args.database)
+    indexes = load_indexes(args.indexes)
+    queries = read_database(args.query)
+    query_graph = queries[0]
+    print(graph_to_text(query_graph, title="query:"))
+    engine = PragueEngine(db, indexes, sigma=max(args.sigma, 0))
+    for node in query_graph.nodes():
+        engine.add_node(node, query_graph.label(node))
+    from repro.testing import connected_order
+
+    for u, v in connected_order(query_graph):
+        report = engine.add_edge(u, v, query_graph.edge_label(u, v))
+        size = report.rq_size if report.rq_size is not None \
+            else report.candidate_count
+        print(f"  e{report.edge_id}: {report.status.value} "
+              f"(candidates: {size})")
+    result = engine.run()
+    print(results_to_text(result.results, db))
+    if args.dot is not None:
+        args.dot.write_text(graph_to_dot(query_graph, name="query"))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_session(args) -> int:
+    db = read_database(args.database)
+    indexes = load_indexes(args.indexes)
+    engine = PragueEngine(db, indexes, sigma=args.sigma)
+    node_of = {}
+    for lineno, raw in enumerate(args.script.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        op, operands = parts[0], parts[1:]
+        try:
+            if op == "node" and len(operands) == 2:
+                node_of[operands[0]] = engine.add_node(operands[0], operands[1])
+                print(f"{lineno:3d} node {operands[0]}:{operands[1]}")
+            elif op == "edge" and len(operands) in (2, 3):
+                label = operands[2] if len(operands) == 3 else None
+                report = engine.add_edge(operands[0], operands[1], label)
+                print(f"{lineno:3d} edge e{report.edge_id}: "
+                      f"{report.status.value} |Rq|={report.rq_size}")
+            elif op == "delete" and len(operands) <= 1:
+                edge_id = int(operands[0]) if operands else None
+                report = engine.delete_edge(edge_id)
+                print(f"{lineno:3d} deleted e{report.edge_id}: "
+                      f"{report.status.value}")
+            elif op == "relabel" and len(operands) == 2:
+                engine.relabel_node(operands[0], operands[1])
+                print(f"{lineno:3d} relabeled {operands[0]} -> {operands[1]}")
+            elif op == "similar" and not operands:
+                report = engine.enable_similarity()
+                print(f"{lineno:3d} similarity search on "
+                      f"({report.candidate_count} candidates)")
+            elif op == "run" and not operands:
+                result = engine.run()
+                print(f"{lineno:3d} run "
+                      f"({1000 * result.processing_seconds:.2f} ms):")
+                print(results_to_text(result.results, db))
+            else:
+                print(f"{lineno:3d} !! unknown action: {line!r}",
+                      file=sys.stderr)
+                return 2
+        except ReproError as exc:
+            print(f"{lineno:3d} !! {exc}", file=sys.stderr)
+            return 1
+    print("\nsession statistics:")
+    for line in collect_statistics(engine).summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.harness import results_dir
+    from repro.bench.report import render_report
+
+    directory = args.results if args.results is not None else results_dir()
+    print(render_report(directory))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "index": _cmd_index,
+    "query": _cmd_query,
+    "session": _cmd_session,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

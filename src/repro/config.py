@@ -1,0 +1,59 @@
+"""Global configuration knobs and experiment-scale handling.
+
+The paper evaluates on 40 000 real graphs and 10K–80K synthetic graphs on a
+C++/Java stack.  The benches here default to laptop-sized datasets; the
+``REPRO_SCALE`` environment variable scales them (1.0 ≈ defaults documented in
+EXPERIMENTS.md, larger values approach paper scale).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+def experiment_scale() -> float:
+    """Multiplier applied to dataset sizes in the benchmark harness."""
+    try:
+        value = float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+    return max(value, 0.01)
+
+
+@dataclass(frozen=True)
+class MiningParams:
+    """Parameters of the offline mining/indexing phase (Sections III, VIII).
+
+    Attributes
+    ----------
+    min_support:
+        The paper's ``α`` — a fragment is frequent iff ``sup(g) ≥ α·|D|``
+        (0 < α < 1).
+    size_threshold:
+        The paper's ``β`` — frequent fragments of size ≤ β live in the
+        memory-resident MF-index, larger ones in DF-index clusters.
+    max_fragment_edges:
+        Upper bound on mined fragment size; defaults to the paper's maximum
+        visual query size (10 edges), so every frequent query fragment is
+        indexed.
+    """
+
+    min_support: float = 0.1
+    size_threshold: int = 4
+    max_fragment_edges: int = 10
+
+    def absolute_support(self, db_size: int) -> int:
+        """``⌈α·|D|⌉`` with a floor of 1."""
+        if not 0.0 < self.min_support < 1.0:
+            raise ValueError("alpha must satisfy 0 < alpha < 1 (Section III)")
+        import math
+
+        return max(1, math.ceil(self.min_support * db_size))
+
+
+DEFAULT_SUBGRAPH_DISTANCE = 3
+"""The paper's default ``σ`` in Section VIII experiments."""
+
+DEFAULT_EDGE_LATENCY_SECONDS = 2.0
+"""Lower bound on per-edge drawing latency the paper reports (Section VIII-B)."""

@@ -1,0 +1,58 @@
+"""The PRAGUE core: Algorithms 1 and 3-6 plus the session/SRT model."""
+
+from repro.core.actions import Action, QueryStatus
+from repro.core.exact import exact_sub_candidates
+from repro.core.modify import (
+    DeletionSuggestion,
+    apply_deletion,
+    apply_multi_deletion,
+    deletable_edges,
+    relabel_node,
+    suggest_deletion,
+)
+from repro.core.prague import PragueEngine, RunReport, StepReport
+from repro.core.results import QueryResults, SimilarCandidates, SimilarityMatch
+from repro.core.persistence import load_session, save_session
+from repro.core.session import QuerySpec, SessionTrace, formulate, traditional_srt
+from repro.core.similar import (
+    iter_similar_results,
+    similar_results_gen,
+    similar_sub_candidates,
+)
+from repro.core.statistics import SessionStatistics, collect_statistics
+from repro.core.undo import UndoableEngine, restore_snapshot, take_snapshot
+from repro.core.verification import exact_verification, sim_verify
+
+__all__ = [
+    "Action",
+    "QueryStatus",
+    "PragueEngine",
+    "StepReport",
+    "RunReport",
+    "QueryResults",
+    "SimilarCandidates",
+    "SimilarityMatch",
+    "QuerySpec",
+    "SessionTrace",
+    "formulate",
+    "traditional_srt",
+    "exact_sub_candidates",
+    "similar_sub_candidates",
+    "similar_results_gen",
+    "exact_verification",
+    "sim_verify",
+    "suggest_deletion",
+    "apply_deletion",
+    "apply_multi_deletion",
+    "relabel_node",
+    "deletable_edges",
+    "DeletionSuggestion",
+    "iter_similar_results",
+    "UndoableEngine",
+    "take_snapshot",
+    "restore_snapshot",
+    "save_session",
+    "load_session",
+    "SessionStatistics",
+    "collect_statistics",
+]

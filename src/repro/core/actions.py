@@ -1,0 +1,23 @@
+"""The four monitored GUI actions and per-step status (Algorithm 1, Figure 3)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Action(Enum):
+    """Visual actions PRAGUE monitors on the GUI (Section IV-B)."""
+
+    NEW = "New"              # a new edge was drawn
+    MODIFY = "Modify"        # an existing edge is deleted
+    SIM_QUERY = "SimQuery"   # user opts into substructure similarity search
+    RUN = "Run"              # user presses the Run icon
+
+
+class QueryStatus(Enum):
+    """The Status column of Figure 3 after each formulation step."""
+
+    FREQUENT = "frequent"    # current fragment is a frequent fragment
+    INFREQUENT = "infrequent"  # infrequent, but exact candidates remain
+    SIMILAR = "similar"      # Rq is empty — only approximate matches exist
+    VERIFY = "verify"        # final verification pending (after Run)

@@ -1,0 +1,55 @@
+"""Exact substructure candidate generation — Algorithm 3 (ExactSubCandidates).
+
+Given the SPIG vertex of a query fragment:
+
+* a frequent fragment's candidates are its exact FSG ids from the A2F-index;
+* a DIF's candidates are its exact FSG ids from the A2I-index;
+* a NIF intersects the FSG ids of its frequent largest-proper subgraphs (Φ)
+  and of all its DIF subgraphs (Υ) — a superset of the true answer that the
+  final *Run* verification filters.
+
+Emptiness of the returned set is *sound*: an empty ``Rq`` proves the fragment
+has no exact match in the database (the trigger for PRAGUE's modify/similar
+option dialogue).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from repro.index.builder import ActionAwareIndexes
+from repro.spig.spig import SpigVertex
+
+
+def exact_sub_candidates(
+    vertex: SpigVertex,
+    indexes: ActionAwareIndexes,
+    db_ids: FrozenSet[int],
+) -> FrozenSet[int]:
+    """``Rq`` for the fragment represented by ``vertex``."""
+    fl = vertex.fragment_list
+    if fl.dead:
+        # The fragment uses a label absent from the database: no match.
+        return frozenset()
+    if fl.freq_id is not None:
+        return indexes.a2f.fsg_ids(fl.freq_id)
+    if fl.dif_id is not None:
+        return indexes.a2i.fsg_ids(fl.dif_id)
+    if not fl.phi and not fl.upsilon:
+        # Fragment larger than the mining bound with no indexed subgraph
+        # information at all — no pruning is possible (cannot happen for
+        # queries within the paper's ≤ 10-edge envelope).
+        return db_ids
+    rq: Optional[Set[int]] = None
+    for a2f_id in fl.phi:
+        ids = indexes.a2f.fsg_ids(a2f_id)
+        rq = set(ids) if rq is None else rq & ids
+        if not rq:
+            return frozenset()
+    for a2i_id in fl.upsilon:
+        ids = indexes.a2i.fsg_ids(a2i_id)
+        rq = set(ids) if rq is None else rq & ids
+        if not rq:
+            return frozenset()
+    assert rq is not None
+    return frozenset(rq)

@@ -1,0 +1,90 @@
+"""Saving and resuming formulation sessions.
+
+A visual query session can be long-lived (the paper's participants took ~30 s
+per query; real analysts park half-built queries).  This module persists the
+whole session — query fragment, SPIG set, candidate state, step history —
+to disk and restores it against the *same* database/index pair, verified by
+the content fingerprint of :func:`repro.index.builder.database_fingerprint`.
+
+The database and indexes themselves are not embedded (they are large and
+already have their own persistence); a session file references them by
+fingerprint and refuses to load against anything else.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from repro.core.prague import PragueEngine
+from repro.core.undo import take_snapshot, restore_snapshot
+from repro.exceptions import SessionError
+from repro.graph.database import GraphDatabase
+from repro.index.builder import ActionAwareIndexes, database_fingerprint
+
+_MAGIC = "prague-session-v1"
+
+
+def save_session(
+    engine: PragueEngine, db: GraphDatabase, path: Union[str, Path]
+) -> int:
+    """Persist ``engine``'s session to ``path``; returns bytes written."""
+    snapshot = take_snapshot(engine)
+    payload = {
+        "magic": _MAGIC,
+        "fingerprint": database_fingerprint(db, engine.indexes.params),
+        "sigma": engine.sigma,
+        "auto_similarity": engine.auto_similarity,
+        "query": snapshot.query,
+        "manager_spigs": snapshot.manager.spigs,
+        "manager_registry": snapshot.manager._vertex_by_set,
+        "manager_dedup": snapshot.manager.dedup,
+        "sim_flag": snapshot.sim_flag,
+        "option_pending": snapshot.option_pending,
+        "rq": snapshot.rq,
+        "similar_candidates": snapshot.similar_candidates,
+        "history": list(engine.history),
+    }
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_session(
+    path: Union[str, Path],
+    db: GraphDatabase,
+    indexes: ActionAwareIndexes,
+) -> PragueEngine:
+    """Restore a session saved by :func:`save_session`.
+
+    Raises :class:`SessionError` when the file is not a session file or was
+    saved against a different database/parameter combination.
+    """
+    try:
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError) as exc:
+        raise SessionError(f"cannot read session file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise SessionError(f"{path} is not a PRAGUE session file")
+    expected = database_fingerprint(db, indexes.params)
+    if payload["fingerprint"] != expected:
+        raise SessionError(
+            "session was saved against a different database or mining "
+            "parameters; rebuild or load the matching pair"
+        )
+    engine = PragueEngine(
+        db, indexes, sigma=payload["sigma"],
+        auto_similarity=payload["auto_similarity"],
+    )
+    engine.query = payload["query"]
+    engine.manager.spigs = payload["manager_spigs"]
+    engine.manager._vertex_by_set = payload["manager_registry"]
+    engine.manager.dedup = payload["manager_dedup"]
+    engine.sim_flag = payload["sim_flag"]
+    engine.option_pending = payload["option_pending"]
+    engine.rq = payload["rq"]
+    engine.similar_candidates = payload["similar_candidates"]
+    engine.history = payload["history"]
+    return engine

@@ -1,0 +1,371 @@
+"""The PRAGUE engine — Algorithm 1 as an interactive state machine.
+
+One :class:`PragueEngine` instance backs one query-formulation session on the
+GUI.  The four monitored actions map to methods:
+
+==============  =====================================================
+GUI action      Engine method
+==============  =====================================================
+``New``         :meth:`PragueEngine.add_edge`
+``Modify``      :meth:`PragueEngine.delete_edge`
+``SimQuery``    :meth:`PragueEngine.enable_similarity`
+``Run``         :meth:`PragueEngine.run`
+==============  =====================================================
+
+After every new edge the engine builds the edge's SPIG (Algorithm 2) and
+refreshes the candidate state: exact candidates ``Rq`` while the query still
+has exact matches, per-level ``Rfree``/``Rver`` buckets once it is a
+similarity query.  When ``Rq`` first becomes empty the engine raises the
+option dialogue (``option_pending``); the caller either deletes an edge
+(possibly the engine's suggestion) or continues — by default, continuing to
+draw implicitly opts into similarity search, matching Figure 3's flow where
+the status simply turns "Similar" and formulation proceeds.
+
+All per-action processing is timed (``perf_counter``); the session layer
+overlays these timings on the GUI-latency timeline to compute SRT.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.config import DEFAULT_SUBGRAPH_DISTANCE
+from repro.core.actions import Action, QueryStatus
+from repro.core.exact import exact_sub_candidates
+from repro.core.modify import DeletionSuggestion, apply_deletion, suggest_deletion
+from repro.core.results import QueryResults, SimilarCandidates
+from repro.core.similar import similar_results_gen, similar_sub_candidates
+from repro.core.verification import exact_verification
+from repro.exceptions import SessionError
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import NodeId
+from repro.index.builder import ActionAwareIndexes
+from repro.query_graph import VisualQuery
+from repro.spig.manager import SpigManager
+
+
+@dataclass
+class StepReport:
+    """What the engine did in response to one GUI action."""
+
+    action: Action
+    status: QueryStatus
+    edge_id: Optional[int] = None
+    rq_size: Optional[int] = None
+    candidate_count: Optional[int] = None
+    processing_seconds: float = 0.0
+    spig_seconds: float = 0.0
+    suggestion: Optional[DeletionSuggestion] = None
+
+
+@dataclass
+class RunReport:
+    """Timing and bookkeeping of the final *Run* action."""
+
+    results: QueryResults = field(default_factory=QueryResults)
+    processing_seconds: float = 0.0
+    verification_free: bool = False
+    candidate_count: int = 0
+
+
+class PragueEngine:
+    """Blended formulation/processing of one visual subgraph query."""
+
+    def __init__(
+        self,
+        db: GraphDatabase,
+        indexes: ActionAwareIndexes,
+        sigma: int = DEFAULT_SUBGRAPH_DISTANCE,
+        auto_similarity: bool = True,
+    ) -> None:
+        self.db = db
+        self.indexes = indexes
+        self.sigma = sigma
+        self.auto_similarity = auto_similarity
+        self.db_ids: FrozenSet[int] = frozenset(db.ids())
+        self.query = VisualQuery()
+        self.manager = SpigManager(indexes)
+        self.sim_flag = False
+        self.option_pending = False
+        self.rq: FrozenSet[int] = frozenset()
+        self.similar_candidates: Optional[SimilarCandidates] = None
+        self.history: List[StepReport] = []
+
+    # ------------------------------------------------------------------
+    # formulation actions
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, label: str) -> NodeId:
+        """Drop a node on the canvas (no processing is triggered)."""
+        return self.query.add_node(node, label)
+
+    def add_edge(
+        self, u: NodeId, v: NodeId, label: Optional[str] = None
+    ) -> StepReport:
+        """Action ``New``: draw an edge, build its SPIG, refresh candidates."""
+        if self.option_pending:
+            if not self.auto_similarity:
+                raise SessionError(
+                    "option dialogue pending: call delete_edge or "
+                    "enable_similarity first"
+                )
+            # Continuing to draw = implicitly opting into similarity search.
+            self.enable_similarity()
+        start = time.perf_counter()
+        edge_id = self.query.add_edge(u, v, label)
+        spig_start = time.perf_counter()
+        self.manager.on_new_edge(self.query, edge_id)
+        spig_seconds = time.perf_counter() - spig_start
+        report = StepReport(
+            action=Action.NEW,
+            status=QueryStatus.FREQUENT,
+            edge_id=edge_id,
+            spig_seconds=spig_seconds,
+        )
+        if not self.sim_flag:
+            target = self.manager.target_vertex(self.query)
+            self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
+            report.rq_size = len(self.rq)
+            if self.rq:
+                report.status = (
+                    QueryStatus.FREQUENT
+                    if target.fragment_list.freq_id is not None
+                    else QueryStatus.INFREQUENT
+                )
+            else:
+                report.status = QueryStatus.SIMILAR
+                self.option_pending = True  # Alg 1, line 8: dialogue pops up
+        else:
+            self._refresh_similar_candidates()
+            assert self.similar_candidates is not None
+            report.status = QueryStatus.SIMILAR
+            report.candidate_count = self.similar_candidates.candidate_count
+        report.processing_seconds = time.perf_counter() - start
+        self.history.append(report)
+        return report
+
+    def add_pattern(
+        self,
+        pattern,
+        attach: Optional[dict] = None,
+    ) -> List[StepReport]:
+        """Drop a canned pattern (footnote 1's future-work extension).
+
+        ``pattern`` is a connected labeled :class:`~repro.graph.Graph` (or a
+        :class:`~repro.gui.patterns.CannedPattern`); ``attach`` optionally
+        maps pattern nodes onto existing canvas nodes (fusion points, with
+        matching labels).  The gesture is one drag-and-drop on the GUI, but
+        the engine still processes edge-at-a-time: each pattern edge gets its
+        own formulation id and SPIG, so candidate maintenance, the option
+        dialogue and modification all work unchanged.
+        """
+        from repro.exceptions import QueryError
+
+        graph = getattr(pattern, "graph", pattern)
+        if graph.num_edges == 0 or not graph.is_connected():
+            raise QueryError("patterns must be connected with >= 1 edge")
+        attach = dict(attach or {})
+        if self.query.num_edges > 0 and not attach:
+            raise QueryError(
+                "attach the pattern to an existing node to keep the query "
+                "connected (pass attach={pattern_node: canvas_node})"
+            )
+        node_map: dict = {}
+        for p_node, canvas_node in attach.items():
+            if not graph.has_node(p_node):
+                raise QueryError(f"pattern has no node {p_node!r}")
+            if self.query.node_label(canvas_node) != graph.label(p_node):
+                raise QueryError(
+                    f"fusion point label mismatch at {canvas_node!r}"
+                )
+            node_map[p_node] = canvas_node
+        for p_node in graph.nodes():
+            if p_node not in node_map:
+                fresh = self.query.fresh_node_id(0)
+                self.query.add_node(fresh, graph.label(p_node))
+                node_map[p_node] = fresh
+        # Draw edges so every prefix stays connected, starting at a fusion
+        # point when the query is non-empty.
+        connected = set(attach) if attach else set()
+        pending = list(graph.edges())
+        reports: List[StepReport] = []
+        while pending:
+            for i, (u, v) in enumerate(pending):
+                if not connected or u in connected or v in connected:
+                    connected.update((u, v))
+                    del pending[i]
+                    reports.append(
+                        self.add_edge(
+                            node_map[u], node_map[v], graph.edge_label(u, v)
+                        )
+                    )
+                    break
+            else:  # pragma: no cover - unreachable for connected patterns
+                raise QueryError("pattern is not connected")
+        return reports
+
+    def enable_similarity(self) -> StepReport:
+        """Action ``SimQuery``: switch to substructure similarity search."""
+        start = time.perf_counter()
+        self.sim_flag = True
+        self.option_pending = False
+        self._refresh_similar_candidates()
+        assert self.similar_candidates is not None
+        report = StepReport(
+            action=Action.SIM_QUERY,
+            status=QueryStatus.SIMILAR,
+            candidate_count=self.similar_candidates.candidate_count,
+            processing_seconds=time.perf_counter() - start,
+        )
+        self.history.append(report)
+        return report
+
+    def suggestion(self) -> Optional[DeletionSuggestion]:
+        """The edge PRAGUE recommends deleting to make ``Rq`` non-empty."""
+        return suggest_deletion(self.query, self.manager, self.indexes, self.db_ids)
+
+    def delete_edge(self, edge_id: Optional[int] = None) -> StepReport:
+        """Action ``Modify``: delete an edge (``None`` accepts the suggestion)."""
+        start = time.perf_counter()
+        suggestion = None
+        if edge_id is None:
+            suggestion = self.suggestion()
+            if suggestion is None:
+                raise SessionError("nothing can be deleted from this query")
+            edge_id = suggestion.edge_id
+        apply_deletion(self.query, self.manager, edge_id)
+        self.option_pending = False
+        report = StepReport(
+            action=Action.MODIFY,
+            status=QueryStatus.SIMILAR,
+            edge_id=edge_id,
+            suggestion=suggestion,
+        )
+        self._refresh_after_modification(report)
+        report.processing_seconds = time.perf_counter() - start
+        self.history.append(report)
+        return report
+
+    def delete_edges(self, edge_ids) -> StepReport:
+        """Action ``Modify`` with several edges in one gesture.
+
+        The paper notes single-edge deletion extends trivially to multiple
+        deletions; the SPIG set is pruned once per deleted edge and the
+        candidate state refreshed once at the end.
+        """
+        from repro.core.modify import apply_multi_deletion
+
+        start = time.perf_counter()
+        applied = apply_multi_deletion(self.query, self.manager, edge_ids)
+        self.option_pending = False
+        report = StepReport(
+            action=Action.MODIFY,
+            status=QueryStatus.SIMILAR,
+            edge_id=applied[-1] if applied else None,
+        )
+        self._refresh_after_modification(report)
+        report.processing_seconds = time.perf_counter() - start
+        self.history.append(report)
+        return report
+
+    def relabel_node(self, node: NodeId, new_label: str) -> StepReport:
+        """Relabel a node (footnote 5: deletions plus re-insertions).
+
+        The incident edges are deleted and re-drawn against a fresh node with
+        the new label; each re-drawn edge gets its own SPIG, so the resulting
+        state is exactly what a fresh formulation would have produced.
+        """
+        from repro.core.modify import relabel_node as _relabel
+
+        start = time.perf_counter()
+        new_ids = _relabel(self.query, self.manager, node, new_label)
+        self.option_pending = False
+        report = StepReport(
+            action=Action.MODIFY,
+            status=QueryStatus.SIMILAR,
+            edge_id=new_ids[-1] if new_ids else None,
+        )
+        self._refresh_after_modification(report)
+        report.processing_seconds = time.perf_counter() - start
+        self.history.append(report)
+        return report
+
+    def _refresh_after_modification(self, report: StepReport) -> None:
+        """Recompute the candidate state after any Modify gesture."""
+        if self.query.num_edges == 0:
+            self.sim_flag = False
+            self.rq = frozenset()
+            self.similar_candidates = None
+            report.rq_size = 0
+        elif self.sim_flag:
+            self._refresh_similar_candidates()
+            assert self.similar_candidates is not None
+            report.candidate_count = self.similar_candidates.candidate_count
+        else:
+            target = self.manager.target_vertex(self.query)
+            self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
+            report.rq_size = len(self.rq)
+            if self.rq:
+                report.status = (
+                    QueryStatus.FREQUENT
+                    if target.fragment_list.freq_id is not None
+                    else QueryStatus.INFREQUENT
+                )
+                self.option_pending = False
+            else:
+                report.status = QueryStatus.SIMILAR
+                self.option_pending = True
+
+    def run(self) -> RunReport:
+        """Action ``Run``: produce the final results (Alg 1, lines 16-23)."""
+        if self.query.num_edges == 0:
+            raise SessionError("cannot run an empty query")
+        start = time.perf_counter()
+        report = RunReport()
+        if not self.sim_flag:
+            target = self.manager.target_vertex(self.query)
+            verification_free = target.fragment_list.is_indexed
+            exact_ids = exact_verification(
+                self.query.graph(), self.rq, self.db, verification_free
+            )
+            report.verification_free = verification_free
+            report.candidate_count = len(self.rq)
+            if exact_ids:
+                report.results = QueryResults(exact_ids=exact_ids)
+            else:
+                # Alg 1, lines 19-21: fall back to similarity search.  Exact
+                # matches are now proven absent, so skip the |q| level.
+                candidates = similar_sub_candidates(
+                    self.query, self.sigma, self.manager, self.indexes,
+                    self.db_ids, include_exact_level=False,
+                )
+                matches = similar_results_gen(
+                    self.query, candidates, self.sigma, self.manager, self.db
+                )
+                report.results = QueryResults(similar=matches)
+                report.candidate_count = candidates.candidate_count
+        else:
+            if self.similar_candidates is None:
+                self._refresh_similar_candidates()
+            assert self.similar_candidates is not None
+            matches = similar_results_gen(
+                self.query, self.similar_candidates, self.sigma, self.manager,
+                self.db,
+            )
+            report.results = QueryResults(similar=matches)
+            report.candidate_count = self.similar_candidates.candidate_count
+        report.processing_seconds = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> QueryStatus:
+        if self.history:
+            return self.history[-1].status
+        return QueryStatus.FREQUENT
+
+    def _refresh_similar_candidates(self) -> None:
+        self.similar_candidates = similar_sub_candidates(
+            self.query, self.sigma, self.manager, self.indexes, self.db_ids
+        )

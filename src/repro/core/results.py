@@ -1,0 +1,75 @@
+"""Result containers: candidate sets and ranked similarity answers.
+
+Section VI separates similarity candidates into ``Rfree`` (verification-free:
+the data graph provably contains an indexed subgraph of the query) and
+``Rver`` (needs MCCS verification), each bucketed by SPIG level.  Section VI-C
+ranks answers by subgraph distance — ``dist(g1, q) < dist(g2, q)`` implies
+``Rank(g1) < Rank(g2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+
+@dataclass
+class SimilarCandidates:
+    """Per-level candidate buckets produced by Algorithm 4."""
+
+    free: Dict[int, Set[int]] = field(default_factory=dict)
+    ver: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def free_at(self, level: int) -> Set[int]:
+        return self.free.get(level, set())
+
+    def ver_at(self, level: int) -> Set[int]:
+        return self.ver.get(level, set())
+
+    def levels(self) -> List[int]:
+        return sorted(set(self.free) | set(self.ver))
+
+    def all_candidates(self) -> Set[int]:
+        """``Rfree ∪ Rver`` — the paper's reported candidate-set size."""
+        out: Set[int] = set()
+        for ids in self.free.values():
+            out |= ids
+        for ids in self.ver.values():
+            out |= ids
+        return out
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.all_candidates())
+
+
+@dataclass(frozen=True, order=True)
+class SimilarityMatch:
+    """One ranked answer: lower distance = more similar = better rank."""
+
+    distance: int
+    graph_id: int
+    verification_free: bool = field(compare=False)
+
+    @property
+    def rank_key(self):
+        return (self.distance, self.graph_id)
+
+
+@dataclass
+class QueryResults:
+    """What the Results panel (GUI Panel 4) displays after *Run*."""
+
+    exact_ids: List[int] = field(default_factory=list)
+    similar: List[SimilarityMatch] = field(default_factory=list)
+
+    @property
+    def is_exact(self) -> bool:
+        return bool(self.exact_ids)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.exact_ids and not self.similar
+
+    def ordered_similar_ids(self) -> List[int]:
+        return [m.graph_id for m in sorted(self.similar)]

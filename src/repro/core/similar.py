@@ -1,0 +1,124 @@
+"""Substructure similarity search — Algorithms 4 and 5.
+
+``SimilarSubCandidates`` scans SPIG levels ``|q| − 1`` down to ``|q| − σ``
+(optionally including level ``|q|`` itself, so that exact matches rank at
+distance 0 when the user opted into similarity while exact matches still
+exist).  At each level, candidates of indexed vertices (frequent fragments or
+DIFs — exact FSG lists) go to ``Rfree``; candidates of NIF vertices go to
+``Rver``; ids present in both stay only in ``Rfree`` (Algorithm 4, line 7).
+
+``SimilarResultsGen`` walks the levels from the most similar down, so every
+answer is reported at its *minimum* distance, and returns the ranked list
+(Section VI-C's ordering rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set
+
+from repro.core.exact import exact_sub_candidates
+from repro.core.results import SimilarCandidates, SimilarityMatch
+from repro.core.verification import level_fragments_to_verify, sim_verify
+from repro.graph.database import GraphDatabase
+from repro.index.builder import ActionAwareIndexes
+from repro.query_graph import VisualQuery
+from repro.spig.manager import SpigManager
+
+
+def similar_sub_candidates(
+    query: VisualQuery,
+    sigma: int,
+    manager: SpigManager,
+    indexes: ActionAwareIndexes,
+    db_ids: FrozenSet[int],
+    include_exact_level: bool = True,
+) -> SimilarCandidates:
+    """Algorithm 4: per-level ``Rfree``/``Rver`` buckets."""
+    if sigma < 0:
+        raise ValueError("subgraph distance threshold must be >= 0")
+    q_size = query.num_edges
+    top = q_size if include_exact_level else q_size - 1
+    bottom = max(q_size - sigma, 1)
+    out = SimilarCandidates()
+    for level in range(top, bottom - 1, -1):
+        free: Set[int] = set()
+        ver: Set[int] = set()
+        for vertex in manager.vertices_at_level(level):
+            candidates = exact_sub_candidates(vertex, indexes, db_ids)
+            if vertex.fragment_list.is_indexed:
+                free |= candidates
+            else:
+                ver |= candidates
+        ver -= free  # already verification-free at this level (Alg 4, line 7)
+        out.free[level] = free
+        out.ver[level] = ver
+    return out
+
+
+def iter_similar_results(
+    query: VisualQuery,
+    candidates: SimilarCandidates,
+    sigma: int,
+    manager: SpigManager,
+    db: GraphDatabase,
+    verify_all_fragments: bool = False,
+) -> Iterator[SimilarityMatch]:
+    """Algorithm 5 as a rank-ordered stream.
+
+    Matches are yielded strictly in ranking order (distance ascending,
+    graph id ascending within a distance), so a GUI can fill the results
+    panel progressively: the most similar answers appear while deeper
+    (cheaper-to-like, more expensive-to-verify) levels are still being
+    processed.
+
+    Levels are processed high -> low ("the higher level the candidate graph
+    is in S, the more similar it is to the query graph"), so the first level
+    at which a graph is confirmed yields its true subgraph distance.
+
+    ``verify_all_fragments`` makes SimVerify test *every* level fragment
+    instead of only the NIFs.  The NIF-only restriction is sound exactly
+    because indexed fragments' candidates land in ``Rfree``; ablations that
+    disable the Rfree/Rver split must verify against all fragments.
+    """
+    q_size = query.num_edges
+    confirmed: Set[int] = set()
+    for level in sorted(candidates.levels(), reverse=True):
+        distance = q_size - level
+        if distance > sigma:
+            continue
+        batch: List[SimilarityMatch] = []
+        for gid in candidates.free_at(level):
+            if gid not in confirmed:
+                confirmed.add(gid)
+                batch.append(SimilarityMatch(
+                    distance=distance, graph_id=gid, verification_free=True
+                ))
+        to_verify = candidates.ver_at(level) - confirmed
+        if to_verify:
+            if verify_all_fragments:
+                fragments = list(manager.vertices_at_level(level))
+            else:
+                fragments = level_fragments_to_verify(manager, level)
+            for gid in to_verify:
+                if sim_verify(fragments, db[gid]):
+                    confirmed.add(gid)
+                    batch.append(SimilarityMatch(
+                        distance=distance, graph_id=gid,
+                        verification_free=False,
+                    ))
+        yield from sorted(batch)
+
+
+def similar_results_gen(
+    query: VisualQuery,
+    candidates: SimilarCandidates,
+    sigma: int,
+    manager: SpigManager,
+    db: GraphDatabase,
+    verify_all_fragments: bool = False,
+) -> List[SimilarityMatch]:
+    """Algorithm 5: the materialised form of :func:`iter_similar_results`."""
+    return list(iter_similar_results(
+        query, candidates, sigma, manager, db,
+        verify_all_fragments=verify_all_fragments,
+    ))

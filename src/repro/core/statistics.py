@@ -1,0 +1,134 @@
+"""Session analytics: what the engine did, step by step.
+
+The paper's evaluation reasons about candidate-set trajectories (Figure 3's
+status column, the Rfree/Rver split, SPIG sizes per level).  This module
+derives those views from a live :class:`~repro.core.prague.PragueEngine` so
+examples, benchmarks and downstream tools can inspect a session without
+re-deriving internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.actions import Action, QueryStatus
+from repro.core.prague import PragueEngine
+
+
+@dataclass
+class LevelBreakdown:
+    """Candidate split at one SPIG level (Algorithm 4's buckets)."""
+
+    level: int
+    free: int
+    ver: int
+
+    @property
+    def total(self) -> int:
+        return self.free + self.ver
+
+
+@dataclass
+class SpigSummary:
+    """Shape of one SPIG: vertices and realising edge-sets per level."""
+
+    edge_id: int
+    vertices_per_level: Dict[int, int]
+    edge_sets_per_level: Dict[int, int]
+
+    @property
+    def num_vertices(self) -> int:
+        return sum(self.vertices_per_level.values())
+
+    @property
+    def dedup_ratio(self) -> float:
+        """edge-sets per vertex — > 1 when canonical dedup merged subsets."""
+        vertices = self.num_vertices
+        sets = sum(self.edge_sets_per_level.values())
+        return sets / vertices if vertices else 0.0
+
+
+@dataclass
+class SessionStatistics:
+    """A full snapshot of an engine's session state."""
+
+    steps: int
+    query_edges: int
+    status: QueryStatus
+    similarity_mode: bool
+    rq_trajectory: List[Optional[int]] = field(default_factory=list)
+    status_trajectory: List[QueryStatus] = field(default_factory=list)
+    total_step_seconds: float = 0.0
+    total_spig_seconds: float = 0.0
+    spigs: List[SpigSummary] = field(default_factory=list)
+    level_breakdown: List[LevelBreakdown] = field(default_factory=list)
+
+    @property
+    def total_spig_vertices(self) -> int:
+        return sum(s.num_vertices for s in self.spigs)
+
+    def summary_lines(self) -> List[str]:
+        """A human-readable digest (used by the CLI's ``stats`` output)."""
+        lines = [
+            f"steps: {self.steps}  edges: {self.query_edges}  "
+            f"status: {self.status.value}"
+            f"{'  (similarity mode)' if self.similarity_mode else ''}",
+            f"processing: {1000 * self.total_step_seconds:.2f} ms total, "
+            f"{1000 * self.total_spig_seconds:.2f} ms in SPIG construction",
+            f"SPIG set: {len(self.spigs)} SPIGs, "
+            f"{self.total_spig_vertices} vertices",
+        ]
+        if self.rq_trajectory:
+            trajectory = " -> ".join(
+                "?" if n is None else str(n) for n in self.rq_trajectory
+            )
+            lines.append(f"|Rq| per step: {trajectory}")
+        for item in self.level_breakdown:
+            lines.append(
+                f"level {item.level}: {item.free} verification-free + "
+                f"{item.ver} to-verify candidates"
+            )
+        return lines
+
+
+def collect_statistics(engine: PragueEngine) -> SessionStatistics:
+    """Snapshot ``engine``'s session into a :class:`SessionStatistics`."""
+    new_steps = [r for r in engine.history if r.action is Action.NEW]
+    stats = SessionStatistics(
+        steps=len(engine.history),
+        query_edges=engine.query.num_edges,
+        status=engine.status,
+        similarity_mode=engine.sim_flag,
+        rq_trajectory=[r.rq_size for r in new_steps],
+        status_trajectory=[r.status for r in engine.history],
+        total_step_seconds=sum(r.processing_seconds for r in engine.history),
+        total_spig_seconds=sum(r.spig_seconds for r in engine.history),
+    )
+    for edge_id in sorted(engine.manager.spigs):
+        spig = engine.manager.spigs[edge_id]
+        stats.spigs.append(
+            SpigSummary(
+                edge_id=edge_id,
+                vertices_per_level={
+                    level: len(spig.vertices_at(level))
+                    for level in spig.levels()
+                },
+                edge_sets_per_level={
+                    level: sum(
+                        len(v.edge_sets) for v in spig.vertices_at(level)
+                    )
+                    for level in spig.levels()
+                },
+            )
+        )
+    if engine.similar_candidates is not None:
+        for level in engine.similar_candidates.levels():
+            stats.level_breakdown.append(
+                LevelBreakdown(
+                    level=level,
+                    free=len(engine.similar_candidates.free_at(level)),
+                    ver=len(engine.similar_candidates.ver_at(level)),
+                )
+            )
+    return stats

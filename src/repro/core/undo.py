@@ -1,0 +1,147 @@
+"""Undo/redo for formulation sessions.
+
+Any practical visual editor needs undo; the paper's modification machinery
+(Section VII) only covers *semantic* edits (edge deletion).  True undo must
+restore the exact prior state — including edge formulation ids and the SPIG
+set — so it is implemented as whole-session snapshots: the query, the SPIG
+manager and the candidate state are deep-copied (the immutable database and
+indexes are shared, not copied).
+
+:class:`UndoableEngine` wraps a :class:`~repro.core.prague.PragueEngine`,
+pushing a snapshot before every mutating gesture::
+
+    session = UndoableEngine(PragueEngine(db, indexes))
+    session.add_edge("a", "b")
+    session.delete_edge(1)
+    session.undo()        # the deletion never happened
+    session.undo()        # nor the addition
+    session.redo()        # the addition is back
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.prague import PragueEngine, RunReport, StepReport
+from repro.exceptions import SessionError
+from repro.graph.labeled_graph import NodeId
+
+
+@dataclass
+class EngineSnapshot:
+    """A restorable point-in-time copy of an engine's session state."""
+
+    query: Any
+    manager: Any
+    sim_flag: bool
+    option_pending: bool
+    rq: Any
+    similar_candidates: Any
+    history_len: int
+
+
+def take_snapshot(engine: PragueEngine) -> EngineSnapshot:
+    """Deep-copy the mutable session state (db/indexes stay shared)."""
+    memo = {
+        id(engine.indexes): engine.indexes,
+        id(engine.db): engine.db,
+        id(engine.db_ids): engine.db_ids,
+    }
+    return EngineSnapshot(
+        query=copy.deepcopy(engine.query, memo),
+        manager=copy.deepcopy(engine.manager, memo),
+        sim_flag=engine.sim_flag,
+        option_pending=engine.option_pending,
+        rq=engine.rq,
+        similar_candidates=copy.deepcopy(engine.similar_candidates, memo),
+        history_len=len(engine.history),
+    )
+
+
+def restore_snapshot(engine: PragueEngine, snapshot: EngineSnapshot) -> None:
+    """Reset ``engine`` to ``snapshot`` (symmetric with take_snapshot)."""
+    engine.query = copy.deepcopy(snapshot.query)
+    engine.manager = copy.deepcopy(snapshot.manager, {
+        id(engine.indexes): engine.indexes,
+    })
+    engine.sim_flag = snapshot.sim_flag
+    engine.option_pending = snapshot.option_pending
+    engine.rq = snapshot.rq
+    engine.similar_candidates = copy.deepcopy(snapshot.similar_candidates)
+    del engine.history[snapshot.history_len:]
+
+
+class UndoableEngine:
+    """A PragueEngine with an undo/redo stack over mutating gestures."""
+
+    def __init__(self, engine: PragueEngine, limit: int = 64) -> None:
+        self.engine = engine
+        self.limit = limit
+        self._undo: List[EngineSnapshot] = []
+        self._redo: List[EngineSnapshot] = []
+
+    # ------------------------------------------------------------------
+    # wrapped gestures (mutating ones snapshot first)
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, label: str) -> NodeId:
+        return self.engine.add_node(node, label)  # non-destructive
+
+    def add_edge(self, u: NodeId, v: NodeId, label=None) -> StepReport:
+        return self._mutate(self.engine.add_edge, u, v, label)
+
+    def add_pattern(self, pattern, attach=None) -> List[StepReport]:
+        return self._mutate(self.engine.add_pattern, pattern, attach)
+
+    def delete_edge(self, edge_id: Optional[int] = None) -> StepReport:
+        return self._mutate(self.engine.delete_edge, edge_id)
+
+    def delete_edges(self, edge_ids) -> StepReport:
+        return self._mutate(self.engine.delete_edges, edge_ids)
+
+    def relabel_node(self, node: NodeId, new_label: str) -> StepReport:
+        return self._mutate(self.engine.relabel_node, node, new_label)
+
+    def enable_similarity(self) -> StepReport:
+        return self._mutate(self.engine.enable_similarity)
+
+    def run(self) -> RunReport:
+        return self.engine.run()  # non-destructive
+
+    # ------------------------------------------------------------------
+    # undo / redo
+    # ------------------------------------------------------------------
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._undo)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._redo)
+
+    def undo(self) -> None:
+        if not self._undo:
+            raise SessionError("nothing to undo")
+        self._redo.append(take_snapshot(self.engine))
+        restore_snapshot(self.engine, self._undo.pop())
+
+    def redo(self) -> None:
+        if not self._redo:
+            raise SessionError("nothing to redo")
+        self._undo.append(take_snapshot(self.engine))
+        restore_snapshot(self.engine, self._redo.pop())
+
+    # ------------------------------------------------------------------
+    def _mutate(self, fn, *args):
+        snapshot = take_snapshot(self.engine)
+        result = fn(*args)
+        self._undo.append(snapshot)
+        if len(self._undo) > self.limit:
+            self._undo.pop(0)
+        self._redo.clear()
+        return result
+
+    def __getattr__(self, name: str):
+        # read-only passthrough (query, manager, status, rq, ...)
+        return getattr(self.engine, name)

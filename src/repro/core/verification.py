@@ -1,0 +1,60 @@
+"""Verification: exact subgraph-isomorphism tests and MCCS SimVerify.
+
+* Exact verification (Algorithm 1, line 18): when the full query fragment is
+  itself indexed (frequent or DIF) its candidate set is already exact —
+  verification-free, the FG-Index insight the action-aware indexes inherit.
+  Otherwise each candidate undergoes a VF2 subgraph-isomorphism test.
+
+* ``SimVerify`` (Algorithm 5, line 4): a candidate attached to SPIG level
+  ``i`` is an approximate match at distance ``|q| − i`` iff some connected
+  i-edge subgraph of the query embeds in it.  Across the SPIG set, the
+  level-i vertices enumerate exactly those subgraphs, so VF2 against the
+  level-i fragments realises MCCS verification without computing a full MCCS
+  (the paper's "we extend VF2 [3] to handle MCCS-based similarity
+  verification").  Only NIF fragments need testing: had the candidate
+  contained an *indexed* level-i fragment it would already sit in
+  ``Rfree(i)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.labeled_graph import Graph
+from repro.spig.manager import SpigManager
+from repro.spig.spig import SpigVertex
+
+
+def exact_verification(
+    query_fragment: Graph,
+    candidates: FrozenSet[int],
+    db: GraphDatabase,
+    verification_free: bool,
+) -> List[int]:
+    """Final exact results from ``Rq`` (sorted ids)."""
+    if verification_free:
+        return sorted(candidates)
+    return sorted(
+        gid for gid in candidates if is_subgraph_isomorphic(query_fragment, db[gid])
+    )
+
+
+def level_fragments_to_verify(
+    manager: SpigManager, level: int
+) -> List[SpigVertex]:
+    """The NIF vertices at ``level`` — the only fragments SimVerify must test."""
+    return [
+        v
+        for v in manager.vertices_at_level(level)
+        if not v.fragment_list.is_indexed
+    ]
+
+
+def sim_verify(
+    vertices: Iterable[SpigVertex],
+    target: Graph,
+) -> bool:
+    """True iff any of the given fragments embeds in ``target``."""
+    return any(is_subgraph_isomorphic(v.fragment, target) for v in vertices)

@@ -1,0 +1,26 @@
+"""Dataset builders: AIDS-like molecules, GraphGen-like synthetics, workloads."""
+
+from repro.datasets.aids import ATOM_WEIGHTS, generate_aids_like
+from repro.datasets.queries import (
+    WorkloadQuery,
+    connected_edge_order,
+    sample_containment_query,
+    sample_similarity_query,
+    spec_from_graph,
+    standard_containment_workload,
+    standard_similarity_workload,
+)
+from repro.datasets.synthetic import generate_graphgen_like
+
+__all__ = [
+    "generate_aids_like",
+    "generate_graphgen_like",
+    "ATOM_WEIGHTS",
+    "WorkloadQuery",
+    "connected_edge_order",
+    "spec_from_graph",
+    "sample_containment_query",
+    "sample_similarity_query",
+    "standard_containment_workload",
+    "standard_similarity_workload",
+]

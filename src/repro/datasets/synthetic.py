@@ -1,0 +1,44 @@
+"""GraphGen-style synthetic datasets (Section VIII-A).
+
+The paper generates synthetic corpora "using the Graphgen of FG-Index [2]"
+with sizes 10K-80K, average 30 edges per graph and average graph density 0.1.
+GraphGen's density is ``D = 2·|E| / (|V|·(|V|−1))``; with E = 30 and D = 0.1
+that fixes |V| ≈ 25.  Labels are drawn uniformly from a configurable label
+alphabet.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.graph.database import GraphDatabase
+from repro.graph.generators import random_connected_graph
+from repro.graph.labeled_graph import Graph
+
+
+def _nodes_for_density(num_edges: int, density: float) -> int:
+    """Solve ``density = 2E / (V(V−1))`` for V."""
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    v = (1.0 + math.sqrt(1.0 + 8.0 * num_edges / density)) / 2.0
+    return max(2, int(round(v)))
+
+
+def generate_graphgen_like(
+    num_graphs: int,
+    seed: int = 2012,
+    avg_edges: int = 30,
+    density: float = 0.1,
+    num_labels: int = 8,
+) -> GraphDatabase:
+    """A synthetic corpus matching the paper's GraphGen parameters."""
+    rng = random.Random(seed)
+    labels = [f"L{i}" for i in range(num_labels)]
+    graphs: List[Graph] = []
+    for _ in range(num_graphs):
+        edges = max(2, int(round(rng.gauss(avg_edges, avg_edges * 0.2))))
+        nodes = _nodes_for_density(edges, density)
+        graphs.append(random_connected_graph(rng, nodes, edges, labels))
+    return GraphDatabase(graphs)

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the PRAGUE reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphError(ReproError):
+    """Invalid graph manipulation (missing node, duplicate edge, ...)."""
+
+
+class MiningError(ReproError):
+    """Frequent-fragment or DIF mining failed or was misconfigured."""
+
+
+class IndexError_(ReproError):
+    """Action-aware index construction or probing failed."""
+
+
+class SpigError(ReproError):
+    """SPIG construction or maintenance failed."""
+
+
+class QueryError(ReproError):
+    """Invalid visual query manipulation (disconnecting deletion, ...)."""
+
+
+class SessionError(ReproError):
+    """Invalid action sequence in a formulation session."""

@@ -1,0 +1,40 @@
+"""Graph substrate: labeled graphs, canonical codes, isomorphism, MCCS."""
+
+from repro.graph.canonical import are_isomorphic, cam, canonical_code, code_to_graph
+from repro.graph.database import GraphDatabase
+from repro.graph.edit_matching import edit_matching_cost, edit_similarity_search
+from repro.graph.isomorphism import (
+    count_embeddings,
+    find_embedding,
+    is_subgraph_isomorphic,
+    iter_embeddings,
+)
+from repro.graph.labeled_graph import Graph, edge_key
+from repro.graph.mccs import (
+    is_similar,
+    mccs_at_least,
+    mccs_size,
+    subgraph_distance,
+    subgraph_similarity_degree,
+)
+
+__all__ = [
+    "Graph",
+    "GraphDatabase",
+    "edge_key",
+    "canonical_code",
+    "cam",
+    "code_to_graph",
+    "are_isomorphic",
+    "is_subgraph_isomorphic",
+    "find_embedding",
+    "iter_embeddings",
+    "count_embeddings",
+    "mccs_size",
+    "mccs_at_least",
+    "subgraph_distance",
+    "subgraph_similarity_degree",
+    "is_similar",
+    "edit_matching_cost",
+    "edit_similarity_search",
+]

@@ -1,0 +1,206 @@
+"""Canonical graph codes (the paper's ``cam(g)``).
+
+The paper identifies fragments by CAM codes (Huan & Wang, ICDM'03) and relies
+on a single property: ``cam(g) = cam(g')`` iff ``g`` and ``g'`` are isomorphic
+(used e.g. by Algorithm 6 for the graph-isomorphism test).  We implement the
+*minimum DFS code* of gSpan (Yan & Han, ICDM'02) instead — an equivalent
+canonical form, and the natural choice since our miner is gSpan.  DESIGN.md
+records this substitution.
+
+A DFS code is a sequence of 5-tuples ``(i, j, l_i, l_ij, l_j)`` where ``i`` and
+``j`` are DFS discovery indices, ``l_i``/``l_j`` node labels and ``l_ij`` the
+edge label.  The *minimum* DFS code is the lexicographically smallest code over
+all valid DFS traversals, under gSpan's linear order on edge tuples:
+
+* at any point, backward extensions (from the rightmost vertex to one of its
+  ancestors on the rightmost path) precede all forward extensions, smaller
+  destination index first;
+* forward extensions come deepest-on-the-rightmost-path first;
+* ties are broken by labels.
+
+We compute it by greedy branch-and-bound: all partial embeddings sharing the
+current minimal prefix are kept, the globally minimal next tuple is selected,
+and embeddings that cannot realize it are discarded.  Greedy selection is
+lexicographically optimal because codes are compared tuple by tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import Graph, NodeId, edge_key
+
+# A code tuple: (i, j, l_i, l_ij, l_j).  Edge label ``None`` is normalised to
+# "" so that tuples are totally ordered.
+CodeTuple = Tuple[int, int, str, str, str]
+CanonicalCode = Tuple[CodeTuple, ...]
+
+_NO_EDGE_LABEL = ""
+
+
+def _norm(label: Optional[str]) -> str:
+    return _NO_EDGE_LABEL if label is None else label
+
+
+class _Embedding:
+    """A partial DFS traversal: dfs-index <-> node maps plus traversal state."""
+
+    __slots__ = ("nodes_of", "index_of", "rightmost_path", "used_edges")
+
+    def __init__(
+        self,
+        nodes_of: List[NodeId],
+        index_of: Dict[NodeId, int],
+        rightmost_path: Tuple[int, ...],
+        used_edges: FrozenSet[Tuple[NodeId, NodeId]],
+    ) -> None:
+        self.nodes_of = nodes_of
+        self.index_of = index_of
+        self.rightmost_path = rightmost_path
+        self.used_edges = used_edges
+
+
+def _extensions(g: Graph, emb: _Embedding):
+    """Yield ``(sort_key, code_tuple, kind, payload)`` for all legal next edges.
+
+    ``kind`` is "b" (backward) or "f" (forward); the payload carries what is
+    needed to apply the extension.  The sort key realises gSpan's tuple order
+    restricted to extensions of a common prefix.
+    """
+    rmp = emb.rightmost_path
+    rm_index = rmp[-1]
+    rm_node = emb.nodes_of[rm_index]
+    # Backward: rightmost vertex -> ancestor on the rightmost path (not parent).
+    for j in rmp[:-1]:
+        w = emb.nodes_of[j]
+        if g.has_edge(rm_node, w) and edge_key(rm_node, w) not in emb.used_edges:
+            elabel = _norm(g.edge_label(rm_node, w))
+            code = (rm_index, j, g.label(rm_node), elabel, g.label(w))
+            yield (0, j, elabel, "", ""), code, "b", (rm_node, w, j)
+    # Forward: from the rightmost path (deepest first) to an unmapped node.
+    for i in reversed(rmp):
+        u = emb.nodes_of[i]
+        for w in g.neighbors(u):
+            if w in emb.index_of:
+                continue
+            elabel = _norm(g.edge_label(u, w))
+            code = (i, len(emb.nodes_of), g.label(u), elabel, g.label(w))
+            yield (1, -i, elabel, g.label(w), ""), code, "f", (u, w, i)
+
+
+def _apply(emb: _Embedding, kind: str, payload) -> _Embedding:
+    if kind == "b":
+        u, w, _j = payload
+        return _Embedding(
+            emb.nodes_of,
+            emb.index_of,
+            emb.rightmost_path,
+            emb.used_edges | {edge_key(u, w)},
+        )
+    u, w, i = payload
+    nodes_of = emb.nodes_of + [w]
+    index_of = dict(emb.index_of)
+    index_of[w] = len(emb.nodes_of)
+    # Truncate the rightmost path at the forward edge's source, then descend.
+    pos = emb.rightmost_path.index(i)
+    rmp = emb.rightmost_path[: pos + 1] + (index_of[w],)
+    return _Embedding(nodes_of, index_of, rmp, emb.used_edges | {edge_key(u, w)})
+
+
+def _min_code_connected(g: Graph) -> CanonicalCode:
+    if g.num_edges == 0:
+        # Single node: a degenerate one-tuple code carrying the label.
+        node = next(g.nodes())
+        return ((0, 0, g.label(node), _NO_EDGE_LABEL, ""),)
+    # Seed: minimal first tuple (0, 1, l0, l01, l1) over all directed edges.
+    best_first: Optional[CodeTuple] = None
+    seeds: List[_Embedding] = []
+    for u, v in g.edges():
+        for a, b in ((u, v), (v, u)):
+            tup = (0, 1, g.label(a), _norm(g.edge_label(a, b)), g.label(b))
+            if best_first is None or tup < best_first:
+                best_first = tup
+                seeds = []
+            if tup == best_first:
+                seeds.append(
+                    _Embedding(
+                        [a, b], {a: 0, b: 1}, (0, 1), frozenset({edge_key(a, b)})
+                    )
+                )
+    assert best_first is not None
+    code: List[CodeTuple] = [best_first]
+    embeddings = seeds
+    for _ in range(g.num_edges - 1):
+        best_key = None
+        best_tuple: Optional[CodeTuple] = None
+        chosen: List[_Embedding] = []
+        for emb in embeddings:
+            for key, tup, kind, payload in _extensions(g, emb):
+                full_key = (key, tup)
+                if best_key is None or full_key < best_key:
+                    best_key = full_key
+                    best_tuple = tup
+                    chosen = [_apply(emb, kind, payload)]
+                elif full_key == best_key:
+                    chosen.append(_apply(emb, kind, payload))
+        if best_tuple is None:  # cannot happen for a connected graph
+            raise GraphError("DFS traversal stuck; graph must be connected")
+        code.append(best_tuple)
+        embeddings = chosen
+    return tuple(code)
+
+
+def canonical_code(g: Graph) -> CanonicalCode:
+    """The canonical code of ``g``; equal codes iff isomorphic graphs.
+
+    Connected graphs get their minimum DFS code.  For a disconnected graph the
+    code is the sorted concatenation of per-component codes separated by
+    markers, so the iff property still holds.
+    """
+    if g.num_nodes == 0:
+        return ()
+    components = g.connected_components()
+    if len(components) == 1:
+        return _min_code_connected(g)
+    parts = sorted(_min_code_connected(g.subgraph(c)) for c in components)
+    out: List[CodeTuple] = []
+    for part in parts:
+        out.append((-1, -1, "", "", ""))  # component separator
+        out.extend(part)
+    return tuple(out)
+
+
+def cam(g: Graph) -> CanonicalCode:
+    """Alias matching the paper's notation ``cam(g)``."""
+    return canonical_code(g)
+
+
+def code_to_graph(code: CanonicalCode) -> Graph:
+    """Rebuild a graph from a *connected* canonical code (inverse of cam)."""
+    g = Graph()
+    if not code:
+        return g
+    if len(code) == 1 and code[0][0] == code[0][1] == 0 and code[0][4] == "":
+        g.add_node(0, code[0][2])
+        return g
+    for i, j, li, lij, lj in code:
+        if i < 0:
+            raise GraphError("code_to_graph only supports connected codes")
+        if not g.has_node(i):
+            g.add_node(i, li)
+        if not g.has_node(j):
+            g.add_node(j, lj)
+        g.add_edge(i, j, lij if lij != _NO_EDGE_LABEL else None)
+    return g
+
+
+def are_isomorphic(g1: Graph, g2: Graph) -> bool:
+    """Graph isomorphism test via canonical codes (paper Section VII)."""
+    if g1.num_nodes != g2.num_nodes or g1.num_edges != g2.num_edges:
+        return False
+    if g1.node_labels() != g2.node_labels():
+        return False
+    if g1.edge_label_triples() != g2.edge_label_triples():
+        return False
+    return canonical_code(g1) == canonical_code(g2)

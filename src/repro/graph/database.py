@@ -1,0 +1,79 @@
+"""The graph database ``D``: an id-addressed collection of data graphs.
+
+Every data graph gets a unique integer identifier (Section III).  Candidate
+sets (``Rq``, ``Rfree``, ``Rver``) and FSG-id lists are sets of these
+identifiers throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import Graph
+
+
+class GraphDatabase:
+    """An immutable-by-convention list of data graphs with integer ids."""
+
+    def __init__(self, graphs: Iterable[Graph] = ()) -> None:
+        self._graphs: List[Graph] = list(graphs)
+        for i, g in enumerate(self._graphs):
+            if g.num_edges == 0:
+                raise GraphError(f"data graph {i} has no edges (Section III)")
+            if not g.is_connected():
+                raise GraphError(f"data graph {i} is not connected (Section III)")
+
+    def add(self, g: Graph) -> int:
+        """Append ``g`` and return its identifier."""
+        if g.num_edges == 0 or not g.is_connected():
+            raise GraphError("data graphs must be connected with >= 1 edge")
+        self._graphs.append(g)
+        return len(self._graphs) - 1
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __getitem__(self, gid: int) -> Graph:
+        return self._graphs[gid]
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self._graphs)
+
+    def items(self) -> Iterator[Tuple[int, Graph]]:
+        return enumerate(self._graphs)
+
+    def ids(self) -> Set[int]:
+        return set(range(len(self._graphs)))
+
+    # ------------------------------------------------------------------
+    # vocabulary / statistics
+    # ------------------------------------------------------------------
+    def node_label_universe(self) -> List[str]:
+        """Distinct node labels, lexicographic — what GUI Panel 2 displays."""
+        labels: Set[str] = set()
+        for g in self._graphs:
+            labels.update(g.node_labels())
+        return sorted(labels)
+
+    def edge_label_universe(self) -> List[Optional[str]]:
+        labels: Set[Optional[str]] = set()
+        for g in self._graphs:
+            for u, v in g.edges():
+                labels.add(g.edge_label(u, v))
+        return sorted(labels, key=lambda x: (x is not None, x))
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics of the kind the paper reports (Section VIII-A)."""
+        if not self._graphs:
+            return {"graphs": 0, "avg_nodes": 0.0, "avg_edges": 0.0,
+                    "max_nodes": 0, "max_edges": 0}
+        nodes = [g.num_nodes for g in self._graphs]
+        edges = [g.num_edges for g in self._graphs]
+        return {
+            "graphs": len(self._graphs),
+            "avg_nodes": sum(nodes) / len(nodes),
+            "avg_edges": sum(edges) / len(edges),
+            "max_nodes": max(nodes),
+            "max_edges": max(edges),
+        }

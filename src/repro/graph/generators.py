@@ -1,0 +1,120 @@
+"""Random labeled-graph generators used by tests and dataset builders.
+
+These are the low-level primitives; the paper-shaped dataset generators (the
+AIDS-like molecular corpus and the GraphGen-style synthetic corpus) live in
+:mod:`repro.datasets` and are built on top of these.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.labeled_graph import Graph
+
+
+def random_connected_graph(
+    rng: random.Random,
+    num_nodes: int,
+    num_edges: int,
+    node_labels: Sequence[str],
+    label_weights: Optional[Sequence[float]] = None,
+    edge_labels: Optional[Sequence[str]] = None,
+) -> Graph:
+    """A uniformly labeled random connected graph.
+
+    A random spanning tree guarantees connectivity; remaining edges are drawn
+    uniformly from the non-edges.  ``num_edges`` is clamped to the feasible
+    range ``[num_nodes − 1, C(num_nodes, 2)]``.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    if num_nodes == 1:
+        g = Graph()
+        g.add_node(0, _pick(rng, node_labels, label_weights))
+        return g
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    num_edges = max(num_nodes - 1, min(num_edges, max_edges))
+    g = Graph()
+    for i in range(num_nodes):
+        g.add_node(i, _pick(rng, node_labels, label_weights))
+    # Random spanning tree: attach each new node to a random earlier node.
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    for pos in range(1, num_nodes):
+        u = order[pos]
+        v = order[rng.randrange(pos)]
+        g.add_edge(u, v, _maybe_pick(rng, edge_labels))
+    # Extra edges.
+    extra = num_edges - (num_nodes - 1)
+    attempts = 0
+    while extra > 0 and attempts < 50 * num_edges + 100:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        attempts += 1
+        if u == v or g.has_edge(u, v):
+            continue
+        g.add_edge(u, v, _maybe_pick(rng, edge_labels))
+        extra -= 1
+    return g
+
+
+def random_connected_subgraph(
+    rng: random.Random, g: Graph, num_edges: int
+) -> Optional[Graph]:
+    """A random connected ``num_edges``-edge subgraph of ``g`` (edge growth).
+
+    Returns ``None`` when ``g`` has fewer than ``num_edges`` edges.
+    """
+    all_edges = list(g.edges())
+    if len(all_edges) < num_edges or num_edges < 1:
+        return None
+    start = all_edges[rng.randrange(len(all_edges))]
+    chosen = {start}
+    nodes = set(start)
+    while len(chosen) < num_edges:
+        frontier = [
+            (u, v)
+            for (u, v) in all_edges
+            if (u, v) not in chosen and (u in nodes or v in nodes)
+        ]
+        if not frontier:
+            return None  # component exhausted before reaching the size
+        edge = frontier[rng.randrange(len(frontier))]
+        chosen.add(edge)
+        nodes.update(edge)
+    return g.edge_subgraph(chosen)
+
+
+def perturb_with_new_edge(
+    rng: random.Random,
+    g: Graph,
+    node_labels: Sequence[str],
+    label_weights: Optional[Sequence[float]] = None,
+) -> Graph:
+    """Copy ``g`` and attach one new labeled node by one new edge.
+
+    Used by the workload builder to push a query fragment out of the database
+    (the paper's bold "Rq becomes empty" steps in Figure 8).
+    """
+    out = g.copy()
+    new_id = max((n for n in out.nodes()), default=-1) + 1
+    anchors = list(out.nodes())
+    anchor = anchors[rng.randrange(len(anchors))]
+    out.add_node(new_id, _pick(rng, node_labels, label_weights))
+    out.add_edge(anchor, new_id)
+    return out
+
+
+def _pick(
+    rng: random.Random, labels: Sequence[str], weights: Optional[Sequence[float]]
+) -> str:
+    if weights is None:
+        return labels[rng.randrange(len(labels))]
+    return rng.choices(list(labels), weights=list(weights), k=1)[0]
+
+
+def _maybe_pick(rng: random.Random, labels: Optional[Sequence[str]]) -> Optional[str]:
+    if not labels:
+        return None
+    return labels[rng.randrange(len(labels))]

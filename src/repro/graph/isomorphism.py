@@ -1,0 +1,168 @@
+"""Subgraph isomorphism (VF2-style) for labeled undirected graphs.
+
+This is the verification workhorse of the whole system: support counting in
+the miner, exact verification at *Run* (Algorithm 1, line 18) and the
+``SimVerify`` MCCS verification (Algorithm 5) all reduce to finding an
+injective mapping from a pattern to a target that preserves node labels, edge
+presence and edge labels.  Containment is *non-induced*: the target may have
+extra edges between mapped nodes, matching the subgraph-containment semantics
+of the graph-database literature the paper builds on.
+
+The matcher follows VF2's recursive state-space search (Cordella et al. [3] in
+the paper) with the usual engineering: a connected, most-constrained-first
+matching order computed once per pattern, candidate generation through already
+mapped neighbours, and cheap global pre-filters (label and edge-triple
+multiset containment) that reject most non-matches without search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.graph.labeled_graph import Graph, NodeId
+
+
+def _prefilter(pattern: Graph, target: Graph) -> bool:
+    """Cheap necessary conditions for ``pattern ⊆ target``."""
+    if pattern.num_nodes > target.num_nodes or pattern.num_edges > target.num_edges:
+        return False
+    tlabels = target.node_labels()
+    for label, count in pattern.node_labels().items():
+        if tlabels.get(label, 0) < count:
+            return False
+    ttriples = target.edge_label_triples()
+    for triple, count in pattern.edge_label_triples().items():
+        if ttriples.get(triple, 0) < count:
+            return False
+    return True
+
+
+def _matching_order(pattern: Graph, target: Graph) -> List[NodeId]:
+    """Connected, most-constrained-first node order for the pattern."""
+    tlabels = target.node_labels()
+    remaining = set(pattern.nodes())
+    order: List[NodeId] = []
+    in_order = set()
+    while remaining:
+        # Start (or restart, for a disconnected pattern) at the node whose
+        # label is rarest in the target, breaking ties by degree.
+        start = min(
+            remaining,
+            key=lambda n: (tlabels.get(pattern.label(n), 0), -pattern.degree(n)),
+        )
+        component = [start]
+        in_order.add(start)
+        remaining.discard(start)
+        while True:
+            frontier = [
+                n
+                for n in remaining
+                if any(nb in in_order for nb in pattern.neighbors(n))
+            ]
+            if not frontier:
+                break
+            nxt = min(
+                frontier,
+                key=lambda n: (
+                    -sum(1 for nb in pattern.neighbors(n) if nb in in_order),
+                    tlabels.get(pattern.label(n), 0),
+                    -pattern.degree(n),
+                ),
+            )
+            component.append(nxt)
+            in_order.add(nxt)
+            remaining.discard(nxt)
+        order.extend(component)
+    return order
+
+
+def iter_embeddings(
+    pattern: Graph, target: Graph, limit: Optional[int] = None
+) -> Iterator[Dict[NodeId, NodeId]]:
+    """Yield injective label/edge-preserving mappings pattern -> target.
+
+    Embeddings are distinct as mappings; automorphic images are all yielded.
+    ``limit`` stops the search early (``limit=1`` is the containment test).
+    """
+    if pattern.num_nodes == 0:
+        yield {}
+        return
+    if not _prefilter(pattern, target):
+        return
+    order = _matching_order(pattern, target)
+    # Pre-index target nodes by label for the component-start case.
+    by_label: Dict[str, List[NodeId]] = {}
+    for n in target.nodes():
+        by_label.setdefault(target.label(n), []).append(n)
+
+    mapping: Dict[NodeId, NodeId] = {}
+    used = set()
+    yielded = 0
+
+    def candidates(p_node: NodeId) -> Iterator[NodeId]:
+        mapped_nbrs = [nb for nb in pattern.neighbors(p_node) if nb in mapping]
+        if not mapped_nbrs:
+            for t_node in by_label.get(pattern.label(p_node), ()):
+                if t_node not in used:
+                    yield t_node
+            return
+        # Intersect target-neighbourhoods of mapped pattern-neighbours,
+        # seeded from the smallest one.
+        seed = min(mapped_nbrs, key=lambda nb: target.degree(mapping[nb]))
+        plabel = pattern.label(p_node)
+        for t_node in target.neighbors(mapping[seed]):
+            if t_node in used or target.label(t_node) != plabel:
+                continue
+            ok = True
+            for nb in mapped_nbrs:
+                t_nb = mapping[nb]
+                if not target.has_edge(t_node, t_nb):
+                    ok = False
+                    break
+                if pattern.edge_label(p_node, nb) != target.edge_label(t_node, t_nb):
+                    ok = False
+                    break
+            if ok:
+                yield t_node
+
+    def feasible(p_node: NodeId, t_node: NodeId) -> bool:
+        if pattern.degree(p_node) > target.degree(t_node):
+            return False
+        return True
+
+    def search(depth: int) -> Iterator[Dict[NodeId, NodeId]]:
+        nonlocal yielded
+        if depth == len(order):
+            yielded += 1
+            yield dict(mapping)
+            return
+        p_node = order[depth]
+        for t_node in candidates(p_node):
+            if not feasible(p_node, t_node):
+                continue
+            mapping[p_node] = t_node
+            used.add(t_node)
+            yield from search(depth + 1)
+            del mapping[p_node]
+            used.discard(t_node)
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from search(0)
+
+
+def find_embedding(pattern: Graph, target: Graph) -> Optional[Dict[NodeId, NodeId]]:
+    """One embedding of ``pattern`` in ``target``, or ``None``."""
+    for emb in iter_embeddings(pattern, target, limit=1):
+        return emb
+    return None
+
+
+def is_subgraph_isomorphic(pattern: Graph, target: Graph) -> bool:
+    """``pattern ⊆ target`` in the paper's sense (Section III)."""
+    return find_embedding(pattern, target) is not None
+
+
+def count_embeddings(pattern: Graph, target: Graph, limit: Optional[int] = None) -> int:
+    """Number of distinct embeddings (mappings), optionally capped."""
+    return sum(1 for _ in iter_embeddings(pattern, target, limit=limit))

@@ -1,0 +1,271 @@
+"""Labeled undirected graphs — the data model shared by the whole library.
+
+The paper (Section III) works with undirected graphs whose nodes carry labels
+(e.g. atom symbols) and whose edges may carry labels as well.  Data graphs,
+query fragments, mined fragments and index entries are all instances of
+:class:`Graph`.  The size of a graph is its number of *edges* (``|G| = |E|``),
+matching the paper's convention.
+
+The class is deliberately small and dependency-free: dict-of-dict adjacency,
+integer (or hashable) node ids, O(1) edge lookup.  Everything heavier
+(canonical codes, isomorphism, MCCS) lives in sibling modules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import GraphError
+
+NodeId = Hashable
+Label = str
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+def edge_key(u: NodeId, v: NodeId) -> EdgeKey:
+    """Return the canonical (sorted) key for the undirected edge ``{u, v}``."""
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:  # mixed-type node ids; fall back to a stable order
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class Graph:
+    """An undirected graph with labeled nodes and optionally labeled edges.
+
+    Parameters
+    ----------
+    directed:
+        Present for API symmetry with the paper's definition; only undirected
+        graphs are supported (the paper presents its method on undirected
+        graphs with labeled nodes, Section III).
+    """
+
+    __slots__ = ("_labels", "_adj", "_num_edges")
+
+    def __init__(self) -> None:
+        self._labels: Dict[NodeId, Label] = {}
+        self._adj: Dict[NodeId, Dict[NodeId, Optional[Label]]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[NodeId, NodeId]],
+        labels: Dict[NodeId, Label],
+        edge_labels: Optional[Dict[EdgeKey, Label]] = None,
+    ) -> "Graph":
+        """Build a graph from an edge list and a node-label mapping."""
+        g = cls()
+        for node, label in labels.items():
+            g.add_node(node, label)
+        for u, v in edges:
+            elabel = None
+            if edge_labels:
+                elabel = edge_labels.get(edge_key(u, v))
+            g.add_edge(u, v, elabel)
+        return g
+
+    def add_node(self, node: NodeId, label: Label) -> None:
+        """Add ``node`` with ``label``; relabeling an existing node is an error."""
+        existing = self._labels.get(node)
+        if existing is not None and existing != label:
+            raise GraphError(f"node {node!r} already has label {existing!r}")
+        if node not in self._labels:
+            self._labels[node] = label
+            self._adj[node] = {}
+
+    def add_edge(self, u: NodeId, v: NodeId, label: Optional[Label] = None) -> None:
+        """Add the undirected edge ``{u, v}``.  Both endpoints must exist."""
+        if u == v:
+            raise GraphError("self-loops are not supported")
+        if u not in self._labels or v not in self._labels:
+            raise GraphError(f"both endpoints of ({u!r}, {v!r}) must be added first")
+        if v in self._adj[u]:
+            raise GraphError(f"edge ({u!r}, {v!r}) already exists")
+        self._adj[u][v] = label
+        self._adj[v][u] = label
+        self._num_edges += 1
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the edge ``{u, v}``; endpoints are kept."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._labels:
+            raise GraphError(f"node {node!r} does not exist")
+        for neighbor in list(self._adj[node]):
+            self.remove_edge(node, neighbor)
+        del self._adj[node]
+        del self._labels[node]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Yield each undirected edge exactly once as a sorted pair."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def label(self, node: NodeId) -> Label:
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+
+    def edge_label(self, u: NodeId, v: NodeId) -> Optional[Label]:
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+        return self._adj[u][v]
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        try:
+            return iter(self._adj[node])
+        except KeyError:
+            raise GraphError(f"node {node!r} does not exist") from None
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adj[node])
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        """The paper defines ``|G| = |E|`` — size is the edge count."""
+        return self._num_edges
+
+    def node_labels(self) -> Counter:
+        """Multiset of node labels."""
+        return Counter(self._labels.values())
+
+    def edge_label_triples(self) -> Counter:
+        """Multiset of ``(label(u), edge_label, label(v))`` triples (sorted ends).
+
+        A cheap isomorphism-invariant fingerprint used for fast pre-filtering
+        before running VF2.
+        """
+        out: Counter = Counter()
+        for u, v in self.edges():
+            lu, lv = self._labels[u], self._labels[v]
+            if lu > lv:
+                lu, lv = lv, lu
+            out[(lu, self._adj[u][v], lv)] += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True iff the graph is non-empty and connected."""
+        if not self._labels:
+            return False
+        start = next(iter(self._labels))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for nbr in self._adj[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        return len(seen) == len(self._labels)
+
+    def connected_components(self) -> List[FrozenSet[NodeId]]:
+        """Node sets of the connected components."""
+        remaining = set(self._labels)
+        components: List[FrozenSet[NodeId]] = []
+        while remaining:
+            start = remaining.pop()
+            seen = {start}
+            queue = deque([start])
+            while queue:
+                node = queue.popleft()
+                for nbr in self._adj[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        queue.append(nbr)
+            remaining -= seen
+            components.append(frozenset(seen))
+        return components
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """The induced subgraph on ``nodes`` (keeps original node ids)."""
+        keep = set(nodes)
+        g = Graph()
+        for node in keep:
+            g.add_node(node, self.label(node))
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                g.add_edge(u, v, self._adj[u][v])
+        return g
+
+    def edge_subgraph(self, edges: Iterable[EdgeKey]) -> "Graph":
+        """The subgraph consisting of ``edges`` and their endpoints."""
+        g = Graph()
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+            g.add_node(u, self._labels[u])
+            g.add_node(v, self._labels[v])
+            g.add_edge(u, v, self._adj[u][v])
+        return g
+
+    def copy(self) -> "Graph":
+        g = Graph()
+        g._labels = dict(self._labels)
+        g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    def relabel_nodes(self, mapping: Dict[NodeId, NodeId]) -> "Graph":
+        """Return a copy with node ids renamed through ``mapping`` (a bijection)."""
+        if len(set(mapping.values())) != len(mapping):
+            raise GraphError("node relabeling mapping must be injective")
+        g = Graph()
+        for node, label in self._labels.items():
+            g.add_node(mapping.get(node, node), label)
+        for u, v in self.edges():
+            g.add_edge(mapping.get(u, u), mapping.get(v, v), self._adj[u][v])
+        return g
+
+    # ------------------------------------------------------------------
+    # equality / repr
+    # ------------------------------------------------------------------
+    def same_structure(self, other: "Graph") -> bool:
+        """Exact equality of node ids, labels and edges (not isomorphism)."""
+        return (
+            self._labels == other._labels
+            and {k: dict(v) for k, v in self._adj.items()}
+            == {k: dict(v) for k, v in other._adj.items()}
+        )
+
+    def __repr__(self) -> str:
+        return f"Graph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,141 @@
+"""Maximum connected common subgraph (MCCS) and the paper's similarity measures.
+
+Section IV-A adopts MCCS-based similarity (following Shang et al. [11]):
+
+* ``mccs(G, Q)`` — the largest *connected* subgraph of the query ``Q`` that is
+  subgraph-isomorphic to the data graph ``G``;
+* subgraph similarity degree (Def. 1): ``δ = |mccs(G, Q)| / |Q|``;
+* subgraph distance (Def. 2): ``dist(Q, G) = ⌊(1 − δ)·|Q|⌋`` — the number of
+  query edges that must be missed to match ``G``;
+* the substructure similarity search problem (Def. 3): all ``g ∈ D`` with
+  ``dist(Q, g) ≤ σ``.
+
+Sizes are edge counts (``|G| = |E|``), so ``dist(Q, G) = |Q| − |mccs|``
+exactly and the floor in Def. 2 is vacuous.
+
+MCCS is computed top-down over the lattice of connected edge subsets of ``Q``:
+every connected k-edge subgraph of a connected graph arises from a connected
+(k+1)-edge subgraph by deleting one connectivity-preserving edge, so
+level-by-level generation is complete.  Isomorphic subsets are deduplicated by
+canonical code and failed embeddings are cached, which keeps the search cheap
+for the visual-query sizes the paper targets (≤ 10 edges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.canonical import CanonicalCode, canonical_code
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.labeled_graph import EdgeKey, Graph, edge_key
+
+
+def connected_edge_subsets_at_level(
+    q: Graph, level: Iterable[FrozenSet[EdgeKey]]
+) -> Set[FrozenSet[EdgeKey]]:
+    """All connected (k−1)-edge subsets reachable from connected k-subsets."""
+    out: Set[FrozenSet[EdgeKey]] = set()
+    for subset in level:
+        for edge in subset:
+            smaller = subset - {edge}
+            if not smaller or smaller in out:
+                continue
+            if q.edge_subgraph(smaller).is_connected():
+                out.add(smaller)
+    return out
+
+
+def iter_connected_subgraph_levels(
+    q: Graph,
+) -> Iterator[Tuple[int, Set[FrozenSet[EdgeKey]]]]:
+    """Yield ``(k, subsets)`` for k = |q| down to 1 (connected subsets only)."""
+    if not q.is_connected():
+        raise ValueError("query graph must be connected")
+    level: Set[FrozenSet[EdgeKey]] = {frozenset(q.edges())}
+    k = q.num_edges
+    while k >= 1 and level:
+        yield k, level
+        level = connected_edge_subsets_at_level(q, level)
+        k -= 1
+
+
+def mccs_size(q: Graph, g: Graph, lower_bound: int = 0) -> int:
+    """``|mccs(g, q)|`` in edges; stops early once < ``lower_bound`` is certain.
+
+    Returns 0 when not even a single query edge matches ``g``.
+    """
+    tested: Dict[CanonicalCode, bool] = {}
+    for k, subsets in iter_connected_subgraph_levels(q):
+        if k < lower_bound:
+            return 0
+        for subset in subsets:
+            sub = q.edge_subgraph(subset)
+            code = canonical_code(sub)
+            hit = tested.get(code)
+            if hit is None:
+                hit = is_subgraph_isomorphic(sub, g)
+                tested[code] = hit
+            if hit:
+                return k
+    return 0
+
+
+def connected_edge_subsets_of_size(q: Graph, k: int) -> Set[FrozenSet[EdgeKey]]:
+    """All connected k-edge subsets of ``q``, grown bottom-up."""
+    edges = list(q.edges())
+    if k < 1 or k > len(edges):
+        return set()
+    frontier: Set[FrozenSet[EdgeKey]] = {frozenset([e]) for e in edges}
+    size = 1
+    while size < k:
+        grown: Set[FrozenSet[EdgeKey]] = set()
+        for subset in frontier:
+            nodes = set()
+            for e in subset:
+                nodes.update(e)
+            for e in edges:
+                if e not in subset and (e[0] in nodes or e[1] in nodes):
+                    grown.add(subset | {e})
+        frontier = grown
+        size += 1
+    return frontier
+
+
+def mccs_at_least(q: Graph, g: Graph, k: int) -> bool:
+    """True iff some connected k-edge subgraph of ``q`` embeds in ``g``.
+
+    Enumerates only level k (deduplicated by canonical code) instead of
+    walking the whole subset lattice — this is the hot path of similarity
+    verification (Definition 3 membership at threshold ``k = |q| − σ``).
+    """
+    if k <= 0:
+        return True
+    if k > q.num_edges:
+        return False
+    tested: Set[CanonicalCode] = set()
+    for subset in connected_edge_subsets_of_size(q, k):
+        sub = q.edge_subgraph(subset)
+        code = canonical_code(sub)
+        if code in tested:
+            continue
+        tested.add(code)
+        if is_subgraph_isomorphic(sub, g):
+            return True
+    return False
+
+
+def subgraph_similarity_degree(g: Graph, q: Graph) -> float:
+    """Definition 1: ``δ = |mccs(g, q)| / |q|``."""
+    if q.num_edges == 0:
+        raise ValueError("query must have at least one edge")
+    return mccs_size(q, g) / q.num_edges
+
+
+def subgraph_distance(q: Graph, g: Graph) -> int:
+    """Definition 2: edges that must be missed from ``q`` to match ``g``."""
+    return q.num_edges - mccs_size(q, g)
+
+
+def is_similar(q: Graph, g: Graph, sigma: int) -> bool:
+    """Definition 3 membership test: ``dist(q, g) ≤ sigma``."""
+    return mccs_at_least(q, g, q.num_edges - sigma)

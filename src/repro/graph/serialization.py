@@ -1,0 +1,88 @@
+"""Reading and writing graph transaction files in the gSpan text format.
+
+The format is the de-facto interchange format of the frequent-subgraph-mining
+community (and of the tools the paper acknowledges — gSpan, Grafil, SIGMA)::
+
+    t # <graph-id>
+    v <node-id> <label>
+    e <u> <v> [edge-label]
+
+Graphs are separated by ``t`` lines; ``t # -1`` optionally terminates a file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, TextIO, Union
+
+from repro.exceptions import GraphError
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+
+
+def write_graph(g: Graph, out: TextIO, gid: int = 0) -> None:
+    """Write one graph in gSpan format; node ids are re-indexed densely."""
+    out.write(f"t # {gid}\n")
+    index = {}
+    for i, node in enumerate(sorted(g.nodes(), key=repr)):
+        index[node] = i
+        out.write(f"v {i} {g.label(node)}\n")
+    for u, v in sorted(g.edges(), key=lambda e: (index[e[0]], index[e[1]])):
+        a, b = index[u], index[v]
+        if a > b:
+            a, b = b, a
+        label = g.edge_label(u, v)
+        if label is None:
+            out.write(f"e {a} {b}\n")
+        else:
+            out.write(f"e {a} {b} {label}\n")
+
+
+def write_database(db: Union[GraphDatabase, Iterable[Graph]], path: Union[str, Path]) -> None:
+    """Write all graphs of ``db`` to ``path``."""
+    path = Path(path)
+    with path.open("w") as out:
+        for gid, g in enumerate(db):
+            write_graph(g, out, gid)
+        out.write("t # -1\n")
+
+
+def parse_graphs(lines: Iterable[str]) -> List[Graph]:
+    """Parse gSpan-format lines into a list of graphs."""
+    graphs: List[Graph] = []
+    current: Graph = None  # type: ignore[assignment]
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            if len(parts) >= 3 and parts[2] == "-1":
+                current = None  # type: ignore[assignment]
+                continue
+            current = Graph()
+            graphs.append(current)
+        elif kind == "v":
+            if current is None:
+                raise GraphError(f"line {lineno}: 'v' before any 't'")
+            if len(parts) < 3:
+                raise GraphError(f"line {lineno}: malformed vertex line {line!r}")
+            current.add_node(int(parts[1]), parts[2])
+        elif kind == "e":
+            if current is None:
+                raise GraphError(f"line {lineno}: 'e' before any 't'")
+            if len(parts) < 3:
+                raise GraphError(f"line {lineno}: malformed edge line {line!r}")
+            label = parts[3] if len(parts) > 3 else None
+            current.add_edge(int(parts[1]), int(parts[2]), label)
+        else:
+            raise GraphError(f"line {lineno}: unknown record type {kind!r}")
+    return graphs
+
+
+def read_database(path: Union[str, Path]) -> GraphDatabase:
+    """Read a gSpan-format file into a :class:`GraphDatabase`."""
+    path = Path(path)
+    with path.open() as handle:
+        return GraphDatabase(parse_graphs(handle))

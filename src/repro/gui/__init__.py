@@ -1,0 +1,37 @@
+"""Headless GUI substrate: panels, canvas, and simulated participants."""
+
+from repro.gui.canvas import (
+    CanvasNode,
+    LabelPalette,
+    QueryCanvas,
+    ResultsPanel,
+    VisualInterface,
+)
+from repro.gui.patterns import (
+    CannedPattern,
+    default_pattern_library,
+    pattern_library_for,
+)
+from repro.gui.simulator import (
+    SimulatedFormulation,
+    SimulatedUser,
+    UserProfile,
+    average_srt,
+    participant_panel,
+)
+
+__all__ = [
+    "VisualInterface",
+    "QueryCanvas",
+    "LabelPalette",
+    "ResultsPanel",
+    "CanvasNode",
+    "SimulatedUser",
+    "SimulatedFormulation",
+    "UserProfile",
+    "participant_panel",
+    "average_srt",
+    "CannedPattern",
+    "default_pattern_library",
+    "pattern_library_for",
+]

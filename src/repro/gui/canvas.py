@@ -1,0 +1,222 @@
+"""A headless model of the paper's visual interface (Figure 2).
+
+The four panels:
+
+* Panel 1 — database chooser / new-canvas control (:meth:`VisualInterface.open_database`);
+* Panel 2 — the label palette: unique node labels of the dataset in
+  lexicographic order (:class:`LabelPalette`);
+* Panel 3 — the query canvas where nodes are dropped and edges drawn
+  (:class:`QueryCanvas`);
+* Panel 4 — the results panel (:class:`ResultsPanel`).
+
+The canvas wires user gestures to a :class:`~repro.core.prague.PragueEngine`,
+so every drawn edge triggers the blended processing of Algorithm 1, and the
+option dialogue of Section IV-B pops up (``pending_dialogue``) when ``Rq``
+empties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.actions import QueryStatus
+from repro.core.modify import DeletionSuggestion
+from repro.core.prague import PragueEngine, RunReport, StepReport
+from repro.core.results import QueryResults
+from repro.exceptions import SessionError
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import NodeId
+from repro.index.builder import ActionAwareIndexes
+
+
+class LabelPalette:
+    """Panel 2: the dataset's node labels, lexicographically ordered."""
+
+    def __init__(self, db: GraphDatabase) -> None:
+        self._labels = db.node_label_universe()
+
+    def labels(self) -> List[str]:
+        return list(self._labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._labels
+
+
+@dataclass
+class CanvasNode:
+    """A node dropped on Panel 3, with its display position."""
+
+    node_id: int
+    label: str
+    position: Tuple[float, float]
+
+
+class ResultsPanel:
+    """Panel 4: whatever the last *Run* produced."""
+
+    def __init__(self) -> None:
+        self.results: Optional[QueryResults] = None
+
+    def display(self, results: QueryResults) -> None:
+        self.results = results
+
+    def clear(self) -> None:
+        self.results = None
+
+
+class QueryCanvas:
+    """Panel 3: node drops and edge draws, delegating to the engine."""
+
+    def __init__(self, engine: PragueEngine, palette: LabelPalette) -> None:
+        self.engine = engine
+        self.palette = palette
+        self.nodes: Dict[int, CanvasNode] = {}
+        self._next_node_id = 1
+        self._selected: Optional[int] = None
+
+    def drop_node(
+        self, label: str, position: Tuple[float, float] = (0.0, 0.0)
+    ) -> int:
+        """Drag a label from Panel 2 and drop it on the canvas."""
+        if label not in self.palette:
+            raise SessionError(
+                f"label {label!r} is not in the palette (Panel 2 only offers "
+                "labels that appear in the dataset)"
+            )
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self.nodes[node_id] = CanvasNode(node_id, label, position)
+        self.engine.add_node(node_id, label)
+        return node_id
+
+    def left_click(self, node_id: int) -> None:
+        """Select the first endpoint of the edge being drawn."""
+        if node_id not in self.nodes:
+            raise SessionError(f"no node {node_id} on the canvas")
+        self._selected = node_id
+
+    def right_click(self, node_id: int) -> StepReport:
+        """Complete the edge from the selected node (left+right click idiom)."""
+        if self._selected is None:
+            raise SessionError("left-click a node first")
+        if node_id not in self.nodes:
+            raise SessionError(f"no node {node_id} on the canvas")
+        report = self.engine.add_edge(self._selected, node_id)
+        self._selected = None
+        return report
+
+    def draw_edge(self, u: int, v: int) -> StepReport:
+        """Convenience for the left-click/right-click pair."""
+        self.left_click(u)
+        return self.right_click(v)
+
+    def delete_edge(self, edge_id: Optional[int] = None) -> StepReport:
+        """Delete an edge (``None`` accepts PRAGUE's suggestion)."""
+        return self.engine.delete_edge(edge_id)
+
+    def drop_pattern(
+        self,
+        pattern,
+        position: Tuple[float, float] = (0.0, 0.0),
+        attach: Optional[Dict[object, int]] = None,
+    ) -> List[StepReport]:
+        """Drag-and-drop a canned pattern (footnote 1's advanced GUI).
+
+        Pattern labels must all be in the palette; ``attach`` maps pattern
+        nodes onto canvas nodes (fusion points).  New pattern nodes appear on
+        the canvas around ``position``.
+        """
+        graph = getattr(pattern, "graph", pattern)
+        for label in graph.node_labels():
+            if label not in self.palette:
+                raise SessionError(
+                    f"pattern label {label!r} is not in the palette"
+                )
+        before = set(self.engine.query.graph().nodes()) if \
+            self.engine.query.num_edges else set()
+        reports = self.engine.add_pattern(pattern, attach=attach)
+        # Mirror the engine's new nodes onto the canvas view.
+        x, y = position
+        for offset, node in enumerate(
+            n for n in self.engine.query.graph().nodes() if n not in before
+        ):
+            if node not in self.nodes:
+                self.nodes[node] = CanvasNode(
+                    node, self.engine.query.node_label(node),
+                    (x + 10.0 * offset, y),
+                )
+        # Keep the canvas id counter clear of engine-generated node ids.
+        int_ids = [n for n in self.nodes if isinstance(n, int)]
+        if int_ids:
+            self._next_node_id = max(self._next_node_id, max(int_ids) + 1)
+        return reports
+
+    @property
+    def status(self) -> QueryStatus:
+        """The Status indicator of Figure 3."""
+        return self.engine.status
+
+
+class VisualInterface:
+    """The whole GUI: panels plus the option dialogue of Algorithm 1."""
+
+    def __init__(self) -> None:
+        self.palette: Optional[LabelPalette] = None
+        self.canvas: Optional[QueryCanvas] = None
+        self.results_panel = ResultsPanel()
+        self._engine: Optional[PragueEngine] = None
+        self._db: Optional[GraphDatabase] = None
+        self._indexes: Optional[ActionAwareIndexes] = None
+        self._sigma = 3
+
+    # ------------------------------------------------------------------
+    def open_database(
+        self, db: GraphDatabase, indexes: ActionAwareIndexes, sigma: int = 3
+    ) -> None:
+        """Panel 1: choose the query target."""
+        self._db = db
+        self._indexes = indexes
+        self._sigma = sigma
+        self.palette = LabelPalette(db)
+        self.new_canvas()
+
+    def new_canvas(self) -> QueryCanvas:
+        """Panel 1: start a fresh query canvas."""
+        if self._db is None or self._indexes is None or self.palette is None:
+            raise SessionError("open a database first (Panel 1)")
+        self._engine = PragueEngine(
+            self._db, self._indexes, sigma=self._sigma, auto_similarity=False
+        )
+        self.canvas = QueryCanvas(self._engine, self.palette)
+        self.results_panel.clear()
+        return self.canvas
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> PragueEngine:
+        if self._engine is None:
+            raise SessionError("open a database first (Panel 1)")
+        return self._engine
+
+    @property
+    def pending_dialogue(self) -> bool:
+        """True when the Section IV-B option dialogue is on screen."""
+        return self.engine.option_pending
+
+    def dialogue_suggestion(self) -> Optional[DeletionSuggestion]:
+        return self.engine.suggestion()
+
+    def answer_modify(self, edge_id: Optional[int] = None) -> StepReport:
+        """Dialogue answer: modify the query (delete an edge)."""
+        return self.engine.delete_edge(edge_id)
+
+    def answer_similarity(self) -> StepReport:
+        """Dialogue answer: continue as a similarity query."""
+        return self.engine.enable_similarity()
+
+    def run(self) -> RunReport:
+        """The Run icon in the query toolbar."""
+        report = self.engine.run()
+        self.results_panel.display(report.results)
+        return report

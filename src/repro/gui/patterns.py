@@ -1,0 +1,117 @@
+"""Canned visual patterns — the paper's footnote 1 extension.
+
+"A more advanced and domain-dependent GUI may support drag and drop of canned
+patterns or subgraphs (e.g., benzene ring) for composing visual queries."
+The paper leaves this out of scope; we implement it as future work: a pattern
+is a small labeled graph that the canvas drops in one gesture, while the
+engine still processes it edge-at-a-time underneath — every pattern edge gets
+its own formulation id and SPIG, so all of Algorithms 1-6 work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graph.labeled_graph import Graph
+
+
+@dataclass(frozen=True)
+class CannedPattern:
+    """A named, drag-and-droppable subgraph."""
+
+    name: str
+    description: str
+    graph: Graph
+
+    @property
+    def size(self) -> int:
+        return self.graph.num_edges
+
+    def labels_used(self) -> set:
+        return set(self.graph.node_labels())
+
+
+def _ring(labels: str) -> Graph:
+    g = Graph()
+    n = len(labels)
+    for i, label in enumerate(labels):
+        g.add_node(i, label)
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def _chain(labels: str) -> Graph:
+    g = Graph()
+    for i, label in enumerate(labels):
+        g.add_node(i, label)
+    for i in range(len(labels) - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def benzene_ring() -> CannedPattern:
+    """The paper's own example: a six-carbon ring."""
+    return CannedPattern(
+        name="benzene ring",
+        description="six-membered all-carbon ring",
+        graph=_ring("CCCCCC"),
+    )
+
+
+def pyridine_ring() -> CannedPattern:
+    return CannedPattern(
+        name="pyridine ring",
+        description="six-membered ring with one nitrogen",
+        graph=_ring("CCCCCN"),
+    )
+
+
+def carboxyl_group() -> CannedPattern:
+    g = Graph()
+    g.add_node(0, "C")
+    g.add_node(1, "O")
+    g.add_node(2, "O")
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    return CannedPattern(
+        name="carboxyl group",
+        description="C bonded to two oxygens",
+        graph=g,
+    )
+
+
+def thioether_bridge() -> CannedPattern:
+    return CannedPattern(
+        name="thioether bridge",
+        description="C-S-C chain",
+        graph=_chain("CSC"),
+    )
+
+
+def amine_group() -> CannedPattern:
+    return CannedPattern(
+        name="amine group",
+        description="C-N bond",
+        graph=_chain("CN"),
+    )
+
+
+def default_pattern_library() -> List[CannedPattern]:
+    """The built-in chemistry-flavoured palette."""
+    return [
+        benzene_ring(),
+        pyridine_ring(),
+        carboxyl_group(),
+        thioether_bridge(),
+        amine_group(),
+    ]
+
+
+def pattern_library_for(db) -> List[CannedPattern]:
+    """Patterns whose labels all occur in the dataset (Panel 2's constraint)."""
+    universe = set(db.node_label_universe())
+    return [
+        p for p in default_pattern_library() if p.labels_used() <= universe
+    ]

@@ -1,0 +1,147 @@
+"""Simulated users — the stand-in for the paper's eight volunteers.
+
+Section VIII-A: participants drew each query five times, averaging ~30 s per
+query (≥ 2 s per edge); the first reading was discarded.  A
+:class:`SimulatedUser` reproduces that protocol: it draws a
+:class:`~repro.core.session.QuerySpec` on the :class:`VisualInterface` with a
+randomised per-edge drawing latency (normal around the configured mean,
+truncated at the paper's 2 s lower bound), answers the option dialogue
+according to its *intent*, and presses Run.
+
+The timeline model mirrors :func:`repro.core.session.formulate`: per-step
+engine work overlaps the drawing latency; leftovers accumulate as backlog and
+surface in the SRT.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.prague import RunReport
+from repro.core.session import QuerySpec
+from repro.gui.canvas import VisualInterface
+
+
+@dataclass
+class UserProfile:
+    """Drawing-speed characteristics of one simulated participant."""
+
+    name: str = "volunteer"
+    mean_edge_seconds: float = 3.3   # ~30 s for a 9-edge query
+    stddev_edge_seconds: float = 0.8
+    min_edge_seconds: float = 2.0    # the paper's stated lower bound
+    seed: int = 0
+
+
+@dataclass
+class SimulatedFormulation:
+    """One full formulation by one user: latencies, backlog, SRT."""
+
+    user: str
+    query: str
+    edge_latencies: List[float]
+    backlog_before_run: float
+    run_report: RunReport
+    srt_seconds: float
+
+    @property
+    def formulation_seconds(self) -> float:
+        """QFT — the query formulation time reported in Figure 8."""
+        return sum(self.edge_latencies)
+
+
+class SimulatedUser:
+    """Drives the GUI like a trained participant."""
+
+    def __init__(self, profile: UserProfile) -> None:
+        self.profile = profile
+        self._rng = random.Random(profile.seed)
+
+    def _draw_latency(self) -> float:
+        lat = self._rng.gauss(
+            self.profile.mean_edge_seconds, self.profile.stddev_edge_seconds
+        )
+        return max(self.profile.min_edge_seconds, lat)
+
+    def formulate(
+        self,
+        interface: VisualInterface,
+        spec: QuerySpec,
+        accept_similarity: bool = True,
+    ) -> SimulatedFormulation:
+        """Draw ``spec`` edge by edge, answer dialogues, press Run.
+
+        With ``accept_similarity`` the user answers the option dialogue by
+        continuing as a similarity query; otherwise they accept PRAGUE's
+        deletion suggestion (the Modify path).
+        """
+        canvas = interface.new_canvas()
+        node_ids = {}
+        for node, label in spec.nodes.items():
+            node_ids[node] = canvas.drop_node(label)
+        backlog = 0.0
+        latencies: List[float] = []
+        for u, v in spec.edges:
+            if interface.pending_dialogue:
+                if accept_similarity:
+                    report = interface.answer_similarity()
+                else:
+                    report = interface.answer_modify()
+                backlog = max(0.0, backlog + report.processing_seconds)
+            report = canvas.draw_edge(node_ids[u], node_ids[v])
+            latency = self._draw_latency()
+            latencies.append(latency)
+            backlog = max(0.0, backlog + report.processing_seconds - latency)
+        if interface.pending_dialogue:
+            if accept_similarity:
+                report = interface.answer_similarity()
+            else:
+                report = interface.answer_modify()
+            backlog = max(0.0, backlog + report.processing_seconds)
+        run_report = interface.run()
+        return SimulatedFormulation(
+            user=self.profile.name,
+            query=spec.name,
+            edge_latencies=latencies,
+            backlog_before_run=backlog,
+            run_report=run_report,
+            srt_seconds=backlog + run_report.processing_seconds,
+        )
+
+
+def participant_panel(
+    count: int = 8, seed: int = 2012, mean_edge_seconds: float = 3.3
+) -> List[SimulatedUser]:
+    """The paper's eight-volunteer panel, as simulated users."""
+    rng = random.Random(seed)
+    users = []
+    for i in range(count):
+        profile = UserProfile(
+            name=f"volunteer-{i + 1}",
+            mean_edge_seconds=max(2.2, rng.gauss(mean_edge_seconds, 0.5)),
+            stddev_edge_seconds=max(0.2, rng.gauss(0.8, 0.2)),
+            seed=rng.randrange(10**9),
+        )
+        users.append(SimulatedUser(profile))
+    return users
+
+
+def average_srt(
+    interface_factory,
+    spec: QuerySpec,
+    users: List[SimulatedUser],
+    repetitions: int = 5,
+    discard_first: bool = True,
+) -> float:
+    """The paper's protocol: 5 formulations each, first reading ignored."""
+    srts: List[float] = []
+    for user in users:
+        for rep in range(repetitions):
+            interface = interface_factory()
+            outcome = user.formulate(interface, spec)
+            if discard_first and rep == 0:
+                continue
+            srts.append(outcome.srt_seconds)
+    return sum(srts) / len(srts) if srts else 0.0

@@ -1,0 +1,151 @@
+"""Incremental index maintenance under database growth.
+
+The paper treats the database as static (indexes are mined offline).  A
+production deployment also needs to *append* new data graphs without a full
+re-mine.  This module provides exactly that, with honest semantics:
+
+* every indexed fragment's FSG-id list is updated exactly (one subgraph-
+  isomorphism test per indexed fragment against the new graph, pruned by the
+  A2F DAG: if a fragment does not occur, none of its supergraphs can);
+* appending can *invalidate the fragment partition* — an infrequent fragment
+  may cross the α·|D| threshold, a frequent one may fall under it (|D| grew),
+  or the new graph may contain fragments never seen before.  Those events are
+  detected and reported; when any occurs the index is **stale** and the
+  caller must rebuild (``build_indexes``) to restore the paper's invariants.
+
+This mirrors how FG-Index-family systems are operated in practice: cheap
+exact appends between periodic re-mines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro.graph.canonical import canonical_code
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.labeled_graph import Graph
+from repro.index.builder import ActionAwareIndexes
+from repro.mining.fragments import Fragment
+
+
+@dataclass
+class AppendReport:
+    """What one append did to the index."""
+
+    graph_id: int
+    updated_frequent: int = 0
+    updated_difs: int = 0
+    #: frequent fragments whose support fell below the new α·|D| threshold
+    demoted_frequent: List[object] = field(default_factory=list)
+    #: DIFs whose support now reaches the threshold (must become frequent)
+    promoted_difs: List[object] = field(default_factory=list)
+    #: new-label evidence: the graph holds labels the index never saw
+    novel_labels: List[str] = field(default_factory=list)
+
+    @property
+    def index_stale(self) -> bool:
+        """True when the fragment partition changed and a re-mine is due."""
+        return bool(
+            self.demoted_frequent or self.promoted_difs or self.novel_labels
+        )
+
+
+class IncrementalIndexMaintainer:
+    """Keeps an :class:`ActionAwareIndexes` exact while the database grows."""
+
+    def __init__(self, db: GraphDatabase, indexes: ActionAwareIndexes) -> None:
+        if indexes.db_size != len(db):
+            raise ValueError(
+                "indexes were built for a database of a different size"
+            )
+        self.db = db
+        self.indexes = indexes
+        self._known_labels: Set[str] = set(db.node_label_universe())
+        self.stale = False
+
+    # ------------------------------------------------------------------
+    def append(self, graph: Graph) -> AppendReport:
+        """Add ``graph`` to the database and update every FSG-id list.
+
+        Returns the :class:`AppendReport`; when ``report.index_stale`` the
+        maintainer keeps the lists exact but the *partition* (what counts as
+        frequent / DIF) no longer matches the thresholds — call
+        :meth:`rebuild` before trusting frequency-dependent behaviour.
+        """
+        gid = self.db.add(graph)
+        report = AppendReport(graph_id=gid)
+        report.novel_labels = sorted(
+            set(graph.node_labels()) - self._known_labels
+        )
+        self._known_labels.update(graph.node_labels())
+
+        # --- frequent catalog: DAG-pruned containment sweep -------------
+        a2f = self.indexes.a2f
+        contains: Dict[int, bool] = {}
+        for vid in sorted(
+            range(len(a2f)), key=lambda i: a2f.vertex(i).size
+        ):
+            vertex = a2f.vertex(vid)
+            if vertex.parents and not all(
+                contains.get(p, False) for p in vertex.parents
+            ):
+                contains[vid] = False  # some subgraph is absent
+                continue
+            frag = self.indexes.frequent[vertex.code]
+            contains[vid] = is_subgraph_isomorphic(frag.graph, graph)
+        new_frequent: Dict = {}
+        threshold = self.indexes.params.absolute_support(len(self.db))
+        for code, frag in self.indexes.frequent.items():
+            vid = a2f.lookup(code)
+            assert vid is not None
+            if contains.get(vid, False):
+                frag = Fragment(
+                    code=code, graph=frag.graph,
+                    fsg_ids=frag.fsg_ids | {gid},
+                )
+                report.updated_frequent += 1
+            if frag.support < threshold:
+                report.demoted_frequent.append(code)
+            new_frequent[code] = frag
+        self.indexes.frequent = new_frequent
+
+        # --- DIF catalog -------------------------------------------------
+        new_difs: Dict = {}
+        for code, frag in self.indexes.difs.items():
+            if is_subgraph_isomorphic(frag.graph, graph):
+                frag = Fragment(
+                    code=code, graph=frag.graph,
+                    fsg_ids=frag.fsg_ids | {gid},
+                )
+                report.updated_difs += 1
+            if frag.support >= threshold:
+                report.promoted_difs.append(code)
+            new_difs[code] = frag
+        self.indexes.difs = new_difs
+
+        self._reassemble()
+        self.indexes.db_size = len(self.db)
+        if report.index_stale:
+            self.stale = True
+        return report
+
+    def rebuild(self) -> ActionAwareIndexes:
+        """Full re-mine (the periodic maintenance step); clears staleness."""
+        from repro.index.builder import build_indexes
+
+        self.indexes = build_indexes(self.db, self.indexes.params)
+        self.stale = False
+        return self.indexes
+
+    # ------------------------------------------------------------------
+    def _reassemble(self) -> None:
+        """Rebuild the probe structures from the updated catalogs."""
+        from repro.index.a2f import A2FIndex
+        from repro.index.a2i import A2IIndex
+
+        self.indexes.a2f = A2FIndex(
+            self.indexes.frequent, self.indexes.params.size_threshold
+        )
+        self.indexes.a2i = A2IIndex(self.indexes.difs)

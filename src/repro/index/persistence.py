@@ -1,0 +1,80 @@
+"""Index persistence and size accounting (Table II / Figure 10(a)).
+
+The paper compares *index sizes in MB* across systems.  We measure the pickled
+footprint of each index component, which tracks the information content the
+respective system must materialise:
+
+* PRG — MF-index (memory) + DF-index clusters (disk) + the A2I DIF array;
+* SG/GR — their shared frequent-feature index;
+* DVP — its σ-dependent decomposition index (built per σ).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.index.builder import ActionAwareIndexes
+
+
+def pickled_size_bytes(obj: Any) -> int:
+    """Size of the pickled representation of ``obj``."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def a2f_size_bytes(indexes: ActionAwareIndexes) -> Dict[str, int]:
+    """MF (≤ β) and DF (> β) component sizes of the A2F-index, in bytes."""
+    a2f = indexes.a2f
+    mf_payload = [
+        (v.a2f_id, v.code, v.size, v.del_ids, v.children, v.cluster_list)
+        for v in a2f.mf_vertices()
+    ]
+    df_payload = [
+        (v.a2f_id, v.code, v.size, v.del_ids, v.children)
+        for v in a2f.df_vertices()
+    ]
+    return {
+        "mf_bytes": pickled_size_bytes(mf_payload),
+        "df_bytes": pickled_size_bytes(df_payload),
+    }
+
+
+def a2i_size_bytes(indexes: ActionAwareIndexes) -> int:
+    payload = [
+        (e.a2i_id, e.code, e.fsg_ids) for e in indexes.a2i.entries()
+    ]
+    return pickled_size_bytes(payload)
+
+
+def prague_index_size_bytes(indexes: ActionAwareIndexes) -> int:
+    """Total PRG index footprint (MF + DF + A2I)."""
+    parts = a2f_size_bytes(indexes)
+    return parts["mf_bytes"] + parts["df_bytes"] + a2i_size_bytes(indexes)
+
+
+def save_indexes(indexes: ActionAwareIndexes, path: Union[str, Path]) -> int:
+    """Pickle the raw catalogs to ``path``; returns bytes written."""
+    path = Path(path)
+    payload = (indexes.frequent, indexes.difs, indexes.params, indexes.db_size)
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    path.write_bytes(data)
+    return len(data)
+
+
+def load_indexes(path: Union[str, Path]) -> ActionAwareIndexes:
+    """Inverse of :func:`save_indexes` (indexes are rebuilt from catalogs)."""
+    from repro.index.a2f import A2FIndex
+    from repro.index.a2i import A2IIndex
+    from repro.index.builder import ActionAwareIndexes as _AAI
+
+    with Path(path).open("rb") as handle:
+        frequent, difs, params, db_size = pickle.load(handle)
+    return _AAI(
+        a2f=A2FIndex(frequent, params.size_threshold),
+        a2i=A2IIndex(difs),
+        frequent=frequent,
+        difs=difs,
+        params=params,
+        db_size=db_size,
+    )

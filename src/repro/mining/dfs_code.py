@@ -1,0 +1,80 @@
+"""DFS-code machinery for gSpan pattern growth.
+
+A DFS code is the ordered list of 5-tuples ``(i, j, l_i, l_ij, l_j)`` built by
+a depth-first traversal (see :mod:`repro.graph.canonical` for the ordering).
+:class:`DFSCode` tracks the derived state gSpan needs while growing patterns:
+the number of DFS vertices, the rightmost path, and the pattern graph itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.graph.canonical import CanonicalCode, CodeTuple, canonical_code
+from repro.graph.labeled_graph import Graph
+
+_NO_EDGE_LABEL = ""
+
+
+class DFSCode:
+    """An (assumed valid) DFS code plus cached pattern-growth state."""
+
+    __slots__ = ("tuples", "_graph", "_rightmost_path")
+
+    def __init__(self, tuples: Tuple[CodeTuple, ...] = ()) -> None:
+        self.tuples = tuples
+        self._graph: Optional[Graph] = None
+        self._rightmost_path: Optional[Tuple[int, ...]] = None
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def num_vertices(self) -> int:
+        n = 0
+        for i, j, *_ in self.tuples:
+            n = max(n, i + 1, j + 1)
+        return n
+
+    def child(self, tup: CodeTuple) -> "DFSCode":
+        return DFSCode(self.tuples + (tup,))
+
+    @property
+    def rightmost_path(self) -> Tuple[int, ...]:
+        """DFS indices from the root to the rightmost vertex."""
+        if self._rightmost_path is None:
+            parent = {}
+            rightmost = 0
+            for i, j, *_ in self.tuples:
+                if j > i:  # forward edge
+                    parent[j] = i
+                    rightmost = max(rightmost, j)
+            path = [rightmost]
+            while path[-1] in parent:
+                path.append(parent[path[-1]])
+            self._rightmost_path = tuple(reversed(path))
+        return self._rightmost_path
+
+    def to_graph(self) -> Graph:
+        """The pattern graph; node ids are the DFS indices."""
+        if self._graph is None:
+            g = Graph()
+            for i, j, li, lij, lj in self.tuples:
+                if not g.has_node(i):
+                    g.add_node(i, li)
+                if not g.has_node(j):
+                    g.add_node(j, lj)
+                g.add_edge(i, j, lij if lij != _NO_EDGE_LABEL else None)
+            self._graph = g
+        return self._graph
+
+    def is_minimal(self) -> bool:
+        """True iff this code is the canonical (minimum) DFS code.
+
+        gSpan's duplicate-pruning test: a pattern is expanded only through its
+        minimum code, so each isomorphism class is enumerated exactly once.
+        """
+        return canonical_code(self.to_graph()) == self.tuples
+
+    def canonical(self) -> CanonicalCode:
+        return self.tuples

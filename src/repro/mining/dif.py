@@ -1,0 +1,202 @@
+"""Discriminative infrequent fragment (DIF) mining.
+
+A DIF (Section III) is an infrequent fragment whose proper connected subgraphs
+are all frequent (or any infrequent single edge).  DIFs are the "smallest
+witnesses of infrequency": every infrequent fragment contains a DIF, so the
+A2I-index only needs DIFs to prune candidates for infrequent query fragments.
+
+Generation is Apriori-style, which is complete for DIFs:
+
+* level 1 — every labeled single edge over the database's label universes that
+  is not frequent is a DIF (including never-occurring, support-0 edges, which
+  are the strongest possible pruners);
+* level k ≥ 2 — every DIF is a one-edge extension of one of its (k−1)-edge
+  connected subgraphs, all of which are frequent; so extending each frequent
+  fragment by (a) an edge between two existing non-adjacent nodes or (b) a
+  pendant node with any database label reaches every DIF.  Candidates are
+  deduplicated by canonical code, minimality is checked against the frequent
+  catalog, and exact ``fsgIds`` are computed by verifying subgraph isomorphism
+  only on the intersection of the frequent subgraphs' FSG lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.canonical import CanonicalCode, canonical_code
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.labeled_graph import Graph
+from repro.mining.fragments import Fragment, FragmentCatalog
+
+
+def _single_edge_supports(db: GraphDatabase) -> Dict[Tuple[str, str, str], Set[int]]:
+    """(la, le, lb) with la ≤ lb -> ids of graphs containing such an edge."""
+    out: Dict[Tuple[str, str, str], Set[int]] = {}
+    for gid, g in db.items():
+        for u, v in g.edges():
+            la, lb = g.label(u), g.label(v)
+            if la > lb:
+                la, lb = lb, la
+            le = g.edge_label(u, v)
+            key = (la, "" if le is None else le, lb)
+            out.setdefault(key, set()).add(gid)
+    return out
+
+
+def _single_edge_graph(la: str, le: str, lb: str) -> Graph:
+    g = Graph()
+    g.add_node(0, la)
+    g.add_node(1, lb)
+    g.add_edge(0, 1, le if le else None)
+    return g
+
+
+def _one_edge_extensions(
+    f: Graph,
+    node_labels: Sequence[str],
+    edge_labels: Sequence[Optional[str]],
+    frequent_triples: Optional[Set[Tuple[str, str, str]]] = None,
+) -> Iterable[Graph]:
+    """All graphs obtained from ``f`` by adding exactly one edge.
+
+    With ``frequent_triples`` given, extensions whose new edge is itself an
+    infrequent single-edge fragment are skipped: such a candidate contains an
+    infrequent proper subgraph and can never be a DIF (k ≥ 2).  This prunes
+    the bulk of the Apriori candidate space.
+    """
+
+    def triple_ok(la: str, el: Optional[str], lb: str) -> bool:
+        if frequent_triples is None:
+            return True
+        if la > lb:
+            la, lb = lb, la
+        return (la, "" if el is None else el, lb) in frequent_triples
+
+    nodes = list(f.nodes())
+    # (a) close an edge between two existing, non-adjacent nodes.
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            if f.has_edge(u, v):
+                continue
+            for el in edge_labels:
+                if not triple_ok(f.label(u), el, f.label(v)):
+                    continue
+                g = f.copy()
+                g.add_edge(u, v, el)
+                yield g
+    # (b) attach a new pendant node with any database label.
+    new_id = max((n for n in nodes if isinstance(n, int)), default=-1) + 1
+    for u in nodes:
+        for label in node_labels:
+            for el in edge_labels:
+                if not triple_ok(f.label(u), el, label):
+                    continue
+                g = f.copy()
+                g.add_node(new_id, label)
+                g.add_edge(u, new_id, el)
+                yield g
+
+
+def connected_one_smaller_subgraphs(g: Graph) -> List[Graph]:
+    """All connected fragments of ``g`` with one edge fewer.
+
+    Removing an edge may isolate a degree-1 endpoint, which is then dropped
+    (fragments have no dangling nodes — Section III).  Removals that truly
+    disconnect the graph do not yield fragments.
+    """
+    out: List[Graph] = []
+    for u, v in list(g.edges()):
+        h = g.copy()
+        h.remove_edge(u, v)
+        for node in (u, v):
+            if h.degree(node) == 0:
+                h.remove_node(node)
+        if h.num_nodes > 0 and h.is_connected() and h.num_edges >= 1:
+            out.append(h)
+    return out
+
+
+def mine_difs(
+    db: GraphDatabase,
+    frequent: FragmentCatalog,
+    min_support_abs: int,
+    max_edges: int,
+    node_labels: Optional[Sequence[str]] = None,
+    edge_labels: Optional[Sequence[Optional[str]]] = None,
+) -> FragmentCatalog:
+    """Mine the complete DIF set up to ``max_edges`` edges.
+
+    ``frequent`` must be the complete frequent catalog for the same thresholds
+    (the output of :func:`repro.mining.gspan.mine_frequent_fragments`).
+    """
+    node_labels = list(node_labels if node_labels is not None else db.node_label_universe())
+    edge_labels = list(
+        edge_labels if edge_labels is not None else db.edge_label_universe()
+    )
+    difs: FragmentCatalog = {}
+
+    # Level 1: infrequent single edges over the label universes.
+    supports = _single_edge_supports(db)
+    for la in node_labels:
+        for lb in node_labels:
+            if la > lb:
+                continue
+            for el in edge_labels:
+                key = (la, "" if el is None else el, lb)
+                fsg = frozenset(supports.get(key, set()))
+                if len(fsg) >= min_support_abs:
+                    continue
+                g = _single_edge_graph(*key)
+                code = canonical_code(g)
+                difs[code] = Fragment(code=code, graph=g, fsg_ids=fsg)
+
+    # Levels >= 2: one-edge extensions of frequent fragments.  Extensions
+    # adding an infrequent single edge are pruned inside the generator —
+    # they would contain an infrequent proper subgraph.
+    frequent_triples: Set[Tuple[str, str, str]] = {
+        key for key, ids in supports.items() if len(ids) >= min_support_abs
+    }
+    seen: Set[CanonicalCode] = set(difs)
+    for frag in frequent.values():
+        if frag.size >= max_edges:
+            continue  # extension would exceed the indexable size
+        for candidate in _one_edge_extensions(
+            frag.graph, node_labels, edge_labels, frequent_triples
+        ):
+            code = canonical_code(candidate)
+            if code in seen or code in frequent:
+                continue
+            seen.add(code)
+            subgraphs = connected_one_smaller_subgraphs(candidate)
+            sub_codes = [canonical_code(s) for s in subgraphs]
+            if not all(sc in frequent for sc in sub_codes):
+                continue  # some subgraph infrequent -> candidate is a NIF
+            # Candidate FSG set: graphs containing all frequent subgraphs.
+            candidate_ids: Optional[Set[int]] = None
+            for sc in sub_codes:
+                ids = frequent[sc].fsg_ids
+                candidate_ids = (
+                    set(ids) if candidate_ids is None else candidate_ids & ids
+                )
+            assert candidate_ids is not None
+            fsg = frozenset(
+                gid
+                for gid in candidate_ids
+                if is_subgraph_isomorphic(candidate, db[gid])
+            )
+            if len(fsg) >= min_support_abs:
+                # Frequent after all — possible only beyond the mining bound;
+                # such fragments are neither frequent-indexed nor DIFs.
+                continue
+            difs[code] = Fragment(code=code, graph=candidate, fsg_ids=fsg)
+    return difs
+
+
+def is_dif(
+    g: Graph,
+    frequent: FragmentCatalog,
+    difs: FragmentCatalog,
+) -> bool:
+    """Membership test against mined catalogs (used by tests and the SPIG)."""
+    return canonical_code(g) in difs

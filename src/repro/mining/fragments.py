@@ -1,0 +1,45 @@
+"""Fragment records shared by the miner, the DIF generator and the indexes.
+
+Terminology (Section III): a *fragment* is a connected subgraph (≥ 1 edge) of
+some data graph; its *FSGs* (fragment support graphs) are the data graphs
+containing it; ``fsgIds(g)`` is the set of their identifiers and
+``sup(g) = |fsgIds(g)|``.  A fragment is *frequent* iff ``sup(g) ≥ α·|D|``.
+A *discriminative infrequent fragment* (DIF) is an infrequent fragment all of
+whose proper (connected) subgraphs are frequent, or a single infrequent edge.
+Infrequent fragments that are not DIFs are *NIFs* and are never indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from repro.graph.canonical import CanonicalCode
+from repro.graph.labeled_graph import Graph
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A mined fragment: its canonical code, a concrete graph, and FSG ids."""
+
+    code: CanonicalCode
+    graph: Graph = field(compare=False, repr=False)
+    fsg_ids: FrozenSet[int] = field(compare=False)
+
+    @property
+    def support(self) -> int:
+        return len(self.fsg_ids)
+
+    @property
+    def size(self) -> int:
+        """Fragment size = edge count (``|G| = |E|``)."""
+        return self.graph.num_edges
+
+
+FragmentCatalog = Dict[CanonicalCode, Fragment]
+"""Canonical code -> fragment; the output type of both miners."""
+
+
+def is_frequent(support: int, min_support_abs: int) -> bool:
+    """The paper's frequency predicate with an absolute threshold."""
+    return support >= min_support_abs

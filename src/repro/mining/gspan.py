@@ -1,0 +1,163 @@
+"""gSpan frequent-fragment mining (Yan & Han, ICDM'02 — the paper's [13]).
+
+GBLENDER/PRAGUE mine the frequent fragment set ``F`` offline with gSpan and
+build the action-aware indexes from it.  This is a from-scratch projected-
+database implementation:
+
+* patterns grow by rightmost-path extension of DFS codes;
+* each pattern keeps its *embeddings* (DFS-index -> data-node maps) per data
+  graph, so extension supports are exact TID lists, no isomorphism re-tests;
+* duplicate isomorphism classes are pruned with the minimum-DFS-code test.
+
+The miner returns every frequent fragment up to ``max_edges`` together with
+its full ``fsgIds`` list — the raw material for the A2F-index and for DIF
+generation (:mod:`repro.mining.dif`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.exceptions import MiningError
+from repro.graph.canonical import CodeTuple
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph, NodeId, edge_key
+from repro.mining.dfs_code import DFSCode
+from repro.mining.fragments import Fragment, FragmentCatalog
+
+_NO_EDGE_LABEL = ""
+
+# One embedding: DFS index -> data-graph node, as a tuple indexed by DFS index.
+_Embedding = Tuple[NodeId, ...]
+# Projected database: graph id -> embeddings of the current pattern in it.
+_Projection = Dict[int, List[_Embedding]]
+
+
+def _norm(label) -> str:
+    return _NO_EDGE_LABEL if label is None else label
+
+
+class GSpanMiner:
+    """Mines all frequent fragments of ``db`` with support ≥ ``min_support_abs``.
+
+    Parameters
+    ----------
+    db:
+        The graph database ``D``.
+    min_support_abs:
+        Absolute support threshold (``⌈α·|D|⌉`` — see
+        :meth:`repro.config.MiningParams.absolute_support`).
+    max_edges:
+        Fragments larger than this are not mined (the indexes only ever serve
+        query fragments up to the maximum visual query size).
+    """
+
+    def __init__(self, db: GraphDatabase, min_support_abs: int, max_edges: int) -> None:
+        if min_support_abs < 1:
+            raise MiningError("absolute support threshold must be >= 1")
+        if max_edges < 1:
+            raise MiningError("max_edges must be >= 1")
+        self.db = db
+        self.min_support = min_support_abs
+        self.max_edges = max_edges
+        self._result: FragmentCatalog = {}
+
+    # ------------------------------------------------------------------
+    def mine(self) -> FragmentCatalog:
+        """Run the mining and return {canonical code -> Fragment}."""
+        self._result = {}
+        for tup, projection in sorted(self._single_edge_projections().items()):
+            if len(projection) < self.min_support:
+                continue
+            self._grow(DFSCode((tup,)), projection)
+        return self._result
+
+    # ------------------------------------------------------------------
+    def _single_edge_projections(self) -> Dict[CodeTuple, _Projection]:
+        """Seed patterns: every distinct labeled edge with its embeddings."""
+        seeds: Dict[CodeTuple, _Projection] = defaultdict(lambda: defaultdict(list))
+        for gid, g in self.db.items():
+            for u, v in g.edges():
+                elabel = _norm(g.edge_label(u, v))
+                for a, b in ((u, v), (v, u)):
+                    la, lb = g.label(a), g.label(b)
+                    if la > lb:
+                        continue
+                    tup: CodeTuple = (0, 1, la, elabel, lb)
+                    seeds[tup][gid].append((a, b))
+        # For symmetric single edges (la == lb) both orientations were added.
+        return {tup: dict(proj) for tup, proj in seeds.items()}
+
+    def _grow(self, code: DFSCode, projection: _Projection) -> None:
+        """Record the (minimal) ``code`` as frequent and expand its children."""
+        fragment_graph = code.to_graph().copy()
+        self._result[code.canonical()] = Fragment(
+            code=code.canonical(),
+            graph=fragment_graph,
+            fsg_ids=frozenset(projection),
+        )
+        if len(code) >= self.max_edges:
+            return
+        extensions = self._extensions(code, projection)
+        for tup in sorted(extensions):
+            child_proj = extensions[tup]
+            if len(child_proj) < self.min_support:
+                continue
+            child = code.child(tup)
+            if not child.is_minimal():
+                continue  # this isomorphism class is reached via its min code
+            self._grow(child, child_proj)
+
+    def _extensions(
+        self, code: DFSCode, projection: _Projection
+    ) -> Dict[CodeTuple, _Projection]:
+        """All rightmost-path extensions with their projected databases."""
+        pattern = code.to_graph()
+        rmp = code.rightmost_path
+        rm_index = rmp[-1]
+        num_vertices = code.num_vertices
+        out: Dict[CodeTuple, _Projection] = defaultdict(lambda: defaultdict(list))
+        for gid, embeddings in projection.items():
+            g = self.db[gid]
+            for emb in embeddings:
+                mapped: Set[NodeId] = set(emb)
+                rm_node = emb[rm_index]
+                # Backward: rightmost vertex -> rightmost-path ancestor
+                # (skipping the tree parent, whose edge is in the pattern).
+                for j in rmp[:-1]:
+                    if pattern.has_edge(rm_index, j):
+                        continue
+                    w = emb[j]
+                    if not g.has_edge(rm_node, w):
+                        continue
+                    tup: CodeTuple = (
+                        rm_index,
+                        j,
+                        g.label(rm_node),
+                        _norm(g.edge_label(rm_node, w)),
+                        g.label(w),
+                    )
+                    out[tup][gid].append(emb)
+                # Forward: from any rightmost-path vertex to an unmapped node.
+                for i in rmp:
+                    u = emb[i]
+                    for w in g.neighbors(u):
+                        if w in mapped:
+                            continue
+                        tup = (
+                            i,
+                            num_vertices,
+                            g.label(u),
+                            _norm(g.edge_label(u, w)),
+                            g.label(w),
+                        )
+                        out[tup][gid].append(emb + (w,))
+        return {tup: dict(proj) for tup, proj in out.items()}
+
+
+def mine_frequent_fragments(
+    db: GraphDatabase, min_support_abs: int, max_edges: int
+) -> FragmentCatalog:
+    """Convenience wrapper around :class:`GSpanMiner`."""
+    return GSpanMiner(db, min_support_abs, max_edges).mine()

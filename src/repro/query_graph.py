@@ -1,0 +1,165 @@
+"""The visual query fragment: a labeled graph whose edges carry formulation ids.
+
+Section V: "We allocate each edge a unique identifier according to their
+formulation sequence" — the ℓ-th edge a user draws is ``e_ℓ``, and the edge
+with the largest ℓ is the *new edge*.  :class:`VisualQuery` is the mutable
+model behind the GUI canvas: nodes are dropped from the label palette, edges
+are drawn between existing nodes, and edges can be deleted again as long as
+the fragment stays connected (Section VII).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Graph, NodeId
+
+
+class VisualQuery:
+    """The evolving query fragment with formulation-sequence edge ids."""
+
+    def __init__(self) -> None:
+        self._node_labels: Dict[NodeId, str] = {}
+        self._edges: Dict[int, Tuple[NodeId, NodeId, Optional[str]]] = {}
+        self._next_edge_id = 1
+
+    # ------------------------------------------------------------------
+    # formulation actions
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, label: str) -> NodeId:
+        """Drop a node with ``label`` on the canvas (GUI Panel 2 -> Panel 3)."""
+        if node in self._node_labels:
+            if self._node_labels[node] != label:
+                raise QueryError(f"node {node!r} already labeled "
+                                 f"{self._node_labels[node]!r}")
+            return node
+        self._node_labels[node] = label
+        return node
+
+    def add_edge(self, u: NodeId, v: NodeId, label: Optional[str] = None) -> int:
+        """Draw the edge {u, v}; returns its formulation id ``ℓ``.
+
+        The resulting fragment must be connected — the GUI only permits
+        edge-at-a-time growth of one connected query graph.
+        """
+        if u not in self._node_labels or v not in self._node_labels:
+            raise QueryError("both endpoints must be dropped on the canvas first")
+        if u == v:
+            raise QueryError("self-loops cannot be drawn")
+        for a, b, _ in self._edges.values():
+            if {a, b} == {u, v}:
+                raise QueryError(f"edge between {u!r} and {v!r} already drawn")
+        edge_id = self._next_edge_id
+        self._edges[edge_id] = (u, v, label)
+        if not self.graph().is_connected():
+            del self._edges[edge_id]
+            raise QueryError("query fragment must stay connected")
+        self._next_edge_id += 1
+        return edge_id
+
+    def delete_edge(self, edge_id: int) -> None:
+        """Delete edge ``e_d`` (Section VII); the fragment must stay connected."""
+        if edge_id not in self._edges:
+            raise QueryError(f"edge {edge_id} does not exist")
+        if len(self._edges) == 1:
+            # Deleting the only edge empties the query — allowed; the canvas
+            # goes back to the initial state.
+            del self._edges[edge_id]
+            return
+        saved = self._edges.pop(edge_id)
+        if not self.graph().is_connected():
+            self._edges[edge_id] = saved
+            raise QueryError(
+                "deleting this edge would disconnect the query (Section VII)"
+            )
+
+    def remove_edge_unchecked(self, edge_id: int) -> None:
+        """Remove an edge without the connectivity guard.
+
+        For *atomic multi-edge gestures* (multi-deletion, node relabeling)
+        whose end state has been validated by the caller; the fragment may be
+        transiently disconnected between the inner steps.
+        """
+        if edge_id not in self._edges:
+            raise QueryError(f"edge {edge_id} does not exist")
+        del self._edges[edge_id]
+
+    def fresh_node_id(self, base: NodeId) -> NodeId:
+        """An unused node id derived from ``base`` (for relabel gestures)."""
+        if isinstance(base, int):
+            ints = [n for n in self._node_labels if isinstance(n, int)]
+            return max(ints, default=0) + 1
+        candidate = f"{base}'"
+        while candidate in self._node_labels:
+            candidate += "'"
+        return candidate
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def edge_ids(self) -> List[int]:
+        return sorted(self._edges)
+
+    def edge_id_set(self) -> FrozenSet[int]:
+        return frozenset(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def newest_edge_id(self) -> Optional[int]:
+        return max(self._edges) if self._edges else None
+
+    def edge(self, edge_id: int) -> Tuple[NodeId, NodeId, Optional[str]]:
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise QueryError(f"edge {edge_id} does not exist") from None
+
+    def node_label(self, node: NodeId) -> str:
+        return self._node_labels[node]
+
+    def graph(self) -> Graph:
+        """The current query fragment (only nodes incident to edges count)."""
+        g = Graph()
+        for u, v, label in self._edges.values():
+            if not g.has_node(u):
+                g.add_node(u, self._node_labels[u])
+            if not g.has_node(v):
+                g.add_node(v, self._node_labels[v])
+            g.add_edge(u, v, label)
+        return g
+
+    def edge_subgraph_by_ids(self, edge_ids: Iterable[int]) -> Graph:
+        """The fragment induced by a set of edge ids (used by SPIG vertices)."""
+        g = Graph()
+        for eid in edge_ids:
+            u, v, label = self.edge(eid)
+            if not g.has_node(u):
+                g.add_node(u, self._node_labels[u])
+            if not g.has_node(v):
+                g.add_node(v, self._node_labels[v])
+            g.add_edge(u, v, label)
+        return g
+
+    def adjacent_edge_ids(self, edge_ids: FrozenSet[int]) -> Set[int]:
+        """Edge ids sharing a node with the fragment spanned by ``edge_ids``."""
+        nodes: Set[NodeId] = set()
+        for eid in edge_ids:
+            u, v, _ = self._edges[eid]
+            nodes.add(u)
+            nodes.add(v)
+        out: Set[int] = set()
+        for eid, (u, v, _) in self._edges.items():
+            if eid not in edge_ids and (u in nodes or v in nodes):
+                out.add(eid)
+        return out
+
+    def copy(self) -> "VisualQuery":
+        q = VisualQuery()
+        q._node_labels = dict(self._node_labels)
+        q._edges = dict(self._edges)
+        q._next_edge_id = self._next_edge_id
+        return q

@@ -1,0 +1,197 @@
+"""Rendering: text and Graphviz-DOT views of graphs, SPIGs and results.
+
+The paper displays results with ZGRViewer [9], a GraphViz front-end.  This
+module is the headless equivalent: it renders data graphs, query fragments,
+SPIGs (with their Fragment Lists, like Figure 7) and ranked result panels
+either as plain text for the terminal or as DOT source that any Graphviz
+install can draw.  Similarity matches can highlight the MCCS — "It can be
+easily depicted in the results by highlighting the MCCS in the matched data
+graphs" (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.results import QueryResults, SimilarityMatch
+from repro.graph.database import GraphDatabase
+from repro.graph.isomorphism import find_embedding
+from repro.graph.labeled_graph import Graph, NodeId
+from repro.graph.mccs import iter_connected_subgraph_levels
+from repro.spig.spig import SPIG, SpigVertex
+
+
+# ----------------------------------------------------------------------
+# text rendering
+# ----------------------------------------------------------------------
+def graph_to_text(g: Graph, title: str = "") -> str:
+    """A compact adjacency listing: one ``label(id) - label(id)`` per edge."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if g.num_edges == 0:
+        for node in sorted(g.nodes(), key=repr):
+            lines.append(f"  {g.label(node)}({node})")
+        return "\n".join(lines) if lines else "(empty graph)"
+    for u, v in sorted(g.edges(), key=repr):
+        label = g.edge_label(u, v)
+        bond = f" -[{label}]- " if label else " - "
+        lines.append(f"  {g.label(u)}({u}){bond}{g.label(v)}({v})")
+    return "\n".join(lines)
+
+
+def _fragment_list_text(vertex: SpigVertex) -> str:
+    fl = vertex.fragment_list
+    if fl.freq_id is not None:
+        return f"freqId={fl.freq_id}"
+    if fl.dif_id is not None:
+        return f"difId={fl.dif_id}"
+    if fl.dead:
+        return "dead (label never occurs)"
+    return (f"Phi={sorted(fl.phi)} Upsilon={sorted(fl.upsilon)}")
+
+
+def spig_to_text(spig: SPIG) -> str:
+    """A per-level listing of a SPIG, in the spirit of Figure 7."""
+    lines = [f"SPIG S{spig.edge_id} ({spig.num_vertices} vertices)"]
+    for level in spig.levels():
+        lines.append(f"  level {level}:")
+        for vertex in spig.vertices_at(level):
+            sets = " ".join(
+                "{" + ",".join(str(e) for e in sorted(es)) + "}"
+                for es in sorted(vertex.edge_sets, key=sorted)
+            )
+            lines.append(
+                f"    v({vertex.spig_id},{vertex.position}) "
+                f"edges={sets}  [{_fragment_list_text(vertex)}]"
+            )
+    return "\n".join(lines)
+
+
+def results_to_text(
+    results: QueryResults, db: Optional[GraphDatabase] = None, limit: int = 10
+) -> str:
+    """The Panel 4 view: exact matches, or ranked approximate matches."""
+    if results.is_empty:
+        return "no matches"
+    lines: List[str] = []
+    if results.exact_ids:
+        shown = results.exact_ids[:limit]
+        suffix = " ..." if len(results.exact_ids) > limit else ""
+        lines.append(
+            f"{len(results.exact_ids)} exact matches: {shown}{suffix}"
+        )
+    for match in sorted(results.similar)[:limit]:
+        tag = " (verification-free)" if match.verification_free else ""
+        lines.append(
+            f"  #{match.graph_id}: {match.distance} edge(s) missing{tag}"
+        )
+    if len(results.similar) > limit:
+        lines.append(f"  ... {len(results.similar) - limit} more")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# DOT rendering
+# ----------------------------------------------------------------------
+def _dot_id(prefix: str, node: NodeId) -> str:
+    return f"{prefix}{str(node).replace('-', '_').replace(' ', '_')}"
+
+
+def graph_to_dot(
+    g: Graph,
+    name: str = "G",
+    highlight_nodes: Iterable[NodeId] = (),
+    highlight_edges: Iterable[Tuple[NodeId, NodeId]] = (),
+) -> str:
+    """Graphviz source for one graph; highlights render the MCCS overlay."""
+    hn = set(highlight_nodes)
+    he = {frozenset(e) for e in highlight_edges}
+    lines = [f'graph "{name}" {{', "  node [shape=circle];"]
+    for node in sorted(g.nodes(), key=repr):
+        style = ' style=filled fillcolor="gold"' if node in hn else ""
+        lines.append(
+            f'  {_dot_id("n", node)} [label="{g.label(node)}"{style}];'
+        )
+    for u, v in sorted(g.edges(), key=repr):
+        label = g.edge_label(u, v)
+        attrs = []
+        if label:
+            attrs.append(f'label="{label}"')
+        if frozenset((u, v)) in he:
+            attrs.append('color="red" penwidth=2')
+        attr_text = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f'  {_dot_id("n", u)} -- {_dot_id("n", v)}{attr_text};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def spig_to_dot(spig: SPIG, name: Optional[str] = None) -> str:
+    """Graphviz source for a SPIG: ranked levels, Fragment Lists as labels."""
+    name = name or f"S{spig.edge_id}"
+    lines = [f'digraph "{name}" {{', "  rankdir=TB;", "  node [shape=box];"]
+    for level in spig.levels():
+        ids = []
+        for vertex in spig.vertices_at(level):
+            vid = f"v{vertex.spig_id}_{vertex.position}"
+            ids.append(vid)
+            label = (
+                f"v({vertex.spig_id},{vertex.position})\\n"
+                f"{_fragment_list_text(vertex)}"
+            )
+            lines.append(f'  {vid} [label="{label}"];')
+        lines.append("  { rank=same; " + "; ".join(ids) + "; }")
+    for level in spig.levels():
+        for vertex in spig.vertices_at(level):
+            vid = f"v{vertex.spig_id}_{vertex.position}"
+            for child in sorted(
+                vertex.children, key=lambda c: (c.spig_id, c.position)
+            ):
+                cid = f"v{child.spig_id}_{child.position}"
+                lines.append(f"  {vid} -> {cid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mccs_highlight(
+    query: Graph, data_graph: Graph, mccs_edges: int
+) -> Tuple[List[NodeId], List[Tuple[NodeId, NodeId]]]:
+    """Data-graph nodes/edges realising a maximum connected common subgraph.
+
+    Finds a connected ``mccs_edges``-edge subgraph of ``query`` that embeds
+    in ``data_graph`` and maps it over — the highlight the GUI draws on an
+    approximate match.  Returns two empty lists when none exists.
+    """
+    for level, subsets in iter_connected_subgraph_levels(query):
+        if level != mccs_edges:
+            continue
+        for subset in subsets:
+            fragment = query.edge_subgraph(subset)
+            embedding = find_embedding(fragment, data_graph)
+            if embedding is None:
+                continue
+            nodes = sorted(embedding.values(), key=repr)
+            edges = [
+                (embedding[u], embedding[v]) for u, v in fragment.edges()
+            ]
+            return nodes, edges
+        break
+    return [], []
+
+
+def match_to_dot(
+    query: Graph,
+    db: GraphDatabase,
+    match: SimilarityMatch,
+) -> str:
+    """DOT of a matched data graph with its MCCS highlighted (Section IV-A)."""
+    data_graph = db[match.graph_id]
+    nodes, edges = mccs_highlight(
+        query, data_graph, query.num_edges - match.distance
+    )
+    return graph_to_dot(
+        data_graph,
+        name=f"match_{match.graph_id}_dist{match.distance}",
+        highlight_nodes=nodes,
+        highlight_edges=edges,
+    )

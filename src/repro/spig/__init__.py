@@ -1,0 +1,7 @@
+"""Spindle-shaped graphs: structure, construction (Alg 2) and management."""
+
+from repro.spig.construct import build_spig
+from repro.spig.manager import SpigManager
+from repro.spig.spig import SPIG, FragmentList, SpigVertex
+
+__all__ = ["SPIG", "SpigVertex", "FragmentList", "SpigManager", "build_spig"]

@@ -1,0 +1,106 @@
+"""SPIG-set management: build, probe, and maintain SPIGs across actions.
+
+Section V/VII: the SPIG set ``S`` keeps one SPIG per (still-present) query
+edge; unlike GBLENDER — which stores only the most recent candidate set — the
+SPIG set records the fragment information of *all* formulation steps, which is
+what makes similarity search and cheap query modification possible.
+
+The manager also owns the global edge-set → vertex map.  Every connected
+subset of query edges is represented in exactly one SPIG (the one of its
+largest edge id), so the map gives O(1) access to any subgraph's vertex — used
+by Fragment List inheritance (Algorithm 2, lines 9-11), by level scans
+(Algorithm 4, line 2) and by modification matching (Algorithm 6, line 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.exceptions import SpigError
+from repro.index.builder import ActionAwareIndexes
+from repro.query_graph import VisualQuery
+from repro.spig.construct import build_spig
+from repro.spig.spig import SPIG, SpigVertex
+
+
+class SpigManager:
+    """Owns the SPIG set ``S`` for one query-formulation session."""
+
+    def __init__(self, indexes: ActionAwareIndexes, dedup: bool = True) -> None:
+        self.indexes = indexes
+        self.dedup = dedup
+        self.spigs: Dict[int, SPIG] = {}
+        self._vertex_by_set: Dict[FrozenSet[int], SpigVertex] = {}
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def register(self, edge_set: FrozenSet[int], vertex: SpigVertex) -> None:
+        self._vertex_by_set[edge_set] = vertex
+
+    def vertex_for(self, edge_set: FrozenSet[int]) -> Optional[SpigVertex]:
+        """The vertex representing this exact set of query edges, if any."""
+        return self._vertex_by_set.get(frozenset(edge_set))
+
+    def target_vertex(self, query: VisualQuery) -> SpigVertex:
+        """The vertex of the *entire* current query fragment."""
+        vertex = self.vertex_for(query.edge_id_set())
+        if vertex is None:
+            raise SpigError("no SPIG vertex for the full query; "
+                            "was on_new_edge called for every step?")
+        return vertex
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def on_new_edge(self, query: VisualQuery, new_edge_id: int) -> SPIG:
+        """Action ``New``: build ``S_ℓ`` and add it to the set (Alg 1, line 4)."""
+        if new_edge_id in self.spigs:
+            raise SpigError(f"SPIG for edge {new_edge_id} already exists")
+        spig = build_spig(query, new_edge_id, self, self.indexes,
+                          dedup=self.dedup)
+        self.spigs[new_edge_id] = spig
+        return spig
+
+    def on_delete_edge(self, deleted_edge_id: int) -> None:
+        """Action ``Modify`` upkeep (Algorithm 6, lines 12-14).
+
+        Removes ``S_d`` entirely, then drops from every other SPIG the
+        edge-sets (and emptied vertices) that used the deleted edge.
+        """
+        removed = self.spigs.pop(deleted_edge_id, None)
+        if removed is not None:
+            for vertex in list(removed.vertices()):
+                for edge_set in vertex.edge_sets:
+                    self._vertex_by_set.pop(edge_set, None)
+        for spig in self.spigs.values():
+            for vertex in list(spig.vertices()):
+                stale = {s for s in vertex.edge_sets if deleted_edge_id in s}
+                if not stale:
+                    continue
+                vertex.edge_sets -= stale
+                for edge_set in stale:
+                    self._vertex_by_set.pop(edge_set, None)
+                if not vertex.edge_sets:
+                    spig.remove_vertex(vertex)
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def vertices_at_level(self, level: int) -> Iterator[SpigVertex]:
+        """All vertices at ``level`` across the SPIG set (Algorithm 4, line 2)."""
+        for edge_id in sorted(self.spigs):
+            yield from self.spigs[edge_id].vertices_at(level)
+
+    def total_vertices_at(self, level: int) -> int:
+        """``N(k)`` of Lemma 1 — counted in realising edge-sets."""
+        return sum(
+            len(v.edge_sets) for v in self.vertices_at_level(level)
+        )
+
+    def num_vertices(self) -> int:
+        return sum(s.num_vertices for s in self.spigs.values())
+
+    def clear(self) -> None:
+        self.spigs.clear()
+        self._vertex_by_set.clear()

@@ -1,0 +1,106 @@
+"""The count-based (real Grafil) feature index and filter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FeatureIndex
+from repro.baselines.counting_features import (
+    CountingFeatureIndex,
+    CountingGrafilSearch,
+)
+from repro.baselines.naive import naive_similarity_search
+from repro.graph import count_embeddings
+from repro.graph.generators import perturb_with_new_edge
+from repro.testing import sample_subgraph
+
+
+@pytest.fixture(scope="module")
+def counting(small_db, small_indexes):
+    return CountingFeatureIndex(
+        small_db, small_indexes.frequent, max_feature_edges=3, count_cap=4
+    )
+
+
+class TestCountingIndex:
+    def test_counts_capped_and_exact_below_cap(self, counting, small_db,
+                                               small_indexes):
+        checked = 0
+        for code, frag in small_indexes.frequent.items():
+            if frag.size > 3 or checked > 15:
+                continue
+            for gid in list(frag.fsg_ids)[:3]:
+                true_count = count_embeddings(frag.graph, small_db[gid])
+                got = counting.count_in(code, gid)
+                assert got == min(true_count, 4)
+                checked += 1
+        assert checked > 0
+
+    def test_absent_pair_is_zero(self, counting):
+        assert counting.count_in((("nope",),), 0) == 0
+
+    def test_graphs_with_matches_presence(self, counting, small_db,
+                                          small_indexes):
+        presence = FeatureIndex(small_db, small_indexes.frequent, 3)
+        for code in list(small_indexes.frequent)[:20]:
+            if small_indexes.frequent[code].size > 3:
+                continue
+            assert counting.graphs_with(code) == set(
+                presence.graphs_with(code)
+            )
+
+    def test_counting_index_larger_than_presence(self, counting, small_db,
+                                                 small_indexes):
+        presence = FeatureIndex(small_db, small_indexes.frequent, 3)
+        assert counting.size_bytes() > presence.size_bytes()
+
+
+class TestCountingGrafil:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=12, deadline=None)
+    def test_filter_sound(self, seed, counting, small_db):
+        search = CountingGrafilSearch(small_db, counting)
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        if rng.random() < 0.6:
+            q = perturb_with_new_edge(rng, q, small_db.node_label_universe())
+        sigma = rng.randint(1, 2)
+        truth = set(naive_similarity_search(q, small_db, sigma))
+        assert truth <= search.candidates(q, sigma)
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_oracle(self, seed, counting, small_db):
+        search = CountingGrafilSearch(small_db, counting)
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        sigma = rng.randint(1, 2)
+        outcome = search.search(q, sigma)
+        assert set(outcome.matches) == set(
+            naive_similarity_search(q, small_db, sigma)
+        )
+
+    def test_counts_prune_at_least_as_much_as_presence(
+        self, counting, small_db, small_indexes
+    ):
+        """The count bound subsumes the presence bound on average: over a
+        small query sample, counting candidates are never dramatically more
+        numerous than presence candidates."""
+        from repro.baselines import GrafilSearch
+
+        presence = GrafilSearch(
+            small_db, FeatureIndex(small_db, small_indexes.frequent, 3)
+        )
+        count_based = CountingGrafilSearch(small_db, counting)
+        rng = random.Random(7)
+        total_presence = total_count = 0
+        for _ in range(6):
+            q = perturb_with_new_edge(
+                rng, sample_subgraph(rng, small_db, 3, 4),
+                small_db.node_label_universe(),
+            )
+            total_presence += len(presence.candidates(q, 1))
+            total_count += len(count_based.candidates(q, 1))
+        assert total_count <= total_presence * 1.5

@@ -1,0 +1,100 @@
+"""DistVP: q-grams, the σ-dependent index, budgeted builds, oracle agreement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import DistVpIndex, DistVpIndexError, DistVpSearch
+from repro.baselines.distvp import path_qgrams
+from repro.baselines.naive import naive_similarity_search
+from repro.graph.generators import perturb_with_new_edge, random_connected_graph
+from repro.testing import graph_from_spec, sample_subgraph
+
+
+class TestQgrams:
+    def test_single_edge_path(self):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        grams = path_qgrams(g, 3)
+        assert grams == {"A|-|B"}
+
+    def test_orientation_normalised(self):
+        g = graph_from_spec({0: "C", 1: "A", 2: "B"}, [(0, 1), (1, 2)])
+        grams = path_qgrams(g, 2)
+        # the 2-edge path appears once, under the lexicographically
+        # smaller orientation
+        assert "B|-|A|-|C" in grams
+
+    def test_length_cap(self):
+        g = graph_from_spec(
+            {i: "A" for i in range(5)}, [(i, i + 1) for i in range(4)]
+        )
+        grams = path_qgrams(g, 2)
+        assert all(gram.count("|") <= 4 for gram in grams)
+
+    def test_subgraph_grams_subset(self, small_db):
+        rng = random.Random(0)
+        q = sample_subgraph(rng, small_db, 2, 3)
+        base = small_db[0]
+        # grams of a subgraph of `base` are a subset of grams of `base`
+        sub = sample_subgraph(rng, small_db, 1, 2)
+        full = path_qgrams(small_db[0], 3)
+        # use an actual subgraph of graph 0:
+        from repro.graph.generators import random_connected_subgraph
+
+        sub0 = random_connected_subgraph(rng, base, min(2, base.num_edges))
+        assert path_qgrams(sub0, 3) <= full
+
+    def test_budget_abort(self):
+        rng = random.Random(1)
+        labels = [f"L{i}" for i in range(20)]
+        g = random_connected_graph(rng, 14, 40, labels)
+        with pytest.raises(DistVpIndexError):
+            path_qgrams(g, 6, cap=10)
+
+
+class TestIndex:
+    def test_grows_with_sigma(self, small_db):
+        sizes = [DistVpIndex(small_db, s).size_bytes() for s in (1, 2, 3)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_rejects_sigma_zero(self, small_db):
+        with pytest.raises(ValueError):
+            DistVpIndex(small_db, 0)
+
+    def test_budget_aborts_build(self, small_db):
+        with pytest.raises(DistVpIndexError):
+            DistVpIndex(small_db, 3, max_paths_per_graph=2)
+
+
+class TestSearch:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=12, deadline=None)
+    def test_matches_oracle(self, seed, small_db):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        if rng.random() < 0.5:
+            q = perturb_with_new_edge(rng, q, small_db.node_label_universe())
+        sigma = rng.randint(1, 2)
+        index = DistVpIndex(small_db, sigma)
+        search = DistVpSearch(small_db, index)
+        outcome = search.search(q, sigma)
+        assert set(outcome.matches) == set(
+            naive_similarity_search(q, small_db, sigma)
+        )
+
+    def test_sigma_bigger_than_index_rejected(self, small_db):
+        index = DistVpIndex(small_db, 1)
+        search = DistVpSearch(small_db, index)
+        q = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            search.candidates(q, 2)
+
+    def test_sigma_covering_whole_query(self, small_db):
+        """|q| ≤ σ degenerates to the whole database as candidates."""
+        index = DistVpIndex(small_db, 2)
+        search = DistVpSearch(small_db, index)
+        q = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        assert search.candidates(q, 2) == set(small_db.ids())

@@ -1,0 +1,60 @@
+"""The shared GR/SG feature index."""
+
+import random
+
+import pytest
+
+from repro.baselines import FeatureIndex
+from repro.graph import canonical_code, is_subgraph_isomorphic
+from repro.testing import sample_subgraph
+
+
+@pytest.fixture(scope="module")
+def findex(medium_db, medium_indexes):
+    return FeatureIndex(medium_db, medium_indexes.frequent, max_feature_edges=3)
+
+
+class TestIndex:
+    def test_only_small_features(self, findex, medium_indexes):
+        expected = sum(
+            1 for f in medium_indexes.frequent.values() if f.size <= 3
+        )
+        assert len(findex) == expected
+
+    def test_presence_lists_exact(self, findex, medium_db, medium_indexes):
+        for code, frag in list(medium_indexes.frequent.items())[:20]:
+            if frag.size > 3:
+                continue
+            assert findex.graphs_with(code) == frag.fsg_ids
+
+    def test_unknown_feature_empty(self, findex):
+        assert findex.graphs_with((("nope",),)) == frozenset()
+
+    def test_size_bytes_positive(self, findex):
+        assert findex.size_bytes() > 0
+
+
+class TestQueryFeatures:
+    def test_features_occur_in_query(self, findex, medium_db):
+        rng = random.Random(1)
+        q = sample_subgraph(rng, medium_db, 3, 5)
+        for feature in findex.query_features(q):
+            assert feature.code in findex
+            for edge_set in feature.edge_sets:
+                sub = q.edge_subgraph(edge_set)
+                assert canonical_code(sub) == feature.code
+                assert len(edge_set) == feature.size
+
+    def test_touched_edges_union(self, findex, medium_db):
+        rng = random.Random(2)
+        q = sample_subgraph(rng, medium_db, 3, 4)
+        for feature in findex.query_features(q):
+            union = set()
+            for es in feature.edge_sets:
+                union |= es
+            assert feature.touched_edges == union
+
+    def test_feature_sizes_capped(self, findex, medium_db):
+        rng = random.Random(3)
+        q = sample_subgraph(rng, medium_db, 4, 6)
+        assert all(f.size <= 3 for f in findex.query_features(q))

@@ -1,0 +1,90 @@
+"""GBLENDER baseline: exact blending, empty-on-similarity, replay costs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GBlenderEngine
+from repro.baselines.naive import naive_containment_search
+from repro.core.modify import deletable_edges
+from repro.exceptions import SessionError
+from repro.graph.generators import perturb_with_new_edge
+from repro.testing import drive_engine, graph_from_spec, sample_subgraph
+
+
+class TestExactSearch:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_oracle(self, seed, small_db, small_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 1, 5)
+        engine = GBlenderEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        results, _ = engine.run()
+        assert results == naive_containment_search(q, small_db)
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_rq_superset_each_step(self, seed, small_db, small_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 2, 4)
+        engine = GBlenderEngine(small_db, small_indexes)
+        for node in q.nodes():
+            engine.add_node(node, q.label(node))
+        from repro.testing import connected_order
+
+        drawn = []
+        for u, v in connected_order(q):
+            drawn.append((u, v))
+            engine.add_edge(u, v)
+            prefix = q.edge_subgraph(drawn)
+            truth = set(naive_containment_search(prefix, small_db))
+            assert truth <= set(engine.rq)
+
+    def test_empty_results_for_similarity_query(self, small_db, small_indexes):
+        """The limitation PRAGUE fixes: no exact match -> empty, no fallback."""
+        rng = random.Random(4)
+        q0 = sample_subgraph(rng, small_db, 3, 3)
+        q = perturb_with_new_edge(rng, q0, "Z")
+        engine = GBlenderEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        results, _ = engine.run()
+        assert results == []
+
+    def test_run_empty_query_rejected(self, small_db, small_indexes):
+        with pytest.raises(SessionError):
+            GBlenderEngine(small_db, small_indexes).run()
+
+
+class TestModificationReplay:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_replay_restores_correct_state(self, seed, small_db, small_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        engine = GBlenderEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        dels = deletable_edges(engine.query)
+        cost = engine.delete_edge(dels[rng.randrange(len(dels))])
+        assert cost >= 0.0
+        results, _ = engine.run()
+        assert set(results) == set(
+            naive_containment_search(engine.query.graph(), small_db)
+        )
+
+    def test_delete_only_edge(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        engine = GBlenderEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        engine.delete_edge(1)
+        assert engine.query.num_edges == 0
+        assert engine.rq == frozenset()
+
+    def test_history_records_steps(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        engine = GBlenderEngine(small_db, small_indexes)
+        steps = drive_engine(engine, g)
+        assert [s.edge_id for s in steps] == [1, 2]
+        assert all(s.processing_seconds >= 0 for s in steps)

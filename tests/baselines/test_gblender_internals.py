@@ -1,0 +1,43 @@
+"""GBLENDER's replay machinery in isolation."""
+
+import random
+
+from repro.baselines import GBlenderEngine
+from repro.testing import drive_engine, graph_from_spec, sample_subgraph
+
+
+class TestConnectedReplayOrder:
+    def test_prefixes_connected_after_any_deletion(self, small_db, small_indexes):
+        """The replay order must keep every prefix connected, even when the
+        deleted edge bridged an early prefix."""
+        # star + closure drawn so e1 bridges the early prefix:
+        # e1=(a,b), e2=(b,c), e3=(a,d), e4=(d,c); deleting e1 leaves
+        # {e2,e3,e4} connected, but the naive prefix {e2,e3} is not.
+        g = graph_from_spec(
+            {"a": "A", "b": "B", "c": "A", "d": "B"},
+            [("a", "b"), ("b", "c"), ("a", "d"), ("d", "c")],
+        )
+        engine = GBlenderEngine(small_db, small_indexes)
+        for n in g.nodes():
+            engine.add_node(n, g.label(n))
+        for u, v in [("a", "b"), ("b", "c"), ("a", "d"), ("d", "c")]:
+            engine.add_edge(u, v)
+        engine.query.delete_edge(1)
+        order = engine._connected_replay_order()
+        assert sorted(order) == [2, 3, 4]
+        seen = []
+        for eid in order:
+            seen.append(eid)
+            assert engine.query.edge_subgraph_by_ids(seen).is_connected()
+
+    def test_empty_query(self, small_db, small_indexes):
+        engine = GBlenderEngine(small_db, small_indexes)
+        assert engine._connected_replay_order() == []
+
+    def test_earliest_first_when_possible(self, small_db, small_indexes):
+        rng = random.Random(1)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        engine = GBlenderEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        order = engine._connected_replay_order()
+        assert order[0] == min(engine.query.edge_id_set())

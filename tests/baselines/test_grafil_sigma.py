@@ -1,0 +1,84 @@
+"""Grafil and SIGMA: filter soundness and oracle agreement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FeatureIndex, GrafilSearch, SigmaSearch
+from repro.baselines.naive import naive_similarity_search
+from repro.graph.generators import perturb_with_new_edge
+from repro.testing import sample_subgraph
+
+
+@pytest.fixture(scope="module")
+def systems(medium_db, medium_indexes):
+    index = FeatureIndex(medium_db, medium_indexes.frequent, max_feature_edges=3)
+    return medium_db, GrafilSearch(medium_db, index), SigmaSearch(medium_db, index)
+
+
+def _query(db, seed):
+    rng = random.Random(seed)
+    q = sample_subgraph(rng, db, 3, 5)
+    if rng.random() < 0.6:
+        q = perturb_with_new_edge(rng, q, db.node_label_universe())
+    return q, rng.randint(1, 2)
+
+
+class TestGrafil:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_filter_sound(self, seed, systems):
+        """No true similarity answer is ever filtered out."""
+        db, grafil, _ = systems
+        q, sigma = _query(db, seed)
+        truth = set(naive_similarity_search(q, db, sigma))
+        assert truth <= grafil.candidates(q, sigma)
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_oracle(self, seed, systems):
+        db, grafil, _ = systems
+        q, sigma = _query(db, seed)
+        outcome = grafil.search(q, sigma)
+        assert set(outcome.matches) == set(naive_similarity_search(q, db, sigma))
+
+    def test_outcome_timing_fields(self, systems):
+        db, grafil, _ = systems
+        q, sigma = _query(db, 7)
+        outcome = grafil.search(q, sigma)
+        assert outcome.filter_seconds >= 0
+        assert outcome.verify_seconds >= 0
+        assert outcome.total_seconds == pytest.approx(
+            outcome.filter_seconds + outcome.verify_seconds
+        )
+        assert outcome.candidate_count == len(outcome.candidates)
+
+
+class TestSigma:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_filter_sound(self, seed, systems):
+        db, _, sigma_sys = systems
+        q, sigma = _query(db, seed)
+        truth = set(naive_similarity_search(q, db, sigma))
+        assert truth <= sigma_sys.candidates(q, sigma)
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_oracle(self, seed, systems):
+        db, _, sigma_sys = systems
+        q, sigma = _query(db, seed)
+        outcome = sigma_sys.search(q, sigma)
+        assert set(outcome.matches) == set(naive_similarity_search(q, db, sigma))
+
+    def test_disjoint_packing_bound(self):
+        from repro.baselines.features import QueryFeature
+        from repro.baselines.sigma import _disjoint_packing_bound
+
+        f1 = QueryFeature(code=("a",), size=1, edge_sets=(frozenset({(0, 1)}),))
+        f2 = QueryFeature(code=("b",), size=1, edge_sets=(frozenset({(2, 3)}),))
+        f3 = QueryFeature(code=("c",), size=1, edge_sets=(frozenset({(0, 1), (2, 3)}),))
+        assert _disjoint_packing_bound([f1, f2]) == 2  # edge-disjoint pair
+        assert _disjoint_packing_bound([f1, f3]) == 1  # overlap blocks packing

@@ -1,0 +1,51 @@
+"""The naive oracle itself, checked against first principles."""
+
+import random
+
+from repro.baselines.naive import naive_containment_search, naive_similarity_search
+from repro.graph import is_subgraph_isomorphic, subgraph_distance
+from repro.testing import graph_from_spec, sample_subgraph
+
+
+class TestContainment:
+    def test_matches_definition(self, small_db):
+        rng = random.Random(0)
+        q = sample_subgraph(rng, small_db, 2, 3)
+        out = naive_containment_search(q, small_db)
+        for gid in small_db.ids():
+            assert (gid in out) == is_subgraph_isomorphic(q, small_db[gid])
+
+    def test_sorted_output(self, small_db):
+        rng = random.Random(1)
+        q = sample_subgraph(rng, small_db, 1, 2)
+        out = naive_containment_search(q, small_db)
+        assert out == sorted(out)
+
+    def test_unmatched_query(self, small_db):
+        q = graph_from_spec({0: "Z", 1: "Z"}, [(0, 1)])
+        assert naive_containment_search(q, small_db) == []
+
+
+class TestSimilarity:
+    def test_matches_definition(self, small_db):
+        rng = random.Random(2)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        sigma = 2
+        out = naive_similarity_search(q, small_db, sigma)
+        for gid in list(small_db.ids())[:10]:
+            dist = subgraph_distance(q, small_db[gid])
+            if dist <= sigma and dist < q.num_edges:
+                assert out[gid] == dist
+            else:
+                assert gid not in out
+
+    def test_sigma_zero_equals_containment(self, small_db):
+        rng = random.Random(3)
+        q = sample_subgraph(rng, small_db, 2, 3)
+        sim = naive_similarity_search(q, small_db, 0)
+        assert sorted(sim) == naive_containment_search(q, small_db)
+        assert all(d == 0 for d in sim.values())
+
+    def test_graphs_sharing_no_edge_excluded(self, small_db):
+        q = graph_from_spec({0: "Z", 1: "Z"}, [(0, 1)])
+        assert naive_similarity_search(q, small_db, 0) == {}

@@ -1,0 +1,82 @@
+"""ExactSubCandidates (Algorithm 3): exactness for indexed fragments,
+sound supersets for NIFs, sound emptiness."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_containment_search
+from repro.core import exact_sub_candidates
+from repro.graph.generators import (
+    perturb_with_new_edge,
+    random_connected_graph,
+    random_connected_subgraph,
+)
+from repro.query_graph import VisualQuery
+from repro.spig import SpigManager
+from repro.testing import connected_order, graph_from_spec, sample_subgraph
+
+
+def _target(indexes, g):
+    query = VisualQuery()
+    for node in g.nodes():
+        query.add_node(node, g.label(node))
+    manager = SpigManager(indexes)
+    for u, v in connected_order(g):
+        eid = query.add_edge(u, v, g.edge_label(u, v))
+        manager.on_new_edge(query, eid)
+    return manager.target_vertex(query)
+
+
+class TestSoundness:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_superset_of_true_answers(self, seed, small_db, small_indexes):
+        """Rq ⊇ fsgIds(q): no exact match is ever pruned away."""
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 1, 5)
+        if rng.random() < 0.4:
+            q = perturb_with_new_edge(rng, q, "ABC")
+        vertex = _target(small_indexes, q)
+        rq = exact_sub_candidates(vertex, small_indexes, frozenset(small_db.ids()))
+        truth = set(naive_containment_search(q, small_db))
+        assert truth <= set(rq)
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_for_indexed_fragments(self, seed, small_db, small_indexes):
+        """Frequent fragments and DIFs have verification-free candidates."""
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 1, 4)
+        vertex = _target(small_indexes, q)
+        if not vertex.fragment_list.is_indexed:
+            return
+        rq = exact_sub_candidates(vertex, small_indexes, frozenset(small_db.ids()))
+        assert set(rq) == set(naive_containment_search(q, small_db))
+
+
+class TestDegenerateCases:
+    def test_foreign_label_single_edge_empty(self, small_db, small_indexes):
+        q = graph_from_spec({0: "Z", 1: "Z"}, [(0, 1)])
+        vertex = _target(small_indexes, q)
+        rq = exact_sub_candidates(vertex, small_indexes, frozenset(small_db.ids()))
+        assert rq == frozenset()
+
+    def test_foreign_label_bigger_fragment_empty(self, small_db, small_indexes):
+        q = graph_from_spec({0: "A", 1: "Z", 2: "A"}, [(0, 1), (1, 2)])
+        vertex = _target(small_indexes, q)
+        rq = exact_sub_candidates(vertex, small_indexes, frozenset(small_db.ids()))
+        assert rq == frozenset()
+
+    def test_in_universe_nonoccurring_pair_is_dif_backed(
+        self, small_db, small_indexes
+    ):
+        """Every in-universe label pair is covered by A2F or A2I, so the
+        fragment list of a single edge is always indexed or dead."""
+        labels = small_db.node_label_universe()
+        for la in labels:
+            for lb in labels:
+                q = graph_from_spec({0: la, 1: lb}, [(0, 1)])
+                vertex = _target(small_indexes, q)
+                assert vertex.fragment_list.is_indexed

@@ -1,0 +1,133 @@
+"""Query modification (Algorithm 6): suggestions and deletion semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PragueEngine, apply_deletion, deletable_edges, suggest_deletion
+from repro.exceptions import QueryError
+from repro.graph.generators import (
+    perturb_with_new_edge,
+    random_connected_subgraph,
+)
+from repro.testing import drive_engine, graph_from_spec, sample_subgraph
+
+
+def _engine_with(db, indexes, g, **kw):
+    engine = PragueEngine(db, indexes, **kw)
+    drive_engine(engine, g)
+    return engine
+
+
+class TestDeletableEdges:
+    def test_cycle_all_deletable(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2), (2, 0)])
+        engine = _engine_with(small_db, small_indexes, g)
+        assert deletable_edges(engine.query) == [1, 2, 3]
+
+    def test_path_middle_not_deletable(self, small_db, small_indexes):
+        g = graph_from_spec(
+            {0: "A", 1: "A", 2: "A", 3: "A"}, [(0, 1), (1, 2), (2, 3)]
+        )
+        engine = _engine_with(small_db, small_indexes, g)
+        # drawing order is connected, so edge ids 1..3 along the path; only
+        # the two end edges keep the query connected when removed
+        dels = deletable_edges(engine.query)
+        assert len(dels) == 2
+
+    def test_single_edge_deletable(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        engine = _engine_with(small_db, small_indexes, g)
+        assert deletable_edges(engine.query) == [1]
+
+
+class TestSuggestion:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_suggestion_maximises_candidates(self, seed, small_db, small_indexes):
+        """The suggested edge yields the largest Rq' among legal deletions."""
+        rng = random.Random(seed)
+        q0 = sample_subgraph(rng, small_db, 2, 4)
+        q = perturb_with_new_edge(rng, q0, small_db.node_label_universe())
+        engine = _engine_with(small_db, small_indexes, q)
+        suggestion = suggest_deletion(
+            engine.query, engine.manager, small_indexes, engine.db_ids
+        )
+        assert suggestion is not None
+        from repro.core import exact_sub_candidates
+
+        ids = engine.query.edge_id_set()
+        for eid in deletable_edges(engine.query):
+            rest = ids - {eid}
+            if not rest:
+                continue
+            vertex = engine.manager.vertex_for(rest)
+            rq = exact_sub_candidates(vertex, small_indexes, engine.db_ids)
+            assert len(rq) <= len(suggestion.candidates)
+
+    def test_apply_deletion_validates_membership(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        engine = _engine_with(small_db, small_indexes, g)
+        with pytest.raises(QueryError):
+            apply_deletion(engine.query, engine.manager, 42)
+
+    def test_apply_deletion_rejects_disconnecting(self, small_db, small_indexes):
+        g = graph_from_spec(
+            {0: "A", 1: "A", 2: "A", 3: "A"}, [(0, 1), (1, 2), (2, 3)]
+        )
+        engine = _engine_with(small_db, small_indexes, g)
+        middle = [
+            eid for eid in engine.query.edge_ids()
+            if eid not in deletable_edges(engine.query)
+        ]
+        assert middle
+        with pytest.raises(QueryError):
+            apply_deletion(engine.query, engine.manager, middle[0])
+
+
+class TestEngineModification:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_delete_then_run_equals_fresh(self, seed, small_db, small_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        engine = _engine_with(small_db, small_indexes, q)
+        dels = deletable_edges(engine.query)
+        engine.delete_edge(dels[rng.randrange(len(dels))])
+        res = engine.run()
+        fresh = PragueEngine(small_db, small_indexes)
+        drive_engine(fresh, engine.query.graph())
+        fres = fresh.run()
+        assert res.results.exact_ids == fres.results.exact_ids
+        assert [
+            (m.graph_id, m.distance) for m in res.results.similar
+        ] == [(m.graph_id, m.distance) for m in fres.results.similar]
+
+    def test_accepted_suggestion_restores_candidates(self, small_db, small_indexes):
+        from repro.testing import connected_order
+
+        rng = random.Random(5)
+        q0 = sample_subgraph(rng, small_db, 3, 3)
+        q = perturb_with_new_edge(rng, q0, "Z")  # provably unmatched edge
+        engine = PragueEngine(small_db, small_indexes, auto_similarity=False)
+        for node in q.nodes():
+            engine.add_node(node, q.label(node))
+        z_edge = next(
+            e for e in q.edges() if "Z" in (q.label(e[0]), q.label(e[1]))
+        )
+        for u, v in connected_order(q0):
+            engine.add_edge(u, v)
+        engine.add_edge(*z_edge)  # the bold step: Rq empties here
+        assert engine.option_pending
+        report = engine.delete_edge()  # accept the suggestion
+        assert report.suggestion is not None
+        assert engine.rq  # the suggestion removed the foreign-label edge
+
+    def test_delete_only_edge_resets(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        engine = _engine_with(small_db, small_indexes, g)
+        engine.delete_edge(1)
+        assert engine.query.num_edges == 0
+        assert engine.manager.num_vertices() == 0

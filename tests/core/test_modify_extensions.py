@@ -1,0 +1,162 @@
+"""The paper's "trivial" modification extensions: multi-edge deletion and
+node relabeling (footnote 5) — the invariant is always state-equals-fresh."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PragueEngine
+from repro.exceptions import QueryError
+from repro.testing import drive_engine, graph_from_spec, sample_subgraph
+
+
+def _fresh_run(db, indexes, graph):
+    engine = PragueEngine(db, indexes)
+    drive_engine(engine, graph)
+    return engine.run()
+
+
+class TestMultiDeletion:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_state_equals_fresh_formulation(self, seed, small_db, small_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 4, 6)
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        # pick a deletable pair: remaining edges must stay connected
+        ids = sorted(engine.query.edge_id_set())
+        import itertools
+
+        pair = None
+        for a, b in itertools.combinations(ids, 2):
+            rest = engine.query.edge_id_set() - {a, b}
+            if not rest:
+                continue
+            if engine.query.edge_subgraph_by_ids(rest).is_connected():
+                pair = (a, b)
+                break
+        if pair is None:
+            return
+        engine.delete_edges(pair)
+        res = engine.run()
+        fres = _fresh_run(small_db, small_indexes, engine.query.graph())
+        assert res.results.exact_ids == fres.results.exact_ids
+        assert [(m.graph_id, m.distance) for m in res.results.similar] == [
+            (m.graph_id, m.distance) for m in fres.results.similar
+        ]
+
+    def test_disconnecting_pair_rejected_atomically(self, small_db, small_indexes):
+        # path of 4 edges: deleting the two middle edges disconnects
+        g = graph_from_spec(
+            {i: "A" for i in range(5)}, [(i, i + 1) for i in range(4)]
+        )
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        before = engine.query.edge_id_set()
+        with pytest.raises(QueryError):
+            engine.delete_edges([2, 3])
+        assert engine.query.edge_id_set() == before  # nothing was applied
+
+    def test_delete_everything(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "A", 2: "B"}, [(0, 1), (1, 2)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        engine.delete_edges(engine.query.edge_id_set())
+        assert engine.query.num_edges == 0
+        assert engine.manager.num_vertices() == 0
+
+    def test_unknown_edge_rejected(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        with pytest.raises(QueryError):
+            engine.delete_edges([1, 99])
+
+    def test_non_adjacent_deletions_need_valid_order(self, small_db, small_indexes):
+        """A pair whose naive order would transiently disconnect still works
+        when some order keeps every intermediate connected."""
+        # cycle 0-1-2-3-0: delete edges (0,1) and (2,3); remaining two edges
+        # (1,2), (3,0) are disconnected -> must be rejected
+        g = graph_from_spec(
+            {i: "A" for i in range(4)},
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        ids = sorted(engine.query.edge_id_set())
+        id_of = {}
+        for eid in ids:
+            u, v, _ = engine.query.edge(eid)
+            id_of[frozenset((u, v))] = eid
+        with pytest.raises(QueryError):
+            engine.delete_edges(
+                [id_of[frozenset((0, 1))], id_of[frozenset((2, 3))]]
+            )
+        # adjacent pair is fine: remaining path stays connected
+        engine.delete_edges(
+            [id_of[frozenset((0, 1))], id_of[frozenset((1, 2))]]
+        )
+        assert engine.query.num_edges == 2
+
+
+class TestRelabelNode:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_state_equals_fresh_formulation(self, seed, small_db, small_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        nodes = list(engine.query.graph().nodes())
+        victim = nodes[rng.randrange(len(nodes))]
+        labels = small_db.node_label_universe()
+        new_label = labels[rng.randrange(len(labels))]
+        try:
+            engine.relabel_node(victim, new_label)
+        except QueryError:
+            return  # interior node whose removal splits the survivors
+        res = engine.run()
+        reduced = engine.query.graph()
+        assert new_label in reduced.node_labels()
+        fres = _fresh_run(small_db, small_indexes, reduced)
+        assert res.results.exact_ids == fres.results.exact_ids
+        assert [(m.graph_id, m.distance) for m in res.results.similar] == [
+            (m.graph_id, m.distance) for m in fres.results.similar
+        ]
+
+    def test_relabel_changes_the_query_graph(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        engine.relabel_node(1, "C")
+        labels = engine.query.graph().node_labels()
+        assert labels["C"] == 1
+        assert "B" not in labels
+
+    def test_relabel_leaf_node(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        report = engine.relabel_node(2, "C")
+        assert engine.query.num_edges == 2
+        assert report.edge_id is not None
+
+    def test_relabel_isolated_node_rejected(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        engine.add_node(9, "C")  # dropped on the canvas, never connected
+        with pytest.raises(QueryError):
+            engine.relabel_node(9, "A")
+
+    def test_edge_ids_are_fresh(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        before = max(engine.query.edge_id_set())
+        engine.relabel_node(1, "C")
+        assert min(engine.query.edge_id_set()) > 0
+        assert max(engine.query.edge_id_set()) > before

@@ -1,0 +1,129 @@
+"""VisualQuery: edge ids by formulation sequence, connectivity rules."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query_graph import VisualQuery
+
+
+@pytest.fixture
+def path_query():
+    q = VisualQuery()
+    for i, label in enumerate("ABC"):
+        q.add_node(i, label)
+    q.add_edge(0, 1)
+    q.add_edge(1, 2)
+    return q
+
+
+class TestNodes:
+    def test_add_node(self):
+        q = VisualQuery()
+        q.add_node("n1", "C")
+        assert q.node_label("n1") == "C"
+
+    def test_add_node_idempotent(self):
+        q = VisualQuery()
+        q.add_node(0, "C")
+        q.add_node(0, "C")
+
+    def test_relabel_rejected(self):
+        q = VisualQuery()
+        q.add_node(0, "C")
+        with pytest.raises(QueryError):
+            q.add_node(0, "O")
+
+
+class TestEdges:
+    def test_ids_follow_formulation_sequence(self, path_query):
+        assert path_query.edge_ids() == [1, 2]
+        assert path_query.newest_edge_id == 2
+
+    def test_ids_continue_after_deletion(self, path_query):
+        path_query.add_node(3, "D")
+        path_query.add_edge(2, 3)  # e3
+        path_query.delete_edge(3)
+        eid = path_query.add_edge(2, 3)
+        assert eid == 4  # sequence numbers are never reused
+
+    def test_add_edge_needs_nodes(self):
+        q = VisualQuery()
+        q.add_node(0, "A")
+        with pytest.raises(QueryError):
+            q.add_edge(0, 1)
+
+    def test_no_self_loops(self):
+        q = VisualQuery()
+        q.add_node(0, "A")
+        with pytest.raises(QueryError):
+            q.add_edge(0, 0)
+
+    def test_no_duplicate_edges(self, path_query):
+        with pytest.raises(QueryError):
+            path_query.add_edge(1, 0)
+
+    def test_must_stay_connected(self):
+        q = VisualQuery()
+        for i in range(4):
+            q.add_node(i, "A")
+        q.add_edge(0, 1)
+        with pytest.raises(QueryError):
+            q.add_edge(2, 3)  # disconnected from the fragment
+
+    def test_edge_accessor(self, path_query):
+        u, v, label = path_query.edge(1)
+        assert {u, v} == {0, 1}
+        assert label is None
+        with pytest.raises(QueryError):
+            path_query.edge(9)
+
+
+class TestDeletion:
+    def test_delete_keeps_connectivity(self, path_query):
+        path_query.add_node(3, "D")
+        path_query.add_edge(0, 3)
+        with pytest.raises(QueryError):
+            path_query.delete_edge(1)  # would disconnect node 0's side
+
+    def test_delete_leaf_edge(self, path_query):
+        path_query.delete_edge(2)
+        assert path_query.edge_ids() == [1]
+
+    def test_delete_only_edge_allowed(self):
+        q = VisualQuery()
+        q.add_node(0, "A")
+        q.add_node(1, "B")
+        q.add_edge(0, 1)
+        q.delete_edge(1)
+        assert q.num_edges == 0
+
+    def test_delete_missing(self, path_query):
+        with pytest.raises(QueryError):
+            path_query.delete_edge(99)
+
+
+class TestViews:
+    def test_graph_only_incident_nodes(self):
+        q = VisualQuery()
+        q.add_node(0, "A")
+        q.add_node(1, "B")
+        q.add_node(2, "C")  # dropped but never connected
+        q.add_edge(0, 1)
+        g = q.graph()
+        assert g.num_nodes == 2
+        assert not g.has_node(2)
+
+    def test_edge_subgraph_by_ids(self, path_query):
+        g = path_query.edge_subgraph_by_ids([1])
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+
+    def test_adjacent_edge_ids(self, path_query):
+        assert path_query.adjacent_edge_ids(frozenset({1})) == {2}
+        assert path_query.adjacent_edge_ids(frozenset({1, 2})) == set()
+
+    def test_copy_independent(self, path_query):
+        c = path_query.copy()
+        c.delete_edge(2)
+        assert path_query.num_edges == 2
+        assert c.num_edges == 1

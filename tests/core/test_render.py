@@ -1,0 +1,135 @@
+"""Text and DOT rendering of graphs, SPIGs and result panels."""
+
+import random
+
+from repro.core import PragueEngine
+from repro.core.results import QueryResults, SimilarityMatch
+from repro.graph import Graph
+from repro.render import (
+    graph_to_dot,
+    graph_to_text,
+    match_to_dot,
+    mccs_highlight,
+    results_to_text,
+    spig_to_dot,
+    spig_to_text,
+)
+from repro.testing import drive_engine, graph_from_spec, sample_subgraph
+
+
+class TestTextRendering:
+    def test_graph_to_text(self):
+        g = graph_from_spec({0: "C", 1: "O"}, [(0, 1)])
+        text = graph_to_text(g, title="mol:")
+        assert "mol:" in text
+        assert "C(0) - O(1)" in text
+
+    def test_graph_to_text_edge_labels(self):
+        g = Graph()
+        g.add_node(0, "C")
+        g.add_node(1, "O")
+        g.add_edge(0, 1, "double")
+        assert "-[double]-" in graph_to_text(g)
+
+    def test_empty_graph(self):
+        assert graph_to_text(Graph()) == "(empty graph)"
+
+    def test_results_exact(self):
+        results = QueryResults(exact_ids=[3, 1, 4])
+        text = results_to_text(results)
+        assert "3 exact matches" in text
+
+    def test_results_similar_ranked(self):
+        results = QueryResults(similar=[
+            SimilarityMatch(distance=2, graph_id=7, verification_free=False),
+            SimilarityMatch(distance=1, graph_id=3, verification_free=True),
+        ])
+        text = results_to_text(results)
+        assert text.index("#3") < text.index("#7")  # more similar first
+        assert "verification-free" in text
+
+    def test_results_empty(self):
+        assert results_to_text(QueryResults()) == "no matches"
+
+    def test_results_limit(self):
+        results = QueryResults(similar=[
+            SimilarityMatch(distance=1, graph_id=i, verification_free=False)
+            for i in range(15)
+        ])
+        assert "5 more" in results_to_text(results, limit=10)
+
+
+class TestSpigRendering:
+    def _engine(self, db, indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        engine = PragueEngine(db, indexes)
+        drive_engine(engine, g)
+        return engine
+
+    def test_spig_to_text(self, small_db, small_indexes):
+        engine = self._engine(small_db, small_indexes)
+        spig = engine.manager.spigs[2]
+        text = spig_to_text(spig)
+        assert "SPIG S2" in text
+        assert "level 1" in text
+        assert "level 2" in text
+
+    def test_spig_to_dot(self, small_db, small_indexes):
+        engine = self._engine(small_db, small_indexes)
+        dot = spig_to_dot(engine.manager.spigs[2])
+        assert dot.startswith('digraph "S2"')
+        assert "rank=same" in dot
+        assert dot.rstrip().endswith("}")
+
+
+class TestDotRendering:
+    def test_graph_to_dot_structure(self):
+        g = graph_from_spec({0: "C", 1: "O"}, [(0, 1)])
+        dot = graph_to_dot(g, name="mol")
+        assert dot.startswith('graph "mol"')
+        assert 'n0 [label="C"]' in dot
+        assert "n0 -- n1" in dot
+
+    def test_highlighting(self):
+        g = graph_from_spec({0: "C", 1: "O", 2: "N"}, [(0, 1), (1, 2)])
+        dot = graph_to_dot(g, highlight_nodes=[0, 1],
+                           highlight_edges=[(0, 1)])
+        assert 'fillcolor="gold"' in dot
+        assert 'color="red"' in dot
+
+    def test_edge_labels_rendered(self):
+        g = Graph()
+        g.add_node(0, "C")
+        g.add_node(1, "C")
+        g.add_edge(0, 1, "s")
+        assert 'label="s"' in graph_to_dot(g)
+
+
+class TestMccsHighlight:
+    def test_highlight_found(self, small_db):
+        rng = random.Random(0)
+        q = sample_subgraph(rng, small_db, 3, 3)
+        base = None
+        for gid, g in small_db.items():
+            from repro.graph import is_subgraph_isomorphic
+
+            if is_subgraph_isomorphic(q, g):
+                base = g
+                break
+        assert base is not None
+        nodes, edges = mccs_highlight(q, base, q.num_edges)
+        assert len(edges) == q.num_edges
+        assert all(base.has_edge(u, v) for u, v in edges)
+        assert set(nodes) == {n for e in edges for n in e}
+
+    def test_highlight_absent(self):
+        q = graph_from_spec({0: "Z", 1: "Z"}, [(0, 1)])
+        g = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        assert mccs_highlight(q, g, 1) == ([], [])
+
+    def test_match_to_dot(self, small_db):
+        rng = random.Random(1)
+        q = sample_subgraph(rng, small_db, 3, 3)
+        match = SimilarityMatch(distance=1, graph_id=0, verification_free=False)
+        dot = match_to_dot(q, small_db, match)
+        assert dot.startswith('graph "match_0_dist1"')

@@ -1,0 +1,72 @@
+"""Result containers: SimilarCandidates and QueryResults semantics."""
+
+from repro.core.results import QueryResults, SimilarCandidates, SimilarityMatch
+
+
+class TestSimilarCandidates:
+    def test_levels_union_of_buckets(self):
+        c = SimilarCandidates()
+        c.free[5] = {1, 2}
+        c.ver[4] = {3}
+        assert c.levels() == [4, 5]
+
+    def test_all_candidates_union(self):
+        c = SimilarCandidates()
+        c.free[5] = {1, 2}
+        c.ver[5] = {3}
+        c.ver[4] = {2, 4}
+        assert c.all_candidates() == {1, 2, 3, 4}
+        assert c.candidate_count == 4
+
+    def test_accessors_default_empty(self):
+        c = SimilarCandidates()
+        assert c.free_at(9) == set()
+        assert c.ver_at(9) == set()
+
+    def test_empty(self):
+        c = SimilarCandidates()
+        assert c.levels() == []
+        assert c.candidate_count == 0
+
+
+class TestSimilarityMatch:
+    def test_ordering_by_distance_then_id(self):
+        matches = [
+            SimilarityMatch(distance=2, graph_id=1, verification_free=False),
+            SimilarityMatch(distance=1, graph_id=9, verification_free=True),
+            SimilarityMatch(distance=1, graph_id=3, verification_free=False),
+        ]
+        ranked = sorted(matches)
+        assert [(m.distance, m.graph_id) for m in ranked] == [
+            (1, 3), (1, 9), (2, 1)
+        ]
+
+    def test_verification_flag_not_in_ordering(self):
+        a = SimilarityMatch(distance=1, graph_id=1, verification_free=True)
+        b = SimilarityMatch(distance=1, graph_id=1, verification_free=False)
+        assert a == b  # compare= excludes the flag
+
+    def test_rank_key(self):
+        m = SimilarityMatch(distance=2, graph_id=7, verification_free=False)
+        assert m.rank_key == (2, 7)
+
+
+class TestQueryResults:
+    def test_exact_results(self):
+        r = QueryResults(exact_ids=[1, 2])
+        assert r.is_exact
+        assert not r.is_empty
+
+    def test_similar_results_ordering_helper(self):
+        r = QueryResults(similar=[
+            SimilarityMatch(distance=2, graph_id=5, verification_free=False),
+            SimilarityMatch(distance=1, graph_id=8, verification_free=False),
+        ])
+        assert r.ordered_similar_ids() == [8, 5]
+        assert not r.is_exact
+        assert not r.is_empty
+
+    def test_empty(self):
+        r = QueryResults()
+        assert r.is_empty
+        assert r.ordered_similar_ids() == []

@@ -1,0 +1,101 @@
+"""QuerySpec and the SRT timeline model."""
+
+import pytest
+
+from repro.core import PragueEngine, QuerySpec, formulate
+from repro.core.session import traditional_srt
+from repro.testing import graph_from_spec
+
+
+@pytest.fixture
+def spec():
+    return QuerySpec(
+        name="demo",
+        nodes={0: "A", 1: "B", 2: "A"},
+        edges=((0, 1), (1, 2)),
+    )
+
+
+class TestQuerySpec:
+    def test_size(self, spec):
+        assert spec.size == 2
+
+    def test_graph_materialisation(self, spec):
+        g = spec.graph()
+        assert g.num_edges == 2
+        assert g.label(0) == "A"
+
+    def test_graph_skips_unused_nodes(self):
+        s = QuerySpec(name="x", nodes={0: "A", 1: "B", 9: "C"}, edges=((0, 1),))
+        assert s.graph().num_nodes == 2
+
+    def test_edge_labels(self):
+        s = QuerySpec(
+            name="x",
+            nodes={0: "A", 1: "B"},
+            edges=((0, 1),),
+            edge_labels={(0, 1): "s"},
+        )
+        assert s.graph().edge_label(0, 1) == "s"
+
+    def test_reordered(self, spec):
+        alt = spec.reordered([2, 1])
+        assert alt.edges == ((1, 2), (0, 1))
+        assert alt.name == "demo-alt"
+        # same final graph
+        from repro.graph import are_isomorphic
+
+        assert are_isomorphic(alt.graph(), spec.graph())
+
+    def test_reordered_validates_permutation(self, spec):
+        with pytest.raises(ValueError):
+            spec.reordered([1, 1])
+
+
+class TestFormulate:
+    def test_trace_fields(self, small_db, small_indexes, spec):
+        engine = PragueEngine(small_db, small_indexes)
+        trace = formulate(engine, spec, edge_latency=2.0)
+        assert trace.spec_name == "demo"
+        assert len(trace.step_reports) == 2
+        assert trace.formulation_seconds == 4.0
+        assert trace.srt_seconds >= 0
+        assert trace.results is trace.run_report.results
+
+    def test_backlog_zero_with_large_latency(self, small_db, small_indexes, spec):
+        engine = PragueEngine(small_db, small_indexes)
+        trace = formulate(engine, spec, edge_latency=100.0)
+        assert trace.backlog_before_run == 0.0
+        assert trace.srt_seconds == trace.run_report.processing_seconds
+
+    def test_backlog_accumulates_with_zero_latency(
+        self, small_db, small_indexes, spec
+    ):
+        engine = PragueEngine(small_db, small_indexes)
+        trace = formulate(engine, spec, edge_latency=0.0)
+        assert trace.backlog_before_run == pytest.approx(
+            trace.total_step_processing
+        )
+        assert trace.srt_seconds == pytest.approx(
+            trace.total_step_processing + trace.run_report.processing_seconds
+        )
+
+    def test_spig_seconds_exposed(self, small_db, small_indexes, spec):
+        engine = PragueEngine(small_db, small_indexes)
+        trace = formulate(engine, spec, edge_latency=2.0)
+        assert len(trace.spig_seconds_per_step) == 2
+
+
+class TestTraditionalSrt:
+    def test_measures_search_call(self, small_db):
+        q = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        calls = []
+
+        def search(query):
+            calls.append(query)
+            return [1, 2, 3]
+
+        results, srt = traditional_srt(search, q)
+        assert results == [1, 2, 3]
+        assert calls == [q]
+        assert srt >= 0.0

@@ -1,0 +1,94 @@
+"""Session save/resume across engine instances."""
+
+import random
+
+import pytest
+
+from repro.baselines.naive import naive_containment_search
+from repro.config import MiningParams
+from repro.core import PragueEngine
+from repro.core.persistence import load_session, save_session
+from repro.exceptions import SessionError
+from repro.index import build_indexes
+from repro.testing import (
+    connected_order,
+    drive_engine,
+    sample_subgraph,
+    small_database,
+)
+
+
+class TestSaveLoad:
+    def test_resume_and_finish(self, small_db, small_indexes, tmp_path):
+        rng = random.Random(1)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        engine = PragueEngine(small_db, small_indexes)
+        for n in q.nodes():
+            engine.add_node(n, q.label(n))
+        order = connected_order(q)
+        for u, v in order[:-1]:
+            engine.add_edge(u, v)
+        path = tmp_path / "half-done.session"
+        written = save_session(engine, small_db, path)
+        assert written == path.stat().st_size
+
+        resumed = load_session(path, small_db, small_indexes)
+        assert resumed.query.num_edges == len(order) - 1
+        assert len(resumed.history) == len(order) - 1
+        resumed.add_edge(*order[-1])  # finish the drawing
+        res = resumed.run()
+        assert res.results.exact_ids == naive_containment_search(q, small_db)
+
+    def test_candidate_state_preserved(self, small_db, small_indexes, tmp_path):
+        rng = random.Random(2)
+        q = sample_subgraph(rng, small_db, 2, 3)
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        path = tmp_path / "s.session"
+        save_session(engine, small_db, path)
+        resumed = load_session(path, small_db, small_indexes)
+        assert resumed.rq == engine.rq
+        assert resumed.sim_flag == engine.sim_flag
+        assert resumed.manager.num_vertices() == engine.manager.num_vertices()
+
+    def test_original_engine_unaffected_by_save(
+        self, small_db, small_indexes, tmp_path
+    ):
+        rng = random.Random(3)
+        q = sample_subgraph(rng, small_db, 2, 3)
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, q)
+        save_session(engine, small_db, tmp_path / "s.session")
+        # engine still usable after the snapshotting save
+        res = engine.run()
+        assert res.results.exact_ids == naive_containment_search(q, small_db)
+
+
+class TestValidation:
+    def test_wrong_database_rejected(self, small_db, small_indexes, tmp_path):
+        engine = PragueEngine(small_db, small_indexes)
+        engine.add_node(0, "A")
+        path = tmp_path / "s.session"
+        save_session(engine, small_db, path)
+        other_db = small_database(seed=99, num_graphs=10)
+        other_idx = build_indexes(other_db, MiningParams(0.3, 2, 3))
+        with pytest.raises(SessionError):
+            load_session(path, other_db, other_idx)
+
+    def test_garbage_file_rejected(self, small_db, small_indexes, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a session")
+        with pytest.raises(SessionError):
+            load_session(path, small_db, small_indexes)
+
+    def test_non_session_pickle_rejected(self, small_db, small_indexes, tmp_path):
+        import pickle
+
+        path = tmp_path / "other.pkl"
+        path.write_bytes(pickle.dumps({"hello": "world"}))
+        with pytest.raises(SessionError):
+            load_session(path, small_db, small_indexes)
+
+    def test_missing_file_rejected(self, small_db, small_indexes, tmp_path):
+        with pytest.raises(SessionError):
+            load_session(tmp_path / "absent", small_db, small_indexes)

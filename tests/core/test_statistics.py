@@ -1,0 +1,64 @@
+"""Session statistics collection."""
+
+import random
+
+from repro.core import PragueEngine
+from repro.core.statistics import collect_statistics
+from repro.graph.generators import perturb_with_new_edge
+from repro.testing import drive_engine, graph_from_spec, sample_subgraph
+
+
+class TestCollectStatistics:
+    def test_exact_session(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        stats = collect_statistics(engine)
+        assert stats.steps == 2
+        assert stats.query_edges == 2
+        assert not stats.similarity_mode
+        assert stats.rq_trajectory == [r.rq_size for r in engine.history]
+        assert len(stats.spigs) == 2
+        assert stats.total_spig_vertices == engine.manager.num_vertices()
+        assert stats.level_breakdown == []  # never entered similarity mode
+
+    def test_similarity_session_breakdown(self, small_db, small_indexes):
+        rng = random.Random(8)
+        q0 = sample_subgraph(rng, small_db, 3, 3)
+        q = perturb_with_new_edge(rng, q0, "Z")
+        engine = PragueEngine(small_db, small_indexes, sigma=2)
+        drive_engine(engine, q)
+        engine.enable_similarity()
+        stats = collect_statistics(engine)
+        assert stats.similarity_mode
+        assert stats.level_breakdown
+        for item in stats.level_breakdown:
+            assert item.total == item.free + item.ver
+
+    def test_spig_summaries(self, small_db, small_indexes):
+        g = graph_from_spec(
+            {0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2), (2, 0)]
+        )
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        stats = collect_statistics(engine)
+        for summary in stats.spigs:
+            assert summary.num_vertices >= 1
+            assert summary.dedup_ratio >= 1.0
+            spig = engine.manager.spigs[summary.edge_id]
+            assert summary.num_vertices == spig.num_vertices
+
+    def test_summary_lines_render(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        lines = collect_statistics(engine).summary_lines()
+        assert any("steps: 1" in line for line in lines)
+        assert any("SPIG set" in line for line in lines)
+
+    def test_timings_accumulate(self, small_db, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, g)
+        stats = collect_statistics(engine)
+        assert stats.total_step_seconds >= stats.total_spig_seconds >= 0

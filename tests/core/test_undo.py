@@ -1,0 +1,145 @@
+"""Undo/redo snapshots over formulation sessions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import naive_containment_search
+from repro.core import PragueEngine
+from repro.core.undo import UndoableEngine, restore_snapshot, take_snapshot
+from repro.exceptions import QueryError, SessionError
+from repro.testing import connected_order, graph_from_spec, sample_subgraph
+
+
+def _session(db, indexes):
+    return UndoableEngine(PragueEngine(db, indexes))
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes)
+        engine.add_node(0, "A")
+        engine.add_node(1, "B")
+        engine.add_edge(0, 1)
+        snap = take_snapshot(engine)
+        engine.add_node(2, "A")
+        engine.add_edge(1, 2)
+        restore_snapshot(engine, snap)
+        assert engine.query.num_edges == 1
+        assert len(engine.manager.spigs) == 1
+        assert len(engine.history) == 1
+
+    def test_snapshot_shares_indexes(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes)
+        snap = take_snapshot(engine)
+        assert snap.manager.indexes is small_indexes  # not deep-copied
+
+    def test_restored_engine_answers_correctly(self, small_db, small_indexes):
+        rng = random.Random(1)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        engine = PragueEngine(small_db, small_indexes)
+        for n in q.nodes():
+            engine.add_node(n, q.label(n))
+        order = connected_order(q)
+        for u, v in order[:-1]:
+            engine.add_edge(u, v)
+        snap = take_snapshot(engine)
+        engine.add_edge(*order[-1])
+        restore_snapshot(engine, snap)
+        # re-play the last edge on the restored state
+        engine.add_edge(*order[-1])
+        res = engine.run()
+        assert res.results.exact_ids == naive_containment_search(q, small_db)
+
+
+class TestUndoRedo:
+    def test_undo_edge_addition(self, small_db, small_indexes):
+        session = _session(small_db, small_indexes)
+        session.add_node(0, "A")
+        session.add_node(1, "B")
+        session.add_edge(0, 1)
+        assert session.query.num_edges == 1
+        session.undo()
+        assert session.query.num_edges == 0
+        assert session.manager.num_vertices() == 0
+
+    def test_redo(self, small_db, small_indexes):
+        session = _session(small_db, small_indexes)
+        session.add_node(0, "A")
+        session.add_node(1, "B")
+        session.add_edge(0, 1)
+        rq_before = session.rq
+        session.undo()
+        session.redo()
+        assert session.query.num_edges == 1
+        assert session.rq == rq_before
+
+    def test_new_action_clears_redo(self, small_db, small_indexes):
+        session = _session(small_db, small_indexes)
+        for node, label in ((0, "A"), (1, "B"), (2, "A")):
+            session.add_node(node, label)
+        session.add_edge(0, 1)
+        session.undo()
+        session.add_edge(1, 2)  # diverge
+        assert not session.can_redo
+        with pytest.raises(SessionError):
+            session.redo()
+
+    def test_undo_deletion_restores_spigs(self, small_db, small_indexes):
+        session = _session(small_db, small_indexes)
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        for n in g.nodes():
+            session.add_node(n, g.label(n))
+        for u, v in connected_order(g):
+            session.add_edge(u, v)
+        vertices_before = session.manager.num_vertices()
+        session.delete_edge(2)
+        session.undo()
+        assert session.query.num_edges == 2
+        assert session.manager.num_vertices() == vertices_before
+        res = session.run()
+        assert res.results.exact_ids == naive_containment_search(
+            session.query.graph(), small_db
+        )
+
+    def test_empty_undo_raises(self, small_db, small_indexes):
+        with pytest.raises(SessionError):
+            _session(small_db, small_indexes).undo()
+
+    def test_failed_action_pushes_nothing(self, small_db, small_indexes):
+        session = _session(small_db, small_indexes)
+        session.add_node(0, "A")
+        with pytest.raises(QueryError):
+            session.add_edge(0, 0)  # self loop refused
+        assert not session.can_undo
+
+    def test_limit_bounds_stack(self, small_db, small_indexes):
+        session = UndoableEngine(
+            PragueEngine(small_db, small_indexes), limit=2
+        )
+        for node in range(4):
+            session.add_node(node, "A")
+        session.add_edge(0, 1)
+        session.add_edge(1, 2)
+        session.add_edge(2, 3)
+        assert len(session._undo) == 2
+
+    @given(seed=st.integers(0, 20_000))
+    @settings(max_examples=10, deadline=None)
+    def test_undo_everything_returns_to_empty(self, seed, small_db, small_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 2, 4)
+        session = _session(small_db, small_indexes)
+        for n in q.nodes():
+            session.add_node(n, q.label(n))
+        steps = 0
+        for u, v in connected_order(q):
+            session.add_edge(u, v)
+            steps += 1
+        for _ in range(steps):
+            session.undo()
+        assert session.query.num_edges == 0
+        assert session.manager.num_vertices() == 0
+        assert not session.can_undo

@@ -1,0 +1,62 @@
+"""Exact verification and SimVerify."""
+
+import random
+
+from repro.core.verification import (
+    exact_verification,
+    level_fragments_to_verify,
+    sim_verify,
+)
+from repro.graph.generators import random_connected_subgraph
+from repro.query_graph import VisualQuery
+from repro.spig import SpigManager
+from repro.testing import connected_order, graph_from_spec
+
+
+class TestExactVerification:
+    def test_verification_free_passthrough(self, small_db):
+        q = graph_from_spec({0: "Z", 1: "Z"}, [(0, 1)])
+        # verification_free trusts the candidate list outright
+        out = exact_verification(q, frozenset({3, 1}), small_db, True)
+        assert out == [1, 3]
+
+    def test_verifying_filters_false_positives(self, small_db):
+        q = graph_from_spec({0: "Z", 1: "Z"}, [(0, 1)])
+        out = exact_verification(q, frozenset(small_db.ids()), small_db, False)
+        assert out == []
+
+    def test_verifying_keeps_true_matches(self, small_db):
+        rng = random.Random(0)
+        q = random_connected_subgraph(rng, small_db[0], 2)
+        out = exact_verification(q, frozenset(small_db.ids()), small_db, False)
+        assert 0 in out
+
+
+class TestSimVerify:
+    def _manager(self, indexes, g):
+        query = VisualQuery()
+        for node in g.nodes():
+            query.add_node(node, g.label(node))
+        manager = SpigManager(indexes)
+        for u, v in connected_order(g):
+            eid = query.add_edge(u, v, g.edge_label(u, v))
+            manager.on_new_edge(query, eid)
+        return query, manager
+
+    def test_level_fragments_are_nifs_only(self, small_db, small_indexes):
+        rng = random.Random(2)
+        q = random_connected_subgraph(rng, small_db[0], 4)
+        query, manager = self._manager(small_indexes, q)
+        for level in range(1, query.num_edges + 1):
+            for v in level_fragments_to_verify(manager, level):
+                assert not v.fragment_list.is_indexed
+
+    def test_sim_verify_positive(self, small_db, small_indexes):
+        rng = random.Random(3)
+        q = random_connected_subgraph(rng, small_db[0], 3)
+        query, manager = self._manager(small_indexes, q)
+        vertices = list(manager.vertices_at_level(query.num_edges))
+        assert sim_verify(vertices, small_db[0])
+
+    def test_sim_verify_empty_iterable(self, small_db):
+        assert not sim_verify([], small_db[0])

@@ -1,0 +1,77 @@
+"""Dataset generators: paper-shape statistics and determinism."""
+
+import pytest
+
+from repro.datasets import generate_aids_like, generate_graphgen_like
+from repro.datasets.aids import ATOM_WEIGHTS
+from repro.datasets.synthetic import _nodes_for_density
+
+
+class TestAidsLike:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_aids_like(300, seed=1)
+
+    def test_shape_matches_paper(self, db):
+        """avg ~25 nodes / ~27 edges, like the AIDS Antiviral dataset."""
+        stats = db.stats()
+        assert 20 <= stats["avg_nodes"] <= 30
+        assert 21 <= stats["avg_edges"] <= 33
+        assert stats["max_nodes"] <= 222
+
+    def test_carbon_dominates(self, db):
+        from collections import Counter
+
+        counts = Counter()
+        for g in db:
+            counts.update(g.node_labels())
+        total = sum(counts.values())
+        assert counts["C"] / total > 0.5
+        assert set(counts) <= set(ATOM_WEIGHTS)
+
+    def test_all_graphs_valid(self, db):
+        for g in db:
+            assert g.is_connected()
+            assert g.num_edges >= 1
+
+    def test_deterministic(self):
+        a = generate_aids_like(20, seed=5)
+        b = generate_aids_like(20, seed=5)
+        for i in range(20):
+            assert a[i].same_structure(b[i])
+
+    def test_different_seeds_differ(self):
+        a = generate_aids_like(20, seed=5)
+        b = generate_aids_like(20, seed=6)
+        assert any(not a[i].same_structure(b[i]) for i in range(20))
+
+
+class TestGraphGenLike:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_graphgen_like(300, seed=1)
+
+    def test_shape_matches_parameters(self, db):
+        stats = db.stats()
+        assert 25 <= stats["avg_edges"] <= 35
+        assert 20 <= stats["avg_nodes"] <= 30
+
+    def test_density_equation(self):
+        # D = 2E/(V(V-1)); E=30, D=0.1 -> V ~ 25
+        assert _nodes_for_density(30, 0.1) == 25
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            _nodes_for_density(30, 0.0)
+
+    def test_label_alphabet(self, db):
+        labels = set()
+        for g in db:
+            labels.update(g.node_labels())
+        assert labels <= {f"L{i}" for i in range(8)}
+
+    def test_deterministic(self):
+        a = generate_graphgen_like(10, seed=3)
+        b = generate_graphgen_like(10, seed=3)
+        for i in range(10):
+            assert a[i].same_structure(b[i])

@@ -1,0 +1,91 @@
+"""Query workload builders: drawability, bold steps, best/worst roles."""
+
+import random
+
+import pytest
+
+from repro.core import PragueEngine
+from repro.datasets import (
+    connected_edge_order,
+    sample_containment_query,
+    sample_similarity_query,
+    spec_from_graph,
+    standard_containment_workload,
+    standard_similarity_workload,
+)
+from repro.datasets.queries import sample_joined_similarity_query
+from repro.testing import graph_from_spec, sample_subgraph
+
+
+class TestConnectedOrder:
+    def test_prefixes_connected(self, small_db):
+        rng = random.Random(0)
+        q = sample_subgraph(rng, small_db, 4, 5)
+        order = connected_edge_order(q)
+        seen = []
+        for edge in order:
+            seen.append(edge)
+            assert q.edge_subgraph(seen).is_connected()
+
+    def test_covers_all_edges(self, small_db):
+        rng = random.Random(1)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        assert len(connected_edge_order(q)) == q.num_edges
+
+    def test_spec_from_graph(self, small_db):
+        rng = random.Random(2)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        spec = spec_from_graph("x", q)
+        assert spec.size == q.num_edges
+        from repro.graph import are_isomorphic
+
+        assert are_isomorphic(spec.graph(), q)
+
+
+class TestSamplers:
+    def test_containment_query_has_matches(self, small_db, small_indexes):
+        rng = random.Random(3)
+        spec = sample_containment_query(small_db, rng, 3)
+        engine = PragueEngine(small_db, small_indexes)
+        for node, label in spec.nodes.items():
+            engine.add_node(node, label)
+        for u, v in spec.edges:
+            report = engine.add_edge(u, v)
+            assert report.rq_size > 0  # never empties: it's a real subgraph
+        assert engine.run().results.exact_ids
+
+    def test_similarity_query_empties(self, small_db, small_indexes):
+        rng = random.Random(4)
+        wq = sample_similarity_query(small_db, small_indexes, rng, 4, sigma=2)
+        assert wq is not None
+        assert wq.empty_step is not None
+        assert 1 <= wq.empty_step <= wq.spec.size
+
+    def test_joined_query_empties_late(self, small_db, small_indexes):
+        rng = random.Random(5)
+        wq = sample_joined_similarity_query(
+            small_db, small_indexes, rng, 5, sigma=2, min_empty_step=3
+        )
+        if wq is None:
+            pytest.skip("no joined query found in this tiny corpus")
+        assert wq.empty_step >= 3
+
+
+class TestStandardWorkloads:
+    def test_similarity_workload_roles(self, small_db, small_indexes):
+        wl = standard_similarity_workload(
+            small_db, small_indexes, num_queries=3, num_edges=4,
+            sigma=2, pool_size=10,
+        )
+        assert list(wl) == ["Q1", "Q2", "Q3"]
+        fractions = [wq.free_fraction for wq in wl.values()]
+        # Q1 plays the best case: maximal verification-free share.
+        assert fractions[0] == max(fractions)
+        for wq in wl.values():
+            assert wq.empty_step is not None
+            assert wq.spec.size == 4
+
+    def test_containment_workload(self, small_db):
+        wl = standard_containment_workload(small_db, num_queries=4, sizes=(2, 3))
+        assert list(wl) == ["C1", "C2", "C3", "C4"]
+        assert [s.size for s in wl.values()] == [2, 3, 2, 3]

@@ -1,0 +1,158 @@
+"""Canonical codes: equal iff isomorphic (the cam(g) contract, Section VII)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    are_isomorphic,
+    cam,
+    canonical_code,
+    code_to_graph,
+)
+from repro.exceptions import GraphError
+from repro.graph.generators import random_connected_graph
+from repro.testing import brute_force_isomorphic, graph_from_spec
+
+
+def _random_graph(seed: int, n_lo=1, n_hi=7, labels="ABC") -> Graph:
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    return random_connected_graph(rng, n, rng.randint(n - 1, n + 3), labels)
+
+
+class TestInvariance:
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=120, deadline=None)
+    def test_code_invariant_under_relabeling(self, seed, perm_seed):
+        g = _random_graph(seed)
+        rng = random.Random(perm_seed)
+        nodes = list(g.nodes())
+        rng.shuffle(nodes)
+        g2 = g.relabel_nodes({old: 1000 + i for i, old in enumerate(nodes)})
+        assert canonical_code(g) == canonical_code(g2)
+
+    def test_cam_alias(self):
+        g = graph_from_spec({0: "C", 1: "O"}, [(0, 1)])
+        assert cam(g) == canonical_code(g)
+
+    def test_single_edge_orientation(self):
+        a = graph_from_spec({0: "C", 1: "O"}, [(0, 1)])
+        b = graph_from_spec({0: "O", 1: "C"}, [(0, 1)])
+        assert canonical_code(a) == canonical_code(b)
+
+    def test_edge_labels_distinguish(self):
+        a = Graph()
+        a.add_node(0, "C"); a.add_node(1, "C"); a.add_edge(0, 1, "s")
+        b = Graph()
+        b.add_node(0, "C"); b.add_node(1, "C"); b.add_edge(0, 1, "d")
+        assert canonical_code(a) != canonical_code(b)
+
+
+class TestCompleteness:
+    def test_iff_over_all_3node_graphs(self):
+        """Exhaustive: same code <=> isomorphic, over every connected labeled
+        graph with 3 nodes and 2 labels."""
+        graphs = []
+        pairs = list(itertools.combinations(range(3), 2))
+        for labeling in itertools.product("AB", repeat=3):
+            for r in range(2, len(pairs) + 1):
+                for es in itertools.combinations(pairs, r):
+                    g = Graph()
+                    for i, lab in enumerate(labeling):
+                        g.add_node(i, lab)
+                    for u, v in es:
+                        g.add_edge(u, v)
+                    if g.is_connected():
+                        graphs.append(g)
+        for g1, g2 in itertools.combinations(graphs, 2):
+            same_code = canonical_code(g1) == canonical_code(g2)
+            assert same_code == brute_force_isomorphic(g1, g2)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_different_graphs_random(self, seed1, seed2):
+        g1 = _random_graph(seed1, n_hi=5)
+        g2 = _random_graph(seed2, n_hi=5)
+        same_code = canonical_code(g1) == canonical_code(g2)
+        assert same_code == brute_force_isomorphic(g1, g2)
+
+
+class TestSpecialForms:
+    def test_empty_graph(self):
+        assert canonical_code(Graph()) == ()
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node("x", "C")
+        code = canonical_code(g)
+        assert len(code) == 1
+        assert code[0][2] == "C"
+
+    def test_single_nodes_differ_by_label(self):
+        g1 = Graph(); g1.add_node(0, "C")
+        g2 = Graph(); g2.add_node(0, "O")
+        assert canonical_code(g1) != canonical_code(g2)
+
+    def test_disconnected_codes(self):
+        g = graph_from_spec(
+            {0: "A", 1: "A", 2: "B", 3: "B"}, [(0, 1), (2, 3)]
+        )
+        h = graph_from_spec(
+            {0: "B", 1: "B", 2: "A", 3: "A"}, [(0, 1), (2, 3)]
+        )
+        assert canonical_code(g) == canonical_code(h)
+
+    def test_disconnected_vs_connected_differ(self):
+        g = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        h = graph_from_spec(
+            {0: "A", 1: "A", 2: "A", 3: "A"}, [(0, 1), (2, 3)]
+        )
+        assert canonical_code(g) != canonical_code(h)
+
+
+class TestRoundTrip:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_code_to_graph_roundtrip(self, seed):
+        g = _random_graph(seed)
+        rebuilt = code_to_graph(canonical_code(g))
+        assert canonical_code(rebuilt) == canonical_code(g)
+        assert are_isomorphic(g, rebuilt)
+
+    def test_code_to_graph_single_node(self):
+        g = Graph()
+        g.add_node(9, "Hg")
+        rebuilt = code_to_graph(canonical_code(g))
+        assert rebuilt.num_nodes == 1
+        assert rebuilt.label(0) == "Hg"
+
+    def test_code_to_graph_rejects_disconnected(self):
+        g = graph_from_spec({0: "A", 1: "A", 2: "B", 3: "B"}, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            code_to_graph(canonical_code(g))
+
+    def test_code_to_graph_empty(self):
+        assert code_to_graph(()).num_nodes == 0
+
+
+class TestAreIsomorphic:
+    def test_fast_rejects(self):
+        g1 = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        g2 = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        assert not are_isomorphic(g1, g2)
+
+    def test_triangle_vs_path(self):
+        tri = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2), (0, 2)])
+        path = graph_from_spec(
+            {0: "A", 1: "A", 2: "A", 3: "A"}, [(0, 1), (1, 2), (2, 3)]
+        )
+        assert not are_isomorphic(tri, path)
+
+    def test_self(self):
+        g = _random_graph(42)
+        assert are_isomorphic(g, g.copy())

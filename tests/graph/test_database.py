@@ -1,0 +1,75 @@
+"""GraphDatabase container semantics (Section III constraints)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph, GraphDatabase
+from repro.testing import graph_from_spec
+
+
+def _g(*edges, labels=None):
+    nodes = {n for e in edges for n in e}
+    return graph_from_spec({n: (labels or {}).get(n, "A") for n in nodes}, edges)
+
+
+class TestConstruction:
+    def test_ids_are_positional(self):
+        db = GraphDatabase([_g((0, 1)), _g((0, 1), (1, 2))])
+        assert len(db) == 2
+        assert db[0].num_edges == 1
+        assert db.ids() == {0, 1}
+
+    def test_add_returns_id(self):
+        db = GraphDatabase()
+        assert db.add(_g((0, 1))) == 0
+        assert db.add(_g((0, 1))) == 1
+
+    def test_rejects_edgeless_graph(self):
+        g = Graph()
+        g.add_node(0, "A")
+        with pytest.raises(GraphError):
+            GraphDatabase([g])
+
+    def test_rejects_disconnected_graph(self):
+        g = graph_from_spec({0: "A", 1: "A", 2: "B", 3: "B"}, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            GraphDatabase([g])
+
+    def test_add_rejects_invalid(self):
+        db = GraphDatabase()
+        g = Graph()
+        g.add_node(0, "A")
+        with pytest.raises(GraphError):
+            db.add(g)
+
+
+class TestVocabulary:
+    def test_node_label_universe_sorted(self):
+        db = GraphDatabase(
+            [_g((0, 1), labels={0: "O", 1: "C"}), _g((0, 1), labels={0: "N", 1: "C"})]
+        )
+        assert db.node_label_universe() == ["C", "N", "O"]
+
+    def test_edge_label_universe(self):
+        g = Graph()
+        g.add_node(0, "A"); g.add_node(1, "A"); g.add_edge(0, 1, "s")
+        h = Graph()
+        h.add_node(0, "A"); h.add_node(1, "A"); h.add_edge(0, 1)
+        db = GraphDatabase([g, h])
+        assert db.edge_label_universe() == [None, "s"]
+
+    def test_stats(self):
+        db = GraphDatabase([_g((0, 1)), _g((0, 1), (1, 2), (2, 0))])
+        stats = db.stats()
+        assert stats["graphs"] == 2
+        assert stats["avg_edges"] == 2.0
+        assert stats["max_nodes"] == 3
+
+    def test_stats_empty(self):
+        assert GraphDatabase().stats()["graphs"] == 0
+
+    def test_items_iteration(self):
+        db = GraphDatabase([_g((0, 1))])
+        items = list(db.items())
+        assert items[0][0] == 0
+        assert items[0][1].num_edges == 1

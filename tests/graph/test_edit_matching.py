@@ -1,0 +1,84 @@
+"""Edit-operation matching: the alternative similarity measure of Sec. IV-A."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import is_subgraph_isomorphic
+from repro.graph.edit_matching import edit_matching_cost, edit_similarity_search
+from repro.graph.generators import random_connected_graph
+from repro.testing import graph_from_spec, sample_subgraph
+
+
+class TestEditMatchingCost:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_iff_contained(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 5)
+        q = random_connected_graph(rng, n, rng.randint(n - 1, n + 1), "AB")
+        m = rng.randint(2, 6)
+        g = random_connected_graph(rng, m, rng.randint(m - 1, m + 2), "AB")
+        cost = edit_matching_cost(q, g)
+        if cost == 0:
+            assert is_subgraph_isomorphic(q, g)
+        if is_subgraph_isomorphic(q, g):
+            assert cost == 0
+
+    def test_single_label_mismatch(self):
+        q = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        g = graph_from_spec({0: "A", 1: "C"}, [(0, 1)])
+        assert edit_matching_cost(q, g) == 1
+
+    def test_single_missing_edge(self):
+        q = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2), (2, 0)])
+        g = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        assert edit_matching_cost(q, g) == 1  # the triangle-closing edge
+
+    def test_query_larger_than_target(self):
+        q = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        g = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        assert edit_matching_cost(q, g) is None
+
+    def test_budget_respected(self):
+        q = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        g = graph_from_spec({0: "C", 1: "C"}, [(0, 1)])
+        assert edit_matching_cost(q, g, max_cost=1) is None  # needs 2 relabels
+        assert edit_matching_cost(q, g, max_cost=2) == 2
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=25, deadline=None)
+    def test_cost_always_within_trivial_budget(self, seed, small_db):
+        """Whenever the target has enough nodes, SOME mapping exists, and its
+        cost can never exceed relabeling every node and missing every edge.
+        (Edit cost and MCCS distance are incomparable in general — precisely
+        the paper's point about edit costs being hard to interpret.)"""
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, small_db, 2, 4)
+        gid = rng.randrange(len(small_db))
+        g = small_db[gid]
+        if g.num_nodes < q.num_nodes:
+            assert edit_matching_cost(q, g) is None
+            return
+        cost = edit_matching_cost(q, g)
+        assert cost is not None
+        assert 0 <= cost <= q.num_edges + q.num_nodes
+
+
+class TestEditSimilaritySearch:
+    def test_contains_exact_matches_at_zero(self, small_db):
+        rng = random.Random(3)
+        q = sample_subgraph(rng, small_db, 2, 3)
+        results = edit_similarity_search(q, small_db, budget=1)
+        for gid, g in small_db.items():
+            if is_subgraph_isomorphic(q, g):
+                assert results.get(gid) == 0
+
+    def test_budget_filters(self, small_db):
+        q = graph_from_spec({0: "Z", 1: "Z", 2: "Z"}, [(0, 1), (1, 2)])
+        strict = edit_similarity_search(q, small_db, budget=0)
+        assert strict == {}  # all-Z queries need relabeling
+        loose = edit_similarity_search(q, small_db, budget=3)
+        assert set(strict) <= set(loose)

@@ -1,0 +1,93 @@
+"""Random graph generators: connectivity, determinism, parameter handling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import (
+    perturb_with_new_edge,
+    random_connected_graph,
+    random_connected_subgraph,
+)
+
+
+class TestRandomConnectedGraph:
+    @given(st.integers(0, 10_000), st.integers(1, 12), st.integers(0, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_always_connected(self, seed, n, extra):
+        g = random_connected_graph(random.Random(seed), n, n - 1 + extra, "AB")
+        assert g.num_nodes == n
+        assert g.is_connected()
+
+    def test_edge_count_clamped(self):
+        g = random_connected_graph(random.Random(0), 4, 100, "A")
+        assert g.num_edges == 6  # complete graph on 4 nodes
+
+    def test_min_edge_count_spanning_tree(self):
+        g = random_connected_graph(random.Random(0), 5, 0, "A")
+        assert g.num_edges == 4
+
+    def test_deterministic_per_seed(self):
+        g1 = random_connected_graph(random.Random(42), 6, 8, "ABC")
+        g2 = random_connected_graph(random.Random(42), 6, 8, "ABC")
+        assert g1.same_structure(g2)
+
+    def test_label_weights(self):
+        g = random_connected_graph(
+            random.Random(0), 50, 60, ["X", "Y"], label_weights=[1.0, 0.0]
+        )
+        assert g.node_labels() == {"X": 50}
+
+    def test_edge_labels(self):
+        g = random_connected_graph(
+            random.Random(0), 4, 5, "A", edge_labels=["s"]
+        )
+        assert all(g.edge_label(u, v) == "s" for u, v in g.edges())
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(random.Random(0), 0, 0, "A")
+
+    def test_single_node(self):
+        g = random_connected_graph(random.Random(0), 1, 0, "A")
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+
+class TestRandomConnectedSubgraph:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_connected_and_sized(self, seed):
+        rng = random.Random(seed)
+        g = random_connected_graph(rng, 7, 9, "AB")
+        k = rng.randint(1, g.num_edges)
+        sub = random_connected_subgraph(rng, g, k)
+        assert sub is not None
+        assert sub.num_edges == k
+        assert sub.is_connected()
+
+    def test_too_large_returns_none(self):
+        g = random_connected_graph(random.Random(0), 3, 2, "A")
+        assert random_connected_subgraph(random.Random(0), g, 10) is None
+
+    def test_zero_edges_returns_none(self):
+        g = random_connected_graph(random.Random(0), 3, 2, "A")
+        assert random_connected_subgraph(random.Random(0), g, 0) is None
+
+
+class TestPerturb:
+    def test_adds_one_node_and_edge(self):
+        g = random_connected_graph(random.Random(0), 4, 4, "A")
+        p = perturb_with_new_edge(random.Random(1), g, "Z")
+        assert p.num_nodes == g.num_nodes + 1
+        assert p.num_edges == g.num_edges + 1
+        assert p.is_connected()
+        assert "Z" in p.node_labels()
+
+    def test_original_untouched(self):
+        g = random_connected_graph(random.Random(0), 4, 4, "A")
+        before = g.num_edges
+        perturb_with_new_edge(random.Random(1), g, "Z")
+        assert g.num_edges == before

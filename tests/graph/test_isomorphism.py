@@ -1,0 +1,120 @@
+"""Subgraph isomorphism: soundness, completeness, and exact embedding counts."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    count_embeddings,
+    find_embedding,
+    is_subgraph_isomorphic,
+    iter_embeddings,
+)
+from repro.graph.generators import random_connected_graph, random_connected_subgraph
+from repro.testing import brute_force_embeddings, graph_from_spec
+
+
+def _pair(seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(2, 6)
+    target = random_connected_graph(rng, n, rng.randint(n - 1, n + 2), "AB")
+    m = rng.randint(1, 4)
+    pattern = random_connected_graph(rng, m, rng.randint(m - 1, m + 1), "AB")
+    return pattern, target
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=150, deadline=None)
+    def test_embedding_count_matches_brute_force(self, seed):
+        pattern, target = _pair(seed)
+        assert count_embeddings(pattern, target) == brute_force_embeddings(
+            pattern, target
+        )
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_sampled_subgraph_always_embeds(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 8)
+        target = random_connected_graph(rng, n, rng.randint(n - 1, n + 3), "ABC")
+        sub = random_connected_subgraph(rng, target, rng.randint(1, target.num_edges))
+        assert sub is not None
+        assert is_subgraph_isomorphic(sub, target)
+
+
+class TestSemantics:
+    def test_non_induced(self):
+        """A path pattern matches inside a triangle: extra edges are allowed."""
+        path = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        tri = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2), (0, 2)])
+        assert is_subgraph_isomorphic(path, tri)
+
+    def test_labels_must_match(self):
+        p = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        t = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        assert not is_subgraph_isomorphic(p, t)
+
+    def test_edge_labels_must_match(self):
+        p = Graph(); p.add_node(0, "A"); p.add_node(1, "A"); p.add_edge(0, 1, "x")
+        t = Graph(); t.add_node(0, "A"); t.add_node(1, "A"); t.add_edge(0, 1, "y")
+        assert not is_subgraph_isomorphic(p, t)
+
+    def test_injective_mapping(self):
+        """Two pattern nodes cannot share one target node."""
+        p = graph_from_spec({0: "B", 1: "A", 2: "B"}, [(0, 1), (1, 2)])
+        t = graph_from_spec({0: "B", 1: "A"}, [(0, 1)])
+        assert not is_subgraph_isomorphic(p, t)
+
+    def test_empty_pattern_matches(self):
+        t = graph_from_spec({0: "A"}, [])
+        assert is_subgraph_isomorphic(Graph(), t)
+
+    def test_pattern_larger_than_target(self):
+        p = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        t = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        assert not is_subgraph_isomorphic(p, t)
+
+    def test_disconnected_pattern(self):
+        p = graph_from_spec({0: "A", 1: "A", 2: "B", 3: "B"}, [(0, 1), (2, 3)])
+        t = graph_from_spec(
+            {0: "A", 1: "A", 2: "B", 3: "B", 4: "C"},
+            [(0, 1), (1, 4), (4, 2), (2, 3)],
+        )
+        assert is_subgraph_isomorphic(p, t)
+
+    def test_disconnected_pattern_injectivity_across_components(self):
+        p = graph_from_spec({0: "A", 1: "A", 2: "A", 3: "A"}, [(0, 1), (2, 3)])
+        t = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        assert not is_subgraph_isomorphic(p, t)
+
+
+class TestApi:
+    def test_find_embedding_valid(self):
+        p = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        t = graph_from_spec({0: "B", 1: "A", 2: "B"}, [(0, 1), (1, 2)])
+        emb = find_embedding(p, t)
+        assert emb is not None
+        assert t.label(emb[0]) == "A"
+        assert t.label(emb[1]) == "B"
+        assert t.has_edge(emb[0], emb[1])
+
+    def test_find_embedding_none(self):
+        p = graph_from_spec({0: "Z", 1: "Z"}, [(0, 1)])
+        t = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        assert find_embedding(p, t) is None
+
+    def test_limit_stops_enumeration(self):
+        p = graph_from_spec({0: "A"}, [])
+        t = graph_from_spec({i: "A" for i in range(5)}, [(i, i + 1) for i in range(4)])
+        assert count_embeddings(p, t) == 5
+        assert count_embeddings(p, t, limit=2) == 2
+
+    def test_iter_embeddings_distinct(self):
+        p = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        t = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2), (0, 2)])
+        embs = list(iter_embeddings(p, t))
+        assert len(embs) == 6  # 3 edges x 2 orientations
+        assert len({tuple(sorted(e.items())) for e in embs}) == 6

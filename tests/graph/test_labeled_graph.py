@@ -1,0 +1,201 @@
+"""Unit tests for the labeled-graph data model."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph, edge_key
+from repro.testing import graph_from_spec
+
+
+@pytest.fixture
+def triangle():
+    return graph_from_spec({0: "C", 1: "C", 2: "O"}, [(0, 1), (1, 2), (2, 0)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert len(g) == 0
+
+    def test_add_node_and_label(self):
+        g = Graph()
+        g.add_node(0, "C")
+        assert g.has_node(0)
+        assert g.label(0) == "C"
+
+    def test_add_node_idempotent_same_label(self):
+        g = Graph()
+        g.add_node(0, "C")
+        g.add_node(0, "C")  # no error
+        assert g.num_nodes == 1
+
+    def test_add_node_relabel_rejected(self):
+        g = Graph()
+        g.add_node(0, "C")
+        with pytest.raises(GraphError):
+            g.add_node(0, "O")
+
+    def test_add_edge_requires_nodes(self):
+        g = Graph()
+        g.add_node(0, "C")
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        g.add_node(0, "C")
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            triangle.add_edge(1, 0)  # same undirected edge
+
+    def test_size_is_edge_count(self, triangle):
+        # The paper defines |G| = |E|.
+        assert len(triangle) == 3
+        assert triangle.num_edges == 3
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], {0: "A", 1: "B", 2: "C"})
+        assert g.num_edges == 2
+        assert g.label(1) == "B"
+
+    def test_from_edges_with_edge_labels(self):
+        g = Graph.from_edges(
+            [(0, 1)], {0: "A", 1: "B"}, edge_labels={(0, 1): "double"}
+        )
+        assert g.edge_label(0, 1) == "double"
+
+    def test_edge_labels_default_none(self, triangle):
+        assert triangle.edge_label(0, 1) is None
+
+
+class TestAccessors:
+    def test_label_missing_node(self):
+        with pytest.raises(GraphError):
+            Graph().label(0)
+
+    def test_edge_label_missing_edge(self, triangle):
+        triangle2 = triangle.copy()
+        with pytest.raises(GraphError):
+            triangle2.edge_label(0, 99)
+
+    def test_neighbors(self, triangle):
+        assert set(triangle.neighbors(0)) == {1, 2}
+
+    def test_neighbors_missing_node(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors(99)
+
+    def test_degree(self, triangle):
+        assert triangle.degree(1) == 2
+
+    def test_edges_yield_each_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert len(set(edges)) == 3
+
+    def test_node_labels_multiset(self, triangle):
+        assert triangle.node_labels() == {"C": 2, "O": 1}
+
+    def test_edge_label_triples_sorted_ends(self, triangle):
+        triples = triangle.edge_label_triples()
+        assert triples[("C", None, "C")] == 1
+        assert triples[("C", None, "O")] == 2
+
+
+class TestRemoval:
+    def test_remove_edge(self, triangle):
+        g = triangle.copy()
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 2
+        assert g.has_node(0)  # endpoints stay
+
+    def test_remove_missing_edge(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.copy().remove_edge(0, 99)
+
+    def test_remove_node_drops_incident_edges(self, triangle):
+        g = triangle.copy()
+        g.remove_node(0)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+
+    def test_remove_missing_node(self):
+        with pytest.raises(GraphError):
+            Graph().remove_node(0)
+
+
+class TestStructure:
+    def test_empty_graph_not_connected(self):
+        assert not Graph().is_connected()
+
+    def test_single_node_connected(self):
+        g = Graph()
+        g.add_node(0, "C")
+        assert g.is_connected()
+
+    def test_disconnected(self):
+        g = graph_from_spec({0: "A", 1: "A", 2: "B", 3: "B"}, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+        comps = g.connected_components()
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+
+    def test_connected_components_singleton(self):
+        g = Graph()
+        g.add_node(5, "X")
+        assert g.connected_components() == [frozenset({5})]
+
+    def test_subgraph_induced(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(0, 1)
+        assert sub.num_edges == 1
+
+    def test_edge_subgraph(self, triangle):
+        sub = triangle.edge_subgraph([(0, 1), (1, 2)])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert not sub.has_edge(0, 2)
+
+    def test_edge_subgraph_missing_edge(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.edge_subgraph([(0, 99)])
+
+    def test_copy_is_independent(self, triangle):
+        g = triangle.copy()
+        g.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+
+    def test_relabel_nodes(self, triangle):
+        g = triangle.relabel_nodes({0: "x", 1: "y", 2: "z"})
+        assert g.has_edge("x", "y")
+        assert g.label("z") == "O"
+
+    def test_relabel_must_be_injective(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.relabel_nodes({0: "x", 1: "x"})
+
+    def test_same_structure(self, triangle):
+        assert triangle.same_structure(triangle.copy())
+        other = triangle.copy()
+        other.remove_edge(0, 1)
+        assert not triangle.same_structure(other)
+
+
+class TestEdgeKey:
+    def test_orders_ints(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_orders_strings(self):
+        assert edge_key("b", "a") == ("a", "b")
+
+    def test_mixed_types_stable(self):
+        assert edge_key(1, "a") == edge_key("a", 1)

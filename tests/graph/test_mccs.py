@@ -1,0 +1,138 @@
+"""MCCS and the similarity measures of Definitions 1-3."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    is_similar,
+    mccs_at_least,
+    mccs_size,
+    subgraph_distance,
+    subgraph_similarity_degree,
+)
+from repro.graph.generators import random_connected_graph, random_connected_subgraph
+from repro.graph.mccs import iter_connected_subgraph_levels
+from repro.testing import brute_force_mccs, graph_from_spec
+
+
+def _pair(seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(2, 6)
+    q = random_connected_graph(rng, n, rng.randint(n - 1, n + 2), "AB")
+    m = rng.randint(2, 6)
+    g = random_connected_graph(rng, m, rng.randint(m - 1, m + 2), "AB")
+    return q, g
+
+
+class TestMccsSize:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, seed):
+        q, g = _pair(seed)
+        assert mccs_size(q, g) == brute_force_mccs(q, g)
+
+    def test_full_match(self):
+        q = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        g = graph_from_spec({0: "B", 1: "A", 2: "B"}, [(0, 1), (1, 2)])
+        assert mccs_size(q, g) == 1
+
+    def test_no_common_edge(self):
+        q = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        g = graph_from_spec({0: "B", 1: "B"}, [(0, 1)])
+        assert mccs_size(q, g) == 0
+
+    def test_paper_example_shape(self):
+        """Figure 1 analogue: a query missing k edges matches at |q|-k."""
+        q = graph_from_spec(
+            {i: "C" for i in range(5)},
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        )
+        g = graph_from_spec(
+            {i: "C" for i in range(4)}, [(0, 1), (1, 2), (2, 3)]
+        )
+        assert mccs_size(q, g) == 3  # the longest path piece of the 5-cycle
+
+    def test_lower_bound_early_exit(self):
+        q = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        g = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        # true mccs is 1; with lower_bound 2 the search reports "below bound"
+        assert mccs_size(q, g, lower_bound=2) == 0
+        assert mccs_size(q, g) == 1
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=50, deadline=None)
+    def test_subgraph_gives_full_size(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 7)
+        g = random_connected_graph(rng, n, rng.randint(n - 1, n + 2), "AB")
+        sub = random_connected_subgraph(rng, g, rng.randint(1, g.num_edges))
+        assert mccs_size(sub, g) == sub.num_edges
+
+
+class TestMeasures:
+    def test_similarity_degree_definition(self):
+        q = graph_from_spec(
+            {0: "A", 1: "A", 2: "A", 3: "B"}, [(0, 1), (1, 2), (2, 3)]
+        )
+        g = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        assert subgraph_similarity_degree(g, q) == pytest.approx(2 / 3)
+
+    def test_distance_definition(self):
+        q = graph_from_spec(
+            {0: "A", 1: "A", 2: "A", 3: "B"}, [(0, 1), (1, 2), (2, 3)]
+        )
+        g = graph_from_spec({0: "A", 1: "A", 2: "A"}, [(0, 1), (1, 2)])
+        assert subgraph_distance(q, g) == 1
+
+    def test_distance_zero_means_contained(self):
+        q = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        assert subgraph_distance(q, g) == 0
+
+    def test_degree_needs_nonempty_query(self):
+        with pytest.raises(ValueError):
+            subgraph_similarity_degree(Graph(), Graph())
+
+    @given(st.integers(0, 50_000), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_is_similar_consistent_with_distance(self, seed, sigma):
+        q, g = _pair(seed)
+        assert is_similar(q, g, sigma) == (subgraph_distance(q, g) <= sigma)
+
+    @given(st.integers(0, 50_000), st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_mccs_at_least_consistent(self, seed, k):
+        q, g = _pair(seed)
+        assert mccs_at_least(q, g, k) == (mccs_size(q, g) >= k)
+
+    def test_mccs_at_least_trivial(self):
+        q = graph_from_spec({0: "A", 1: "A"}, [(0, 1)])
+        g = graph_from_spec({0: "B", 1: "B"}, [(0, 1)])
+        assert mccs_at_least(q, g, 0)
+
+
+class TestLevelEnumeration:
+    def test_levels_complete(self):
+        """Every connected edge subset appears at its level exactly once."""
+        q = graph_from_spec(
+            {0: "A", 1: "A", 2: "A", 3: "A"},
+            [(0, 1), (1, 2), (2, 0), (2, 3)],
+        )
+        from repro.testing import all_connected_edge_subsets
+
+        truth = all_connected_edge_subsets(q)
+        seen = set()
+        for k, subsets in iter_connected_subgraph_levels(q):
+            for s in subsets:
+                assert len(s) == k
+                seen.add(s)
+        assert seen == truth
+
+    def test_rejects_disconnected_query(self):
+        g = graph_from_spec({0: "A", 1: "A", 2: "B", 3: "B"}, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            list(iter_connected_subgraph_levels(g))

@@ -1,0 +1,84 @@
+"""gSpan-format serialization round trips and error handling."""
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import Graph, GraphDatabase
+from repro.graph.serialization import (
+    parse_graphs,
+    read_database,
+    write_database,
+    write_graph,
+)
+from repro.graph.canonical import canonical_code
+from repro.testing import graph_from_spec, small_database
+
+
+class TestRoundTrip:
+    def test_database_roundtrip(self, tmp_path):
+        db = small_database(seed=3, num_graphs=10)
+        path = tmp_path / "db.lg"
+        write_database(db, path)
+        loaded = read_database(path)
+        assert len(loaded) == len(db)
+        for gid in range(len(db)):
+            assert canonical_code(loaded[gid]) == canonical_code(db[gid])
+
+    def test_edge_labels_roundtrip(self, tmp_path):
+        g = Graph()
+        g.add_node(0, "C")
+        g.add_node(1, "O")
+        g.add_edge(0, 1, "double")
+        path = tmp_path / "one.lg"
+        write_database(GraphDatabase([g]), path)
+        loaded = read_database(path)
+        (u, v), = loaded[0].edges()
+        assert loaded[0].edge_label(u, v) == "double"
+
+    def test_write_graph_format(self):
+        g = graph_from_spec({0: "C", 1: "N"}, [(0, 1)])
+        buf = io.StringIO()
+        write_graph(g, buf, gid=7)
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "t # 7"
+        assert lines[1].startswith("v 0 ")
+        assert lines[3] == "e 0 1"
+
+
+class TestParsing:
+    def test_terminator_line(self):
+        graphs = parse_graphs(["t # 0", "v 0 A", "v 1 A", "e 0 1", "t # -1"])
+        assert len(graphs) == 1
+
+    def test_blank_and_comment_lines_skipped(self):
+        graphs = parse_graphs(
+            ["", "# header", "t # 0", "v 0 A", "v 1 A", "e 0 1"]
+        )
+        assert len(graphs) == 1
+
+    def test_vertex_before_transaction(self):
+        with pytest.raises(GraphError):
+            parse_graphs(["v 0 A"])
+
+    def test_edge_before_transaction(self):
+        with pytest.raises(GraphError):
+            parse_graphs(["e 0 1"])
+
+    def test_malformed_vertex(self):
+        with pytest.raises(GraphError):
+            parse_graphs(["t # 0", "v 0"])
+
+    def test_malformed_edge(self):
+        with pytest.raises(GraphError):
+            parse_graphs(["t # 0", "v 0 A", "v 1 A", "e 0"])
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphError):
+            parse_graphs(["x 1 2"])
+
+    def test_edge_label_parsed(self):
+        graphs = parse_graphs(["t # 0", "v 0 A", "v 1 A", "e 0 1 s"])
+        (u, v), = graphs[0].edges()
+        assert graphs[0].edge_label(u, v) == "s"

@@ -1,0 +1,58 @@
+"""Property-based round-trip testing of the gSpan serialization."""
+
+import io
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GraphDatabase, canonical_code
+from repro.graph.generators import random_connected_graph
+from repro.graph.serialization import parse_graphs, write_graph
+
+_LABEL = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=1, max_size=6,
+)
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    labels=st.lists(_LABEL, min_size=1, max_size=5, unique=True),
+    edge_labels=st.one_of(
+        st.none(), st.lists(_LABEL, min_size=1, max_size=3, unique=True)
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_write_parse_roundtrip(seed, labels, edge_labels):
+    rng = random.Random(seed)
+    n = rng.randint(1, 7)
+    g = random_connected_graph(
+        rng, n, rng.randint(max(n - 1, 1), n + 3), labels,
+        edge_labels=edge_labels,
+    )
+    buf = io.StringIO()
+    write_graph(g, buf, gid=0)
+    (parsed,) = parse_graphs(buf.getvalue().splitlines())
+    assert parsed.num_nodes == g.num_nodes
+    assert parsed.num_edges == g.num_edges
+    assert canonical_code(parsed) == canonical_code(g)
+
+
+@given(seed=st.integers(0, 100_000), count=st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_multi_graph_file_roundtrip(seed, count, tmp_path_factory):
+    from repro.graph.serialization import read_database, write_database
+
+    rng = random.Random(seed)
+    graphs = [
+        random_connected_graph(rng, rng.randint(2, 6), rng.randint(2, 8), "AB")
+        for _ in range(count)
+    ]
+    db = GraphDatabase(graphs)
+    path = tmp_path_factory.mktemp("ser") / "db.lg"
+    write_database(db, path)
+    loaded = read_database(path)
+    assert len(loaded) == count
+    for i in range(count):
+        assert canonical_code(loaded[i]) == canonical_code(db[i])

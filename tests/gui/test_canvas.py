@@ -1,0 +1,140 @@
+"""The headless visual interface (Figure 2's panels and gesture idioms)."""
+
+import pytest
+
+from repro.core.actions import QueryStatus
+from repro.exceptions import SessionError
+from repro.gui import VisualInterface
+
+
+@pytest.fixture
+def interface(small_db, small_indexes):
+    iface = VisualInterface()
+    iface.open_database(small_db, small_indexes, sigma=2)
+    return iface
+
+
+class TestPanels:
+    def test_palette_is_sorted_universe(self, interface, small_db):
+        assert interface.palette.labels() == small_db.node_label_universe()
+
+    def test_palette_membership(self, interface):
+        assert "A" in interface.palette
+        assert "Z" not in interface.palette
+
+    def test_requires_open_database(self):
+        iface = VisualInterface()
+        with pytest.raises(SessionError):
+            iface.new_canvas()
+        with pytest.raises(SessionError):
+            _ = iface.engine
+
+    def test_new_canvas_resets(self, interface):
+        canvas = interface.canvas
+        a = canvas.drop_node("A")
+        b = canvas.drop_node("A")
+        canvas.draw_edge(a, b)
+        fresh = interface.new_canvas()
+        assert fresh is not canvas
+        assert interface.engine.query.num_edges == 0
+        assert interface.results_panel.results is None
+
+
+class TestCanvasGestures:
+    def test_drop_node_rejects_foreign_label(self, interface):
+        with pytest.raises(SessionError):
+            interface.canvas.drop_node("Z")
+
+    def test_left_right_click_draws_edge(self, interface):
+        canvas = interface.canvas
+        a = canvas.drop_node("A", position=(10, 10))
+        b = canvas.drop_node("B", position=(20, 20))
+        canvas.left_click(a)
+        report = canvas.right_click(b)
+        assert report.edge_id == 1
+        assert interface.engine.query.num_edges == 1
+
+    def test_right_click_without_selection(self, interface):
+        canvas = interface.canvas
+        a = canvas.drop_node("A")
+        with pytest.raises(SessionError):
+            canvas.right_click(a)
+
+    def test_click_unknown_node(self, interface):
+        with pytest.raises(SessionError):
+            interface.canvas.left_click(99)
+        interface.canvas.drop_node("A")
+        interface.canvas.left_click(1)
+        with pytest.raises(SessionError):
+            interface.canvas.right_click(99)
+
+    def test_status_reflects_engine(self, interface):
+        canvas = interface.canvas
+        a = canvas.drop_node("A")
+        b = canvas.drop_node("B")
+        canvas.draw_edge(a, b)
+        assert canvas.status in (QueryStatus.FREQUENT, QueryStatus.INFREQUENT,
+                                 QueryStatus.SIMILAR)
+
+    def test_node_positions_recorded(self, interface):
+        a = interface.canvas.drop_node("A", position=(3.5, 4.5))
+        assert interface.canvas.nodes[a].position == (3.5, 4.5)
+
+
+class TestDialogueAndRun:
+    @pytest.fixture
+    def gap_interface(self):
+        """A corpus where labels A and B both exist but never bond: drawing
+        an A-B edge is palette-legal yet provably unmatched (a 0-support
+        DIF), so the option dialogue must pop."""
+        from repro.config import MiningParams
+        from repro.graph import GraphDatabase
+        from repro.index import build_indexes
+        from repro.testing import graph_from_spec
+
+        graphs = []
+        for _ in range(6):
+            graphs.append(graph_from_spec({0: "A", 1: "A"}, [(0, 1)]))
+            graphs.append(graph_from_spec({0: "B", 1: "B"}, [(0, 1)]))
+        db = GraphDatabase(graphs)
+        indexes = build_indexes(db, MiningParams(0.3, 2, 3))
+        iface = VisualInterface()
+        iface.open_database(db, indexes, sigma=1)
+        return iface
+
+    def _draw_unmatched(self, interface):
+        canvas = interface.canvas
+        a = canvas.drop_node("A")
+        b = canvas.drop_node("B")
+        canvas.draw_edge(a, b)
+        return interface.pending_dialogue
+
+    def test_dialogue_pops_on_empty_rq(self, gap_interface):
+        assert self._draw_unmatched(gap_interface)
+
+    def test_dialogue_modify_answer(self, gap_interface):
+        assert self._draw_unmatched(gap_interface)
+        suggestion = gap_interface.dialogue_suggestion()
+        if suggestion is not None:
+            report = gap_interface.answer_modify()
+            assert report.edge_id == suggestion.edge_id
+        else:
+            # A one-edge query has no suggestible deletion (the empty query
+            # is not a fragment); the user picks the edge explicitly.
+            report = gap_interface.answer_modify(1)
+            assert report.edge_id == 1
+        assert not gap_interface.pending_dialogue
+
+    def test_dialogue_similarity_answer(self, gap_interface):
+        assert self._draw_unmatched(gap_interface)
+        report = gap_interface.answer_similarity()
+        assert gap_interface.engine.sim_flag
+        assert report.candidate_count is not None
+
+    def test_run_displays_results(self, interface):
+        canvas = interface.canvas
+        a = canvas.drop_node("A")
+        b = canvas.drop_node("B")
+        canvas.draw_edge(a, b)
+        report = interface.run()
+        assert interface.results_panel.results is report.results

@@ -1,0 +1,123 @@
+"""Canned patterns (footnote 1's future-work extension)."""
+
+import pytest
+
+from repro.baselines.naive import naive_containment_search
+from repro.core import PragueEngine
+from repro.exceptions import QueryError, SessionError
+from repro.gui import VisualInterface
+from repro.gui.patterns import (
+    CannedPattern,
+    amine_group,
+    benzene_ring,
+    default_pattern_library,
+    pattern_library_for,
+    thioether_bridge,
+)
+from repro.testing import drive_engine, graph_from_spec
+
+
+class TestPatternLibrary:
+    def test_benzene_is_a_six_ring(self):
+        pattern = benzene_ring()
+        g = pattern.graph
+        assert g.num_nodes == 6
+        assert g.num_edges == 6
+        assert g.node_labels() == {"C": 6}
+        assert all(g.degree(n) == 2 for n in g.nodes())
+
+    def test_all_patterns_connected(self):
+        for pattern in default_pattern_library():
+            assert pattern.graph.is_connected()
+            assert pattern.size >= 1
+
+    def test_library_filtered_by_universe(self, small_db):
+        # small_db's universe is {A, B, C}: only the all-carbon patterns
+        # survive the Panel 2 constraint ("C" happens to be in the universe).
+        names = {p.name for p in pattern_library_for(small_db)}
+        assert names == {"benzene ring"}
+
+    def test_library_for_molecular_corpus(self):
+        from repro.datasets import generate_aids_like
+
+        db = generate_aids_like(30, seed=1)
+        library = pattern_library_for(db)
+        assert any(p.name == "benzene ring" for p in library)
+
+
+class TestEnginePatternDrop:
+    def _pattern(self):
+        return CannedPattern(
+            name="ab-triangle", description="",
+            graph=graph_from_spec(
+                {0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2), (2, 0)]
+            ),
+        )
+
+    def test_pattern_starts_a_query(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes)
+        reports = engine.add_pattern(self._pattern())
+        assert len(reports) == 3
+        assert engine.query.num_edges == 3
+        assert len(engine.manager.spigs) == 3  # one SPIG per edge
+
+    def test_pattern_equivalent_to_manual_formulation(
+        self, small_db, small_indexes
+    ):
+        engine = PragueEngine(small_db, small_indexes)
+        engine.add_pattern(self._pattern())
+        res = engine.run()
+        truth = naive_containment_search(engine.query.graph(), small_db)
+        if truth:
+            assert res.results.exact_ids == truth
+
+    def test_attach_required_on_nonempty_query(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, graph_from_spec({0: "A", 1: "B"}, [(0, 1)]))
+        with pytest.raises(QueryError):
+            engine.add_pattern(self._pattern())
+
+    def test_attach_fuses_on_existing_node(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, graph_from_spec({"x": "A", "y": "B"}, [("x", "y")]))
+        engine.add_pattern(self._pattern(), attach={0: "x"})
+        g = engine.query.graph()
+        assert g.num_edges == 4
+        assert g.degree("x") == 3  # original edge + two triangle edges
+
+    def test_attach_label_mismatch_rejected(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes)
+        drive_engine(engine, graph_from_spec({"x": "C", "y": "B"}, [("x", "y")]))
+        with pytest.raises(QueryError):
+            engine.add_pattern(self._pattern(), attach={0: "x"})
+
+    def test_disconnected_pattern_rejected(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes)
+        bad = graph_from_spec(
+            {0: "A", 1: "A", 2: "B", 3: "B"}, [(0, 1), (2, 3)]
+        )
+        with pytest.raises(QueryError):
+            engine.add_pattern(bad)
+
+
+class TestCanvasPatternDrop:
+    def test_drop_pattern_on_canvas(self, small_db, small_indexes):
+        iface = VisualInterface()
+        iface.open_database(small_db, small_indexes, sigma=2)
+        pattern = CannedPattern(
+            name="ab", description="",
+            graph=graph_from_spec({0: "A", 1: "B"}, [(0, 1)]),
+        )
+        reports = iface.canvas.drop_pattern(pattern, position=(5.0, 5.0))
+        assert len(reports) == 1
+        assert len(iface.canvas.nodes) == 2
+        # subsequent manual drops do not collide with pattern node ids
+        extra = iface.canvas.drop_node("C")
+        assert extra not in [r.edge_id for r in reports]
+        assert iface.engine.query.node_label(extra) == "C"
+
+    def test_foreign_pattern_label_rejected(self, small_db, small_indexes):
+        iface = VisualInterface()
+        iface.open_database(small_db, small_indexes)
+        with pytest.raises(SessionError):
+            iface.canvas.drop_pattern(thioether_bridge())  # S/C not in A/B/C

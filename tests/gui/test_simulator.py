@@ -1,0 +1,85 @@
+"""Simulated participants and the formulation protocol of Section VIII-A."""
+
+import random
+
+import pytest
+
+from repro.core import QuerySpec
+from repro.gui import (
+    SimulatedUser,
+    UserProfile,
+    VisualInterface,
+    average_srt,
+    participant_panel,
+)
+from repro.testing import sample_subgraph
+
+
+@pytest.fixture
+def spec(small_db):
+    rng = random.Random(0)
+    q = sample_subgraph(rng, small_db, 3, 3)
+    from repro.datasets import spec_from_graph
+
+    return spec_from_graph("sim-test", q)
+
+
+@pytest.fixture
+def interface_factory(small_db, small_indexes):
+    def factory():
+        iface = VisualInterface()
+        iface.open_database(small_db, small_indexes, sigma=2)
+        return iface
+
+    return factory
+
+
+class TestUserProfile:
+    def test_latency_at_least_minimum(self):
+        user = SimulatedUser(UserProfile(mean_edge_seconds=0.1, seed=1))
+        for _ in range(50):
+            assert user._draw_latency() >= user.profile.min_edge_seconds
+
+    def test_panel_has_eight_volunteers(self):
+        panel = participant_panel()
+        assert len(panel) == 8
+        names = {u.profile.name for u in panel}
+        assert len(names) == 8
+
+    def test_panel_deterministic(self):
+        p1 = participant_panel(seed=5)
+        p2 = participant_panel(seed=5)
+        assert [u.profile.mean_edge_seconds for u in p1] == [
+            u.profile.mean_edge_seconds for u in p2
+        ]
+
+
+class TestFormulation:
+    def test_formulate_produces_trace(self, interface_factory, spec):
+        user = SimulatedUser(UserProfile(seed=2))
+        outcome = user.formulate(interface_factory(), spec)
+        assert outcome.query == "sim-test"
+        assert len(outcome.edge_latencies) == spec.size
+        assert outcome.formulation_seconds >= 2.0 * spec.size
+        assert outcome.srt_seconds >= 0
+
+    def test_formulate_answers_dialogue(self, small_db, small_indexes):
+        """A query whose Rq empties is completed as a similarity query."""
+        iface = VisualInterface()
+        iface.open_database(small_db, small_indexes, sigma=2)
+        labels = small_db.node_label_universe()
+        spec = QuerySpec(
+            name="dense",
+            nodes={i: labels[0] for i in range(5)},
+            edges=tuple(
+                (i, j) for i in range(5) for j in range(i + 1, 5)
+            ),
+        )
+        user = SimulatedUser(UserProfile(seed=3))
+        outcome = user.formulate(iface, spec, accept_similarity=True)
+        assert outcome.run_report is not None
+
+    def test_average_srt_protocol(self, interface_factory, spec):
+        users = participant_panel(count=2, seed=9)
+        avg = average_srt(interface_factory, spec, users, repetitions=2)
+        assert avg >= 0.0

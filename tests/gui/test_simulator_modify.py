@@ -1,0 +1,63 @@
+"""Simulated users who answer the option dialogue by *modifying* the query."""
+
+import pytest
+
+from repro.config import MiningParams
+from repro.core import QuerySpec
+from repro.graph import GraphDatabase
+from repro.gui import SimulatedUser, UserProfile, VisualInterface
+from repro.index import build_indexes
+from repro.testing import graph_from_spec
+
+
+@pytest.fixture(scope="module")
+def gap_setup():
+    """A-A and B-B corpora: A-B is palette-legal but provably unmatched."""
+    graphs = []
+    for _ in range(6):
+        graphs.append(graph_from_spec({0: "A", 1: "A", 2: "A"},
+                                      [(0, 1), (1, 2)]))
+        graphs.append(graph_from_spec({0: "B", 1: "B", 2: "B"},
+                                      [(0, 1), (1, 2)]))
+    db = GraphDatabase(graphs)
+    indexes = build_indexes(db, MiningParams(0.3, 2, 3))
+    return db, indexes
+
+
+def _interface(db, indexes):
+    iface = VisualInterface()
+    iface.open_database(db, indexes, sigma=1)
+    return iface
+
+
+class TestModifyingUser:
+    def test_user_accepts_suggestion(self, gap_setup):
+        db, indexes = gap_setup
+        spec = QuerySpec(
+            name="bad-bridge",
+            nodes={0: "A", 1: "A", 2: "B"},
+            edges=((0, 1), (1, 2)),  # the A-B bridge empties Rq
+        )
+        user = SimulatedUser(UserProfile(seed=4))
+        outcome = user.formulate(
+            _interface(db, indexes), spec, accept_similarity=False
+        )
+        # The modifying user removed the A-B bridge, so Run returns exact
+        # matches of the surviving A-A fragment.
+        assert outcome.run_report.results.exact_ids
+
+    def test_user_accepts_similarity(self, gap_setup):
+        db, indexes = gap_setup
+        spec = QuerySpec(
+            name="bad-bridge",
+            nodes={0: "A", 1: "A", 2: "B"},
+            edges=((0, 1), (1, 2)),
+        )
+        user = SimulatedUser(UserProfile(seed=4))
+        outcome = user.formulate(
+            _interface(db, indexes), spec, accept_similarity=True
+        )
+        results = outcome.run_report.results
+        assert not results.exact_ids
+        assert results.similar  # approximate matches at distance 1
+        assert all(m.distance == 1 for m in results.similar)

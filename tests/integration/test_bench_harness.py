@@ -1,0 +1,59 @@
+"""The benchmark harness utilities (no large dataset builds here)."""
+
+import json
+
+from repro.bench import format_table, mb, ms, scaled, time_call
+from repro.bench.harness import emit, results_dir
+from repro.bench.metrics import Stopwatch
+
+
+class TestMetrics:
+    def test_mb(self):
+        assert mb(1024 * 1024) == 1.0
+
+    def test_ms(self):
+        assert ms(0.25) == 250.0
+
+    def test_time_call(self):
+        result, elapsed = time_call(lambda x: x + 1, 41)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_stopwatch(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("a"):
+            pass
+        with sw.lap("b"):
+            pass
+        assert set(sw.laps) == {"a", "b"}
+        assert sw.total() == sum(sw.laps.values())
+
+
+class TestHarness:
+    def test_scaled_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled(1000) == 20  # never below the floor
+
+    def test_scaled_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scaled(1000) == 1000
+
+    def test_format_table(self):
+        text = format_table(
+            "Table X", ["system", "size"], [["PRG", 36.1], ["GR", 11.1]]
+        )
+        assert "Table X" in text
+        assert "PRG" in text
+        lines = text.splitlines()
+        assert len(lines) == 6  # title, rule, header, sep, 2 rows
+
+    def test_emit_writes_results(self):
+        emit("selftest", "Table\n=====\nx | y", {"rows": [1, 2]})
+        md = results_dir() / "selftest.md"
+        js = results_dir() / "selftest.json"
+        assert md.exists()
+        assert json.loads(js.read_text()) == {"rows": [1, 2]}
+        md.unlink()
+        js.unlink()

@@ -1,0 +1,121 @@
+"""End-to-end pipeline with *edge-labeled* graphs (bond types).
+
+The paper's graph model carries edge labels (ψ : E → Σ_Eℓ); every layer —
+canonical codes, mining, DIFs, indexes, SPIGs, similarity — must distinguish
+bonds.  These tests run the whole stack on a bond-labeled molecular corpus.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.naive import naive_containment_search, naive_similarity_search
+from repro.config import MiningParams
+from repro.core import PragueEngine
+from repro.datasets import generate_aids_like
+from repro.graph import Graph, canonical_code
+from repro.index import build_indexes
+from repro.testing import drive_engine, sample_subgraph
+
+
+@pytest.fixture(scope="module")
+def bonded():
+    db = generate_aids_like(60, seed=17, bond_labels=True)
+    indexes = build_indexes(db, MiningParams(0.15, 3, 5))
+    return db, indexes
+
+
+class TestBondLabeledCorpus:
+    def test_bond_labels_present(self, bonded):
+        db, _ = bonded
+        labels = set(db.edge_label_universe())
+        assert labels <= {"s", "d", "t", "a"}
+        assert "s" in labels
+
+    def test_codes_distinguish_bonds(self):
+        a = Graph(); a.add_node(0, "C"); a.add_node(1, "C"); a.add_edge(0, 1, "s")
+        b = Graph(); b.add_node(0, "C"); b.add_node(1, "C"); b.add_edge(0, 1, "d")
+        assert canonical_code(a) != canonical_code(b)
+
+    def test_mined_fragments_carry_bond_labels(self, bonded):
+        _, indexes = bonded
+        labeled = 0
+        for frag in indexes.frequent.values():
+            for u, v in frag.graph.edges():
+                if frag.graph.edge_label(u, v) is not None:
+                    labeled += 1
+        assert labeled > 0
+
+    def test_difs_include_bond_level_gaps(self, bonded):
+        """Non-occurring (atom, bond, atom) triples become support-0 DIFs."""
+        _, indexes = bonded
+        single_edge_difs = [
+            frag for frag in indexes.difs.values() if frag.size == 1
+        ]
+        assert any(frag.support == 0 for frag in single_edge_difs)
+
+
+class TestBondLabeledQueries:
+    def test_exact_queries_match_oracle(self, bonded):
+        db, indexes = bonded
+        rng = random.Random(2)
+        for _ in range(8):
+            q = sample_subgraph(rng, db, 2, 4)
+            engine = PragueEngine(db, indexes)
+            drive_engine(engine, q)
+            assert engine.run().results.exact_ids == \
+                naive_containment_search(q, db)
+
+    def test_bond_mismatch_is_not_a_match(self, bonded):
+        """Changing one bond type must not match graphs with the original."""
+        db, indexes = bonded
+        rng = random.Random(3)
+        while True:
+            q = sample_subgraph(rng, db, 2, 3)
+            edges = [
+                (u, v) for u, v in q.edges() if q.edge_label(u, v) == "s"
+            ]
+            if edges:
+                break
+        u, v = edges[0]
+        q2 = q.copy()
+        q2.remove_edge(u, v)
+        q2.add_edge(u, v, "t")  # triple bonds are rare: likely no match
+        engine = PragueEngine(db, indexes)
+        drive_engine(engine, q2)
+        res = engine.run()
+        assert set(res.results.exact_ids) == set(
+            naive_containment_search(q2, db)
+        )
+
+    def test_similarity_with_bond_labels(self, bonded):
+        db, indexes = bonded
+        rng = random.Random(4)
+        q = sample_subgraph(rng, db, 3, 4)
+        # perturb with an unlikely bonded edge
+        anchor = next(iter(q.nodes()))
+        new_id = max(int(n) for n in q.nodes()) + 1
+        q.add_node(new_id, "Hg")
+        q.add_edge(anchor, new_id, "t")
+        sigma = 1
+        engine = PragueEngine(db, indexes, sigma=sigma)
+        drive_engine(engine, q)
+        res = engine.run()
+        got = {m.graph_id: m.distance for m in res.results.similar}
+        truth = naive_similarity_search(q, db, sigma)
+        if res.results.exact_ids:
+            assert set(res.results.exact_ids) == {
+                g for g, d in truth.items() if d == 0
+            }
+        else:
+            assert got == truth
+
+    def test_serialization_roundtrip_with_bonds(self, bonded, tmp_path):
+        from repro.graph.serialization import read_database, write_database
+
+        db, _ = bonded
+        path = tmp_path / "bonded.lg"
+        write_database(db, path)
+        loaded = read_database(path)
+        for gid in range(0, len(db), 10):
+            assert canonical_code(loaded[gid]) == canonical_code(db[gid])

@@ -1,0 +1,143 @@
+"""Cross-system integration: every engine agrees with the oracle, and the
+blended paradigm produces the same answers as the traditional systems."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DistVpIndex,
+    DistVpSearch,
+    FeatureIndex,
+    GBlenderEngine,
+    GrafilSearch,
+    SigmaSearch,
+)
+from repro.baselines.naive import naive_containment_search, naive_similarity_search
+from repro.core import PragueEngine, formulate
+from repro.datasets import spec_from_graph
+from repro.graph.generators import perturb_with_new_edge
+from repro.testing import drive_engine, sample_subgraph
+
+
+@pytest.fixture(scope="module")
+def traditional(medium_db, medium_indexes):
+    findex = FeatureIndex(medium_db, medium_indexes.frequent, max_feature_edges=3)
+    return {
+        "GR": GrafilSearch(medium_db, findex),
+        "SG": SigmaSearch(medium_db, findex),
+    }
+
+
+class TestAllSystemsAgree:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=10, deadline=None)
+    def test_similarity_consensus(self, seed, medium_db, medium_indexes, traditional):
+        rng = random.Random(seed)
+        q0 = sample_subgraph(rng, medium_db, 3, 5)
+        q = perturb_with_new_edge(rng, q0, medium_db.node_label_universe())
+        sigma = 2
+        truth = naive_similarity_search(q, medium_db, sigma)
+        # PRAGUE (blended)
+        prague = PragueEngine(medium_db, medium_indexes, sigma=sigma)
+        drive_engine(prague, q)
+        report = prague.run()
+        if report.results.exact_ids:
+            # the perturbation happened to match: all systems see dist 0
+            assert {gid for gid, d in truth.items() if d == 0} == set(
+                report.results.exact_ids
+            )
+            return
+        got = {m.graph_id: m.distance for m in report.results.similar}
+        assert got == truth
+        # Traditional systems agree on membership.
+        for name, system in traditional.items():
+            outcome = system.search(q, sigma)
+            assert set(outcome.matches) == set(truth), name
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=10, deadline=None)
+    def test_containment_consensus(self, seed, medium_db, medium_indexes):
+        rng = random.Random(seed)
+        q = sample_subgraph(rng, medium_db, 2, 5)
+        truth = naive_containment_search(q, medium_db)
+        prague = PragueEngine(medium_db, medium_indexes)
+        drive_engine(prague, q)
+        assert prague.run().results.exact_ids == truth
+        gblender = GBlenderEngine(medium_db, medium_indexes)
+        drive_engine(gblender, q)
+        results, _ = gblender.run()
+        assert results == truth
+
+
+class TestCandidatePruning:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=8, deadline=None)
+    def test_prague_candidates_not_larger_than_db(
+        self, seed, medium_db, medium_indexes, traditional
+    ):
+        """The headline claim: PRG's candidate sets are small — at minimum
+        never worse than the whole database, and supersets of the truth."""
+        rng = random.Random(seed)
+        q0 = sample_subgraph(rng, medium_db, 3, 5)
+        q = perturb_with_new_edge(rng, q0, medium_db.node_label_universe())
+        sigma = 2
+        prague = PragueEngine(medium_db, medium_indexes, sigma=sigma)
+        drive_engine(prague, q)
+        report = prague.run()
+        truth = naive_similarity_search(q, medium_db, sigma)
+        assert report.candidate_count <= len(medium_db)
+        if report.results.exact_ids:
+            # the exact path answered: its results are the distance-0 truth
+            assert set(report.results.exact_ids) == {
+                gid for gid, d in truth.items() if d == 0
+            }
+        else:
+            assert set(truth) <= {m.graph_id for m in report.results.similar}
+
+
+class TestFullSessionFlow:
+    def test_formulate_modify_rerun(self, medium_db, medium_indexes):
+        """A realistic session: draw, get an empty Rq, accept the suggestion,
+        keep drawing, and run — every stage consistent with the oracle."""
+        rng = random.Random(11)
+        q0 = sample_subgraph(rng, medium_db, 4, 4)
+        q = perturb_with_new_edge(rng, q0, "Z")
+        engine = PragueEngine(medium_db, medium_indexes, auto_similarity=False)
+        for node in q.nodes():
+            engine.add_node(node, q.label(node))
+        from repro.testing import connected_order
+
+        z_edge = next(
+            e for e in q.edges() if "Z" in (q.label(e[0]), q.label(e[1]))
+        )
+        for u, v in connected_order(q0):
+            engine.add_edge(u, v)
+        engine.add_edge(*z_edge)
+        assert engine.option_pending
+        engine.delete_edge()  # accept suggestion -> exact candidates back
+        report = engine.run()
+        truth = naive_containment_search(engine.query.graph(), medium_db)
+        assert report.results.exact_ids == truth
+
+    def test_session_trace_srt_accounting(self, medium_db, medium_indexes):
+        rng = random.Random(12)
+        q = sample_subgraph(rng, medium_db, 4, 5)
+        spec = spec_from_graph("flow", q)
+        engine = PragueEngine(medium_db, medium_indexes)
+        trace = formulate(engine, spec, edge_latency=2.0)
+        # with 2s latency per edge, tiny test corpora never accumulate backlog
+        assert trace.backlog_before_run == 0.0
+        assert trace.srt_seconds == trace.run_report.processing_seconds
+
+    def test_distvp_agreement_on_small_corpus(self, small_db):
+        rng = random.Random(13)
+        q = sample_subgraph(rng, small_db, 3, 4)
+        sigma = 1
+        index = DistVpIndex(small_db, sigma)
+        outcome = DistVpSearch(small_db, index).search(q, sigma)
+        assert set(outcome.matches) == set(
+            naive_similarity_search(q, small_db, sigma)
+        )

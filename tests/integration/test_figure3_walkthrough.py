@@ -1,0 +1,106 @@
+"""Reproduce the *shape* of the paper's Figure 3 walkthrough.
+
+Sequence 1 of Figure 3: the user draws C-C (frequent), a later step turns the
+fragment infrequent, then a step empties ``Rq`` (Status "Similar"), and Run
+performs verification returning approximate matches.  We build a small
+molecular corpus engineered to produce exactly this status progression: the
+bold step draws an S-S bond, which never occurs in the corpus and is
+therefore a support-0 DIF — the A2I probe proves emptiness instantly.
+"""
+
+import pytest
+
+from repro.config import MiningParams
+from repro.core import PragueEngine, QueryStatus
+from repro.graph import GraphDatabase
+from repro.index import build_indexes
+from repro.testing import graph_from_spec
+
+
+@pytest.fixture(scope="module")
+def chem():
+    """12 graphs: C-C everywhere (frequent), C-S in a minority (infrequent
+    but matched), S-S nowhere (a support-0 DIF)."""
+    graphs = []
+    for _ in range(8):  # pure carbon chains
+        graphs.append(
+            graph_from_spec(
+                {0: "C", 1: "C", 2: "C", 3: "C"}, [(0, 1), (1, 2), (2, 3)]
+            )
+        )
+    for _ in range(4):  # a sulfur pendant on the middle carbon
+        graphs.append(
+            graph_from_spec(
+                {0: "C", 1: "C", 2: "C", 3: "S"}, [(0, 1), (1, 2), (1, 3)]
+            )
+        )
+    db = GraphDatabase(graphs)
+    indexes = build_indexes(db, MiningParams(min_support=0.5, size_threshold=2,
+                                             max_fragment_edges=5))
+    return db, indexes
+
+
+class TestWalkthrough:
+    def test_status_progression(self, chem):
+        db, indexes = chem
+        engine = PragueEngine(db, indexes, sigma=1)
+        for node, label in {0: "C", 1: "C", 2: "S", 3: "S"}.items():
+            engine.add_node(node, label)
+
+        # Step 1: C-C -> frequent (all 12 graphs contain it, α = 0.5).
+        r1 = engine.add_edge(0, 1)
+        assert r1.status is QueryStatus.FREQUENT
+        assert r1.rq_size == 12
+
+        # Step 2: C-C-S -> infrequent; only the 4 sulfur graphs remain.
+        r2 = engine.add_edge(1, 2)
+        assert r2.status is QueryStatus.INFREQUENT
+        assert r2.rq_size == 4
+
+        # Step 3 (the bold edge): S-S never occurs — a support-0 DIF — so
+        # Rq provably empties and the status turns "Similar" (Figure 3).
+        r3 = engine.add_edge(2, 3)
+        assert r3.status is QueryStatus.SIMILAR
+        assert r3.rq_size == 0
+        assert engine.option_pending
+
+        # The user presses Run: exact verification is empty, similarity
+        # search returns the 4 sulfur graphs, each missing exactly the S-S
+        # bond (distance 1).
+        report = engine.run()
+        assert not report.results.exact_ids
+        matched = {m.graph_id: m.distance for m in report.results.similar}
+        assert matched == {8: 1, 9: 1, 10: 1, 11: 1}
+
+    def test_modify_instead_of_similarity(self, chem):
+        db, indexes = chem
+        engine = PragueEngine(db, indexes, sigma=1, auto_similarity=False)
+        for node, label in {0: "C", 1: "C", 2: "S", 3: "S"}.items():
+            engine.add_node(node, label)
+        engine.add_edge(0, 1)
+        engine.add_edge(1, 2)
+        engine.add_edge(2, 3)
+        assert engine.option_pending
+        suggestion = engine.suggestion()
+        assert suggestion is not None
+        # Deleting the S-S edge restores the 4-candidate set (C-C-S); the
+        # only other legal deletion (C-C) would leave C-S-S with none.
+        assert len(suggestion.candidates) == 4
+        engine.delete_edge()
+        report = engine.run()
+        assert report.results.exact_ids == [8, 9, 10, 11]
+
+    def test_gblender_returns_empty_from_bold_step(self, chem):
+        """The contrast motivating PRAGUE: GBLENDER gives up (Section I-A)."""
+        from repro.baselines import GBlenderEngine
+
+        db, indexes = chem
+        engine = GBlenderEngine(db, indexes)
+        for node, label in {0: "C", 1: "C", 2: "S", 3: "S"}.items():
+            engine.add_node(node, label)
+        engine.add_edge(0, 1)
+        engine.add_edge(1, 2)
+        step = engine.add_edge(2, 3)
+        assert step.rq_size == 0
+        results, _ = engine.run()
+        assert results == []  # empty result set, no similarity fallback

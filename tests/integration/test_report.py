@@ -1,0 +1,71 @@
+"""The combined evaluation report renderer."""
+
+import json
+
+import pytest
+
+from repro.bench.report import ascii_bar, render_report
+from repro.cli import main
+
+
+class TestAsciiBar:
+    def test_full_bar(self):
+        assert ascii_bar(10, 10, width=20) == "#" * 20
+
+    def test_half_bar(self):
+        assert ascii_bar(5, 10, width=20) == "#" * 10
+
+    def test_zero_max(self):
+        assert ascii_bar(5, 0) == ""
+
+    def test_clamped(self):
+        assert ascii_bar(50, 10, width=10) == "#" * 10
+
+
+class TestRenderReport:
+    def test_empty_results_dir(self, tmp_path):
+        text = render_report(tmp_path)
+        assert "no benchmark results found" in text
+
+    def test_with_synthetic_results(self, tmp_path):
+        (tmp_path / "table2_index_size.json").write_text(json.dumps({
+            "db_size": 100,
+            "dvp_mb": {"1": 2.0, "2": 4.0, "3": 6.0, "4": 8.0},
+            "prg_mb": 1.0,
+            "sg_gr_mb": 0.5,
+        }))
+        (tmp_path / "table2_index_size.md").write_text(
+            "```\nTable II: demo\n====\nx | y\n```\n"
+        )
+        text = render_report(tmp_path)
+        assert "Index sizes (MB)" in text
+        assert "DVP s=4" in text
+        assert "Table II: demo" in text
+
+    def test_srt_chart(self, tmp_path):
+        (tmp_path / "fig9_srt.json").write_text(json.dumps({
+            "Q1/sigma1": {"PRG": 0.1, "GR": 1.0, "SG": 0.8},
+            "Q1/sigma2": {"PRG": 0.2, "GR": 2.0, "SG": 1.5},
+        }))
+        text = render_report(tmp_path)
+        assert "Total similarity SRT" in text
+        # PRG total (0.3) should be listed before GR (3.0): ascending order
+        assert text.index("PRG") < text.index("GR")
+
+    def test_unknown_sections_appended(self, tmp_path):
+        (tmp_path / "custom_bench.json").write_text("{}")
+        (tmp_path / "custom_bench.md").write_text("```\nCustom\n```")
+        assert "Custom" in render_report(tmp_path)
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        rc = main(["report", "--results", str(tmp_path)])
+        assert rc == 0
+        assert "no benchmark results found" in capsys.readouterr().out
+
+    def test_report_against_repo_results(self, capsys):
+        rc = main(["report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PRAGUE reproduction" in out

@@ -1,0 +1,154 @@
+"""Stateful property test: random GUI action sequences never corrupt state.
+
+A hypothesis rule-based machine plays an erratic user: drawing edges between
+random labeled nodes, deleting edges, toggling similarity search, relabeling
+nodes and pressing Run at arbitrary points.  After every action the engine's
+SPIG set must mirror exactly the connected-subset structure of the current
+query, and every Run must agree with the brute-force oracle.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.baselines.naive import naive_containment_search, naive_similarity_search
+from repro.config import MiningParams
+from repro.core import PragueEngine
+from repro.core.modify import deletable_edges
+from repro.exceptions import QueryError
+from repro.index import build_indexes
+from repro.testing import all_connected_edge_subsets, small_database
+
+_DB = small_database(seed=13, num_graphs=25, max_nodes=6)
+_INDEXES = build_indexes(
+    _DB, MiningParams(min_support=0.2, size_threshold=2, max_fragment_edges=5)
+)
+_LABELS = _DB.node_label_universe()
+_MAX_EDGES = 5
+
+
+class EngineMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.engine = PragueEngine(_DB, _INDEXES, sigma=1)
+        self.nodes = []
+
+    # ------------------------------------------------------------------
+    @rule(label_idx=st.integers(0, len(_LABELS) - 1))
+    def drop_node(self, label_idx: int) -> None:
+        node = f"n{len(self.nodes)}"
+        self.engine.add_node(node, _LABELS[label_idx])
+        self.nodes.append(node)
+
+    @precondition(lambda self: len(self.nodes) >= 2
+                  and self.engine.query.num_edges < _MAX_EDGES)
+    @rule(i=st.integers(0, 10), j=st.integers(0, 10))
+    def draw_edge(self, i: int, j: int) -> None:
+        u = self.nodes[i % len(self.nodes)]
+        v = self.nodes[j % len(self.nodes)]
+        try:
+            self.engine.add_edge(u, v)
+        except QueryError:
+            pass  # duplicate edge, self loop, or disconnected: GUI refuses
+
+    @precondition(lambda self: self.engine.query.num_edges >= 1)
+    @rule(pick=st.integers(0, 10))
+    def delete_edge(self, pick: int) -> None:
+        options = deletable_edges(self.engine.query)
+        if not options:
+            return
+        self.engine.delete_edge(options[pick % len(options)])
+
+    @precondition(lambda self: self.engine.query.num_edges >= 1)
+    @rule()
+    def toggle_similarity(self) -> None:
+        if not self.engine.sim_flag:
+            self.engine.enable_similarity()
+
+    @precondition(lambda self: self.engine.query.num_edges >= 1)
+    @rule(pick=st.integers(0, 10), label_idx=st.integers(0, len(_LABELS) - 1))
+    def relabel(self, pick: int, label_idx: int) -> None:
+        fragment_nodes = list(self.engine.query.graph().nodes())
+        if not fragment_nodes:
+            return
+        try:
+            self.engine.relabel_node(
+                fragment_nodes[pick % len(fragment_nodes)], _LABELS[label_idx]
+            )
+        except QueryError:
+            pass  # relabeling would transiently disconnect: GUI refuses
+
+    @precondition(lambda self: self.engine.query.num_edges >= 1)
+    @rule()
+    def press_run(self) -> None:
+        q = self.engine.query.graph()
+        sim_mode = self.engine.sim_flag
+        report = self.engine.run()
+        exact_truth = naive_containment_search(q, _DB)
+        got = {m.graph_id: m.distance for m in report.results.similar}
+        if sim_mode:
+            # similarity mode: exact matches surface at distance 0
+            truth = naive_similarity_search(q, _DB, self.engine.sigma)
+            assert got == truth
+            assert {g for g, d in got.items() if d == 0} == set(exact_truth)
+        elif report.results.exact_ids:
+            assert report.results.exact_ids == exact_truth
+        else:
+            # exact path fell back to similarity (Alg 1, lines 19-21)
+            assert exact_truth == []
+            assert got == naive_similarity_search(q, _DB, self.engine.sigma)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def spig_registry_matches_query(self) -> None:
+        engine = getattr(self, "engine", None)
+        if engine is None:
+            return
+        query = engine.query
+        if query.num_edges == 0:
+            assert engine.manager.num_vertices() == 0
+            return
+        id_of = {}
+        for eid in query.edge_ids():
+            u, v, _ = query.edge(eid)
+            id_of[frozenset((u, v))] = eid
+        truth = {
+            frozenset(id_of[frozenset(e)] for e in subset)
+            for subset in all_connected_edge_subsets(query.graph())
+        }
+        seen = set()
+        for spig in engine.manager.spigs.values():
+            for vertex in spig.vertices():
+                seen.update(vertex.edge_sets)
+        assert seen == truth
+
+    @invariant()
+    def level_counts_obey_lemma1(self) -> None:
+        engine = getattr(self, "engine", None)
+        if engine is None or engine.query.num_edges == 0:
+            return
+        n = engine.query.num_edges
+        for k in range(1, n + 1):
+            assert engine.manager.total_vertices_at(k) <= math.comb(n, k)
+
+    @invariant()
+    def exact_candidates_sound(self) -> None:
+        engine = getattr(self, "engine", None)
+        if engine is None or engine.query.num_edges == 0 or engine.sim_flag:
+            return
+        truth = set(naive_containment_search(engine.query.graph(), _DB))
+        assert truth <= set(engine.rq)
+
+
+TestEngineMachine = EngineMachine.TestCase
+TestEngineMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,68 @@
+"""DFSCode state machinery (rightmost path, graph building, minimality)."""
+
+from repro.graph.canonical import canonical_code
+from repro.mining.dfs_code import DFSCode
+from repro.testing import graph_from_spec
+
+
+class TestDfsCode:
+    def test_single_edge(self):
+        code = DFSCode(((0, 1, "A", "", "B"),))
+        assert len(code) == 1
+        assert code.num_vertices == 2
+        assert code.rightmost_path == (0, 1)
+
+    def test_path_rightmost(self):
+        code = DFSCode((
+            (0, 1, "A", "", "A"),
+            (1, 2, "A", "", "A"),
+        ))
+        assert code.rightmost_path == (0, 1, 2)
+
+    def test_branch_rightmost(self):
+        # Star: 0-1, 0-2; the rightmost path goes through the newest branch.
+        code = DFSCode((
+            (0, 1, "A", "", "A"),
+            (0, 2, "A", "", "B"),
+        ))
+        assert code.rightmost_path == (0, 2)
+
+    def test_backward_edge_keeps_path(self):
+        # Triangle: forward 0-1, forward 1-2, backward 2-0.
+        code = DFSCode((
+            (0, 1, "A", "", "A"),
+            (1, 2, "A", "", "A"),
+            (2, 0, "A", "", "A"),
+        ))
+        assert code.rightmost_path == (0, 1, 2)
+        assert code.num_vertices == 3
+
+    def test_to_graph(self):
+        code = DFSCode((
+            (0, 1, "A", "x", "B"),
+            (1, 2, "B", "", "C"),
+        ))
+        g = code.to_graph()
+        assert g.num_nodes == 3
+        assert g.label(0) == "A"
+        assert g.edge_label(0, 1) == "x"
+        assert g.edge_label(1, 2) is None
+
+    def test_child_extends(self):
+        code = DFSCode(((0, 1, "A", "", "A"),))
+        child = code.child((1, 2, "A", "", "B"))
+        assert len(child) == 2
+        assert len(code) == 1  # parent untouched
+
+    def test_minimality_true(self):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        min_code = canonical_code(g)
+        assert DFSCode(min_code).is_minimal()
+
+    def test_minimality_false(self):
+        # (0,1,B,,A) is the flipped, non-minimal code of edge A-B.
+        assert not DFSCode(((0, 1, "B", "", "A"),)).is_minimal()
+
+    def test_canonical_returns_tuples(self):
+        tuples = ((0, 1, "A", "", "A"),)
+        assert DFSCode(tuples).canonical() == tuples

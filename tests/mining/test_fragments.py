@@ -1,0 +1,30 @@
+"""Fragment record semantics."""
+
+from repro.graph import canonical_code
+from repro.mining import Fragment, is_frequent
+from repro.testing import graph_from_spec
+
+
+class TestFragment:
+    def test_support_is_fsg_count(self):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        frag = Fragment(
+            code=canonical_code(g), graph=g, fsg_ids=frozenset({1, 4, 9})
+        )
+        assert frag.support == 3
+
+    def test_size_is_edge_count(self):
+        g = graph_from_spec({0: "A", 1: "B", 2: "C"}, [(0, 1), (1, 2)])
+        frag = Fragment(code=canonical_code(g), graph=g, fsg_ids=frozenset())
+        assert frag.size == 2
+
+    def test_equality_by_code(self):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        h = graph_from_spec({5: "B", 9: "A"}, [(5, 9)])
+        f1 = Fragment(code=canonical_code(g), graph=g, fsg_ids=frozenset({1}))
+        f2 = Fragment(code=canonical_code(h), graph=h, fsg_ids=frozenset({2}))
+        assert f1 == f2  # same isomorphism class
+
+    def test_is_frequent_threshold(self):
+        assert is_frequent(5, 5)
+        assert not is_frequent(4, 5)

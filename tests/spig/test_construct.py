@@ -1,0 +1,167 @@
+"""SPIG construction (Algorithm 2): enumeration completeness, Fragment-List
+correctness against a direct Definition-4 computation, Lemma 1, and the
+formulation-sequence invariance of Section V-B."""
+
+import math
+import random
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import canonical_code, is_subgraph_isomorphic
+from repro.graph.generators import random_connected_graph
+from repro.query_graph import VisualQuery
+from repro.spig import SpigManager
+from repro.testing import all_connected_edge_subsets, graph_from_spec
+
+
+def _drive(indexes, graph, order=None):
+    """Formulate ``graph`` into a fresh manager; returns (query, manager)."""
+    from repro.datasets.queries import connected_edge_order
+
+    query = VisualQuery()
+    for node in graph.nodes():
+        query.add_node(node, graph.label(node))
+    manager = SpigManager(indexes)
+    for u, v in (order or connected_edge_order(graph)):
+        eid = query.add_edge(u, v, graph.edge_label(u, v))
+        manager.on_new_edge(query, eid)
+    return query, manager
+
+
+def _random_query(seed, n_lo=3, n_hi=5):
+    rng = random.Random(seed)
+    n = rng.randint(n_lo, n_hi)
+    return random_connected_graph(rng, n, rng.randint(n - 1, n + 2), "ABC")
+
+
+class TestEnumeration:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_vertices_cover_all_connected_subsets(self, seed, small_indexes):
+        """Across the SPIG set, the realising edge-sets are exactly the
+        connected edge subsets of the query (each in the SPIG of its max id)."""
+        g = _random_query(seed)
+        query, manager = _drive(small_indexes, g)
+        id_of = {}
+        for eid in query.edge_ids():
+            u, v, _ = query.edge(eid)
+            id_of[frozenset((u, v))] = eid
+        truth = set()
+        for subset in all_connected_edge_subsets(g):
+            truth.add(frozenset(id_of[frozenset(e)] for e in subset))
+        seen = set()
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                for es in vertex.edge_sets:
+                    assert max(es) == spig.edge_id  # owned by max-id SPIG
+                    seen.add(es)
+        assert seen == truth
+
+    def test_source_and_target(self, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        query, manager = _drive(small_indexes, g)
+        last = manager.spigs[max(manager.spigs)]
+        assert last.source_vertex.level == 1
+        assert last.target_vertex.level == query.num_edges
+
+    def test_vertex_fragments_match_edge_sets(self, small_indexes):
+        g = _random_query(11)
+        query, manager = _drive(small_indexes, g)
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                for es in vertex.edge_sets:
+                    sub = query.edge_subgraph_by_ids(es)
+                    assert canonical_code(sub) == vertex.code
+
+    def test_dag_parent_child_levels(self, small_indexes):
+        g = _random_query(13)
+        _, manager = _drive(small_indexes, g)
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                for child in vertex.children:
+                    assert child.level == vertex.level + 1
+                for parent in vertex.parents:
+                    assert parent.level == vertex.level - 1
+
+
+class TestFragmentLists:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_definition4_direct_recomputation(self, seed, small_db, small_indexes):
+        """Recompute every Fragment List from scratch per Definition 4."""
+        g = _random_query(seed)
+        query, manager = _drive(small_indexes, g)
+        a2f, a2i = small_indexes.a2f, small_indexes.a2i
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                fl = vertex.fragment_list
+                code = vertex.code
+                if a2f.lookup(code) is not None:
+                    # Condition 1: frequent fragment.
+                    assert fl.freq_id == a2f.lookup(code)
+                    assert fl.dif_id is None and not fl.phi and not fl.upsilon
+                elif a2i.lookup(code) is not None:
+                    # Condition 2: DIF.
+                    assert fl.dif_id == a2i.lookup(code)
+                    assert fl.freq_id is None and not fl.phi and not fl.upsilon
+                else:
+                    # Condition 3: NIF — check Φ and Υ by brute force.
+                    frag = vertex.fragment
+                    expected_phi = set()
+                    from repro.mining.dif import connected_one_smaller_subgraphs
+
+                    for sub in connected_one_smaller_subgraphs(frag):
+                        fid = a2f.lookup(canonical_code(sub))
+                        if fid is not None:
+                            expected_phi.add(fid)
+                    expected_upsilon = set()
+                    for subset in all_connected_edge_subsets(frag):
+                        sub = frag.edge_subgraph(subset)
+                        did = a2i.lookup(canonical_code(sub))
+                        if did is not None:
+                            expected_upsilon.add(did)
+                    assert fl.phi == expected_phi, (vertex, fl)
+                    assert fl.upsilon == expected_upsilon, (vertex, fl)
+
+
+class TestLemma1:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_level_counts_bounded_by_binomial(self, seed, small_indexes):
+        """Lemma 1: N(k) ≤ C(n, k)."""
+        g = _random_query(seed)
+        query, manager = _drive(small_indexes, g)
+        n = query.num_edges
+        for k in range(1, n + 1):
+            assert manager.total_vertices_at(k) <= math.comb(n, k)
+
+
+class TestSequenceInvariance:
+    def test_level_counts_identical_across_sequences(self, small_indexes):
+        """Section V-B: Ni(k) = Nj(k) for any two formulation sequences."""
+        g = graph_from_spec(
+            {0: "A", 1: "B", 2: "A", 3: "C"},
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        from repro.datasets.queries import connected_edge_order
+
+        base_order = connected_edge_order(g)
+        counts = []
+        orders = [p for p in permutations(base_order)][:8]
+        for order in orders:
+            # only connected-prefix orders are drawable
+            try:
+                query, manager = _drive(small_indexes, g, order=order)
+            except Exception:
+                continue
+            counts.append(
+                tuple(
+                    manager.total_vertices_at(k)
+                    for k in range(1, query.num_edges + 1)
+                )
+            )
+        assert len(counts) >= 2
+        assert len(set(counts)) == 1

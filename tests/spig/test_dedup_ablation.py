@@ -1,0 +1,69 @@
+"""The dedup=False SPIG configuration (ablation A1's code path)."""
+
+import random
+
+from repro.baselines.naive import naive_containment_search
+from repro.core import exact_sub_candidates
+from repro.query_graph import VisualQuery
+from repro.spig import SpigManager
+from repro.testing import connected_order, sample_subgraph
+
+
+def _drive(indexes, g, dedup):
+    query = VisualQuery()
+    for n in g.nodes():
+        query.add_node(n, g.label(n))
+    manager = SpigManager(indexes, dedup=dedup)
+    for u, v in connected_order(g):
+        eid = query.add_edge(u, v, g.edge_label(u, v))
+        manager.on_new_edge(query, eid)
+    return query, manager
+
+
+class TestNoDedup:
+    def test_one_vertex_per_edge_set(self, small_db, small_indexes):
+        rng = random.Random(2)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        query, manager = _drive(small_indexes, q, dedup=False)
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                assert len(vertex.edge_sets) == 1
+
+    def test_same_candidates_with_and_without(self, small_db, small_indexes):
+        rng = random.Random(3)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        results = []
+        for dedup in (True, False):
+            query, manager = _drive(small_indexes, q, dedup=dedup)
+            target = manager.target_vertex(query)
+            rq = exact_sub_candidates(
+                target, small_indexes, frozenset(small_db.ids())
+            )
+            results.append(set(rq))
+        assert results[0] == results[1]
+
+    def test_dedup_never_more_vertices(self, small_db, small_indexes):
+        rng = random.Random(4)
+        q = sample_subgraph(rng, small_db, 4, 6)
+        _, dedup_mgr = _drive(small_indexes, q, dedup=True)
+        _, plain_mgr = _drive(small_indexes, q, dedup=False)
+        assert dedup_mgr.num_vertices() <= plain_mgr.num_vertices()
+
+    def test_deletion_maintenance_without_dedup(self, small_db, small_indexes):
+        from repro.core.modify import deletable_edges
+
+        rng = random.Random(5)
+        q = sample_subgraph(rng, small_db, 3, 5)
+        query, manager = _drive(small_indexes, q, dedup=False)
+        victim = deletable_edges(query)[0]
+        query.delete_edge(victim)
+        manager.on_delete_edge(victim)
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                assert all(victim not in es for es in vertex.edge_sets)
+        target = manager.target_vertex(query)
+        rq = exact_sub_candidates(
+            target, small_indexes, frozenset(small_db.ids())
+        )
+        truth = set(naive_containment_search(query.graph(), small_db))
+        assert truth <= set(rq)

@@ -1,0 +1,130 @@
+"""SPIG-set management: registry, deletion maintenance, state equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SpigError
+from repro.graph import canonical_code
+from repro.graph.generators import random_connected_graph
+from repro.query_graph import VisualQuery
+from repro.spig import SpigManager
+from repro.testing import graph_from_spec
+
+
+def _drive(indexes, graph):
+    from repro.datasets.queries import connected_edge_order
+
+    query = VisualQuery()
+    for node in graph.nodes():
+        query.add_node(node, graph.label(node))
+    manager = SpigManager(indexes)
+    for u, v in connected_edge_order(graph):
+        eid = query.add_edge(u, v, graph.edge_label(u, v))
+        manager.on_new_edge(query, eid)
+    return query, manager
+
+
+class TestRegistry:
+    def test_target_vertex_is_full_query(self, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        query, manager = _drive(small_indexes, g)
+        target = manager.target_vertex(query)
+        assert target.level == query.num_edges
+        assert query.edge_id_set() in target.edge_sets
+
+    def test_target_missing_raises(self, small_indexes):
+        manager = SpigManager(small_indexes)
+        query = VisualQuery()
+        query.add_node(0, "A")
+        query.add_node(1, "B")
+        query.add_edge(0, 1)
+        with pytest.raises(SpigError):
+            manager.target_vertex(query)
+
+    def test_duplicate_spig_rejected(self, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        query, manager = _drive(small_indexes, g)
+        with pytest.raises(SpigError):
+            manager.on_new_edge(query, 1)
+
+    def test_vertex_for_every_subset(self, small_indexes):
+        g = graph_from_spec(
+            {0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2), (2, 0)]
+        )
+        query, manager = _drive(small_indexes, g)
+        # every single edge subset resolvable
+        for eid in query.edge_ids():
+            assert manager.vertex_for(frozenset({eid})) is not None
+
+    def test_clear(self, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        query, manager = _drive(small_indexes, g)
+        manager.clear()
+        assert manager.num_vertices() == 0
+        assert manager.vertex_for(frozenset({1})) is None
+
+
+class TestDeletionMaintenance:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_state_equals_fresh_formulation(self, seed, small_indexes):
+        """After deleting an edge, the surviving edge-set registry equals the
+        registry a fresh formulation of the reduced query would build."""
+        rng = random.Random(seed)
+        n = rng.randint(3, 5)
+        g = random_connected_graph(rng, n, rng.randint(n, n + 2), "ABC")
+        query, manager = _drive(small_indexes, g)
+        from repro.core.modify import deletable_edges
+
+        dels = deletable_edges(query)
+        victim = dels[rng.randrange(len(dels))]
+        query.delete_edge(victim)
+        manager.on_delete_edge(victim)
+        if query.num_edges == 0:
+            assert manager.num_vertices() == 0
+            return
+        # Surviving registry entries: exactly the connected subsets of the
+        # reduced query.
+        survivors = set()
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                for es in vertex.edge_sets:
+                    survivors.add(es)
+                    assert victim not in es
+        from repro.testing import all_connected_edge_subsets
+
+        id_of = {}
+        for eid in query.edge_ids():
+            u, v, _ = query.edge(eid)
+            id_of[frozenset((u, v))] = eid
+        reduced = query.graph()
+        truth = {
+            frozenset(id_of[frozenset(e)] for e in subset)
+            for subset in all_connected_edge_subsets(reduced)
+        }
+        assert survivors == truth
+        # Fragment lists of survivors are still consistent with their codes.
+        for spig in manager.spigs.values():
+            for vertex in spig.vertices():
+                for es in vertex.edge_sets:
+                    sub = query.edge_subgraph_by_ids(es)
+                    assert canonical_code(sub) == vertex.code
+
+    def test_delete_whole_spig(self, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B", 2: "A"}, [(0, 1), (1, 2)])
+        query, manager = _drive(small_indexes, g)
+        last = max(query.edge_ids())
+        query.delete_edge(last)
+        manager.on_delete_edge(last)
+        assert last not in manager.spigs
+        assert manager.vertex_for(frozenset({last})) is None
+
+    def test_delete_unknown_edge_noop(self, small_indexes):
+        g = graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+        query, manager = _drive(small_indexes, g)
+        before = manager.num_vertices()
+        manager.on_delete_edge(99)
+        assert manager.num_vertices() == before

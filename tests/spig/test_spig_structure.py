@@ -1,0 +1,97 @@
+"""SPIG structure: vertices, levels, dedup, spindle shape (Definition 4)."""
+
+import pytest
+
+from repro.exceptions import SpigError
+from repro.graph import canonical_code
+from repro.spig.spig import SPIG, FragmentList, SpigVertex
+from repro.testing import graph_from_spec
+
+
+@pytest.fixture
+def fragment():
+    return graph_from_spec({0: "A", 1: "B"}, [(0, 1)])
+
+
+class TestVertex:
+    def test_identifier_pair(self, fragment):
+        v = SpigVertex(5, 3, canonical_code(fragment), 1, fragment)
+        assert v.vertex_id == (5, 3)  # the paper's v_(ℓ,k)
+
+    def test_primary_edge_set_deterministic(self, fragment):
+        v = SpigVertex(1, 1, canonical_code(fragment), 1, fragment)
+        v.edge_sets = {frozenset({2, 3}), frozenset({1, 4})}
+        assert v.primary_edge_set == frozenset({1, 4})
+
+    def test_fragment_list_defaults(self):
+        fl = FragmentList()
+        assert fl.freq_id is None
+        assert fl.dif_id is None
+        assert fl.phi == frozenset()
+        assert fl.upsilon == frozenset()
+        assert not fl.dead
+        assert not fl.is_indexed
+
+    def test_is_indexed(self):
+        assert FragmentList(freq_id=3).is_indexed
+        assert FragmentList(dif_id=0).is_indexed
+        assert not FragmentList(phi=frozenset({1})).is_indexed
+
+
+class TestSpig:
+    def test_get_or_create_dedups_by_code(self, fragment):
+        spig = SPIG(1)
+        v1, created1 = spig.get_or_create(1, canonical_code(fragment), fragment)
+        v2, created2 = spig.get_or_create(1, canonical_code(fragment), fragment)
+        assert created1 and not created2
+        assert v1 is v2
+        assert spig.num_vertices == 1
+
+    def test_positions_sequential(self, fragment):
+        other = graph_from_spec({0: "A", 1: "C"}, [(0, 1)])
+        spig = SPIG(1)
+        v1, _ = spig.get_or_create(1, canonical_code(fragment), fragment)
+        v2, _ = spig.get_or_create(2, canonical_code(other), other)
+        assert v1.position == 1
+        assert v2.position == 2
+
+    def test_source_vertex(self, fragment):
+        spig = SPIG(1)
+        v, _ = spig.get_or_create(1, canonical_code(fragment), fragment)
+        assert spig.source_vertex is v
+
+    def test_source_missing(self):
+        with pytest.raises(SpigError):
+            SPIG(1).source_vertex
+
+    def test_target_vertex_is_top_level(self, fragment):
+        bigger = graph_from_spec({0: "A", 1: "B", 2: "C"}, [(0, 1), (1, 2)])
+        spig = SPIG(1)
+        spig.get_or_create(1, canonical_code(fragment), fragment)
+        v2, _ = spig.get_or_create(2, canonical_code(bigger), bigger)
+        assert spig.target_vertex is v2
+
+    def test_levels_sorted(self, fragment):
+        bigger = graph_from_spec({0: "A", 1: "B", 2: "C"}, [(0, 1), (1, 2)])
+        spig = SPIG(1)
+        spig.get_or_create(2, canonical_code(bigger), bigger)
+        spig.get_or_create(1, canonical_code(fragment), fragment)
+        assert spig.levels() == [1, 2]
+
+    def test_remove_vertex_detaches(self, fragment):
+        bigger = graph_from_spec({0: "A", 1: "B", 2: "C"}, [(0, 1), (1, 2)])
+        spig = SPIG(1)
+        v1, _ = spig.get_or_create(1, canonical_code(fragment), fragment)
+        v2, _ = spig.get_or_create(2, canonical_code(bigger), bigger)
+        v1.children.add(v2)
+        v2.parents.add(v1)
+        spig.remove_vertex(v2)
+        assert spig.num_vertices == 1
+        assert v2 not in v1.children
+        assert spig.vertices_at(2) == []
+
+    def test_remove_foreign_vertex_rejected(self, fragment):
+        spig = SPIG(1)
+        foreign = SpigVertex(9, 1, canonical_code(fragment), 1, fragment)
+        with pytest.raises(SpigError):
+            spig.remove_vertex(foreign)
