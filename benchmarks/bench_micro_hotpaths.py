@@ -1,0 +1,66 @@
+"""Hot-path microbenchmarks — canonical codes, VF2 scans, candidate algebra.
+
+Not a paper figure: this suite guards the performance layer (cached graph
+invariants, canonical-code memoization, compiled VF2 patterns, bitset
+candidate sets) against regression.  Each section measures the pre-change
+behaviour — replicated verbatim in :mod:`repro.bench.micro` — against the
+optimised path on identical inputs, asserts identical *answers*, and enforces
+the speedup floors the layer was built to clear:
+
+* ≥ 3× on repeated canonical-code computation (memoization);
+* ≥ 1.5× on a full-corpus containment scan (compiled pattern + cached
+  target invariants);
+* bitset candidate intersection no slower than the frozenset reference.
+
+``python -m repro bench-smoke`` runs the same code at toy scale for CI.
+"""
+
+import pytest
+
+from repro.bench import emit, format_table
+from repro.bench.harness import aids_db
+from repro.bench.micro import run_micro_hotpaths
+
+CANONICAL_FLOOR = 3.0
+SCAN_FLOOR = 1.5
+INTERSECTION_FLOOR = 1.0
+
+
+@pytest.mark.benchmark(group="micro_hotpaths")
+def test_micro_hotpaths(benchmark):
+    db = aids_db()
+    data = run_micro_hotpaths(db, smoke=False)
+
+    canonical = data["canonical"]
+    scan = data["scan"]
+    intersection = data["intersection"]
+    rows = [
+        ["canonical code (memoized)", canonical["calls"],
+         f"{canonical['uncached_s']:.3f}", f"{canonical['cached_s']:.3f}",
+         f"{canonical['speedup']:.2f}x"],
+        ["containment scan (compiled)", scan["scans"],
+         f"{scan['baseline_s']:.3f}", f"{scan['compiled_s']:.3f}",
+         f"{scan['speedup']:.2f}x"],
+        ["candidate intersection (bitset)", intersection["repeats"],
+         f"{intersection['frozenset_s']:.3f}",
+         f"{intersection['bitset_s']:.3f}",
+         f"{intersection['speedup']:.2f}x"],
+    ]
+    table = format_table(
+        f"Micro hot paths: before vs after, |D|={len(db)}",
+        ["hot path", "ops", "before (s)", "after (s)", "speedup"],
+        rows,
+    )
+    emit("micro_hotpaths", table, data)
+
+    # Benchmarked op: one warm-cache scan pass (the steady-state hot path).
+    from repro.baselines.naive import naive_containment_search
+    from repro.bench.micro import sample_fragments
+    import random
+
+    query = sample_fragments(db, 1, random.Random(7))[0]
+    benchmark(lambda: naive_containment_search(query, db))
+
+    assert canonical["speedup"] >= CANONICAL_FLOOR
+    assert scan["speedup"] >= SCAN_FLOOR
+    assert intersection["speedup"] >= INTERSECTION_FLOOR

@@ -11,16 +11,20 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.graph.database import GraphDatabase
-from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.isomorphism import compile_pattern
 from repro.graph.labeled_graph import Graph
 from repro.graph.mccs import mccs_size
 
 
 def naive_containment_search(query: Graph, db: GraphDatabase) -> List[int]:
-    """All ids of data graphs containing ``query`` (sorted)."""
-    return sorted(
-        gid for gid, g in db.items() if is_subgraph_isomorphic(query, g)
-    )
+    """All ids of data graphs containing ``query`` (sorted).
+
+    The query is compiled once against corpus-wide label statistics, so the
+    scan pays pattern-side work (matching order, pre-filter multisets) a
+    single time instead of per data graph.
+    """
+    compiled = compile_pattern(query, db.label_frequencies())
+    return sorted(gid for gid, g in db.items() if compiled.embeds_in(g))
 
 
 def naive_similarity_search(

@@ -93,6 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--results", type=Path, default=None,
         help="results directory (default: benchmarks/results in the repo)",
     )
+
+    smoke = sub.add_parser(
+        "bench-smoke",
+        help="fast hot-path microbenchmark (CI guard for the perf layer)",
+    )
+    smoke.add_argument("--size", type=int, default=80,
+                       help="corpus size for the smoke run")
+    smoke.add_argument("--seed", type=int, default=2012)
     return parser
 
 
@@ -211,6 +219,37 @@ def _cmd_session(args) -> int:
     return 0
 
 
+def _cmd_bench_smoke(args) -> int:
+    """Toy-scale run of the hot-path microbenchmarks (correctness + timing).
+
+    Speedup floors are only asserted by the full ``bench_micro_hotpaths``
+    suite — at smoke scale the constant overheads dominate; here the value is
+    that every optimised path still *agrees* with its reference (the bench
+    functions assert identical answers internally).
+    """
+    from repro.bench.harness import format_table
+    from repro.bench.micro import run_micro_hotpaths
+    from repro.datasets.aids import generate_aids_like
+
+    db = generate_aids_like(max(args.size, 20), seed=args.seed)
+    data = run_micro_hotpaths(db, smoke=True, seed=args.seed)
+    rows = [
+        [name, f"{section['speedup']:.2f}x"]
+        for name, section in (
+            ("canonical code (memoized)", data["canonical"]),
+            ("containment scan (compiled)", data["scan"]),
+            ("candidate intersection (bitset)", data["intersection"]),
+        )
+    ]
+    print(format_table(
+        f"bench-smoke: hot paths agree with reference, |D|={len(db)}",
+        ["hot path", "speedup"],
+        rows,
+    ))
+    print("bench-smoke OK")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.bench.harness import results_dir
     from repro.bench.report import render_report
@@ -227,6 +266,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "session": _cmd_session,
     "report": _cmd_report,
+    "bench-smoke": _cmd_bench_smoke,
 }
 
 

@@ -21,6 +21,39 @@ def experiment_scale() -> float:
     return max(value, 0.01)
 
 
+# ----------------------------------------------------------------------
+# hot-path performance knobs (see docs/PERFORMANCE.md)
+# ----------------------------------------------------------------------
+def verification_workers() -> int:
+    """Worker-pool size for batch verification (``REPRO_WORKERS``).
+
+    ``1`` selects the serial path (deterministic, no pool — what the tests
+    pin); the default is one worker per CPU.
+    """
+    try:
+        value = int(os.environ.get("REPRO_WORKERS", "0"))
+    except ValueError:
+        value = 0
+    if value >= 1:
+        return value
+    return os.cpu_count() or 1
+
+
+def canonical_cache_size() -> int:
+    """Bound on the process-wide canonical-code LRU (``REPRO_CANONICAL_CACHE``)."""
+    try:
+        value = int(os.environ.get("REPRO_CANONICAL_CACHE", "8192"))
+    except ValueError:
+        value = 8192
+    return max(value, 0)
+
+
+def bitset_candidates() -> bool:
+    """Whether candidate-set algebra runs on int bitmasks (``REPRO_BITSET=0``
+    falls back to the frozenset reference path, kept for A/B checks)."""
+    return os.environ.get("REPRO_BITSET", "1") not in ("0", "false", "no")
+
+
 @dataclass(frozen=True)
 class MiningParams:
     """Parameters of the offline mining/indexing phase (Sections III, VIII).

@@ -11,12 +11,20 @@ Given the SPIG vertex of a query fragment:
 Emptiness of the returned set is *sound*: an empty ``Rq`` proves the fragment
 has no exact match in the database (the trigger for PRAGUE's modify/similar
 option dialogue).
+
+The Φ/Υ intersection runs on int bitmasks (:mod:`repro.core.candidates`) —
+graph ids are dense, so each AND is word-parallel — ordered smallest
+candidate list first with an early exit on empty.  ``REPRO_BITSET=0`` selects
+:func:`exact_sub_candidates_sets`, the frozenset reference implementation the
+equivalence tests compare against.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional, Set
+from typing import FrozenSet, List, Optional
 
+from repro.config import bitset_candidates
+from repro.core.candidates import ids_of, intersect_all
 from repro.index.builder import ActionAwareIndexes
 from repro.spig.spig import SpigVertex
 
@@ -40,16 +48,68 @@ def exact_sub_candidates(
         # information at all — no pruning is possible (cannot happen for
         # queries within the paper's ≤ 10-edge envelope).
         return db_ids
-    rq: Optional[Set[int]] = None
-    for a2f_id in fl.phi:
-        ids = indexes.a2f.fsg_ids(a2f_id)
-        rq = set(ids) if rq is None else rq & ids
-        if not rq:
-            return frozenset()
-    for a2i_id in fl.upsilon:
-        ids = indexes.a2i.fsg_ids(a2i_id)
-        rq = set(ids) if rq is None else rq & ids
+    if bitset_candidates():
+        return ids_of(_phi_upsilon_bits(vertex, indexes))
+    return exact_sub_candidates_sets(vertex, indexes, db_ids)
+
+
+def exact_sub_candidates_bits(
+    vertex: SpigVertex,
+    indexes: ActionAwareIndexes,
+    db_bits: int,
+) -> int:
+    """``Rq`` as an int bitmask — the word-parallel form of Algorithm 3.
+
+    ``db_bits`` plays the role of ``db_ids`` for the no-information fallback
+    (``full_mask(len(db))``).
+    """
+    fl = vertex.fragment_list
+    if fl.dead:
+        return 0
+    if fl.freq_id is not None:
+        return indexes.a2f.fsg_bits(fl.freq_id)
+    if fl.dif_id is not None:
+        return indexes.a2i.fsg_bits(fl.dif_id)
+    if not fl.phi and not fl.upsilon:
+        return db_bits
+    return _phi_upsilon_bits(vertex, indexes)
+
+
+def _phi_upsilon_bits(vertex: SpigVertex, indexes: ActionAwareIndexes) -> int:
+    fl = vertex.fragment_list
+    masks = [indexes.a2f.fsg_bits(a2f_id) for a2f_id in fl.phi]
+    masks += [indexes.a2i.fsg_bits(a2i_id) for a2i_id in fl.upsilon]
+    return intersect_all(masks)
+
+
+def exact_sub_candidates_sets(
+    vertex: SpigVertex,
+    indexes: ActionAwareIndexes,
+    db_ids: FrozenSet[int],
+) -> FrozenSet[int]:
+    """The frozenset reference path (pre-bitset Algorithm 3).
+
+    Kept for A/B equivalence checks and ``REPRO_BITSET=0``; intersects
+    smallest list first without copying the initial frozenset.
+    """
+    fl = vertex.fragment_list
+    if fl.dead:
+        return frozenset()
+    if fl.freq_id is not None:
+        return indexes.a2f.fsg_ids(fl.freq_id)
+    if fl.dif_id is not None:
+        return indexes.a2i.fsg_ids(fl.dif_id)
+    if not fl.phi and not fl.upsilon:
+        return db_ids
+    id_lists: List[FrozenSet[int]] = [
+        indexes.a2f.fsg_ids(a2f_id) for a2f_id in fl.phi
+    ]
+    id_lists += [indexes.a2i.fsg_ids(a2i_id) for a2i_id in fl.upsilon]
+    id_lists.sort(key=len)
+    rq: Optional[FrozenSet[int]] = None
+    for ids in id_lists:
+        rq = ids if rq is None else rq & ids  # frozenset & -> frozenset
         if not rq:
             return frozenset()
     assert rq is not None
-    return frozenset(rq)
+    return rq

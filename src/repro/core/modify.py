@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Set
 
-from repro.core.exact import exact_sub_candidates
+from repro.config import bitset_candidates
+from repro.core.candidates import bits_of, count, ids_of
+from repro.core.exact import exact_sub_candidates, exact_sub_candidates_bits
 from repro.exceptions import QueryError
 from repro.index.builder import ActionAwareIndexes
 from repro.query_graph import VisualQuery
@@ -58,8 +60,29 @@ def suggest_deletion(
     db_ids: FrozenSet[int],
 ) -> Optional[DeletionSuggestion]:
     """Algorithm 6, lines 3-8: the deletion restoring the most candidates."""
-    best: Optional[DeletionSuggestion] = None
     ids = query.edge_id_set()
+    if bitset_candidates():
+        # Compare modification deltas by popcount; materialise ids once,
+        # for the winner only.
+        db_bits = bits_of(db_ids)
+        best_eid: Optional[int] = None
+        best_mask = 0
+        best_count = -1
+        for eid in deletable_edges(query):
+            rest = ids - {eid}
+            if not rest:
+                continue
+            vertex = manager.vertex_for(rest)
+            if vertex is None:
+                continue  # cannot happen when SPIGs were maintained each step
+            mask = exact_sub_candidates_bits(vertex, indexes, db_bits)
+            mask_count = count(mask)
+            if best_eid is None or mask_count > best_count:
+                best_eid, best_mask, best_count = eid, mask, mask_count
+        if best_eid is None:
+            return None
+        return DeletionSuggestion(edge_id=best_eid, candidates=ids_of(best_mask))
+    best: Optional[DeletionSuggestion] = None
     for eid in deletable_edges(query):
         rest = ids - {eid}
         if not rest:

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterator, List, Set
 
-from repro.core.exact import exact_sub_candidates
+from repro.config import bitset_candidates
+from repro.core.candidates import bits_of, iter_ids
+from repro.core.exact import exact_sub_candidates, exact_sub_candidates_bits
 from repro.core.results import SimilarCandidates, SimilarityMatch
-from repro.core.verification import level_fragments_to_verify, sim_verify
+from repro.core.verification import level_fragments_to_verify, sim_verify_scan
 from repro.graph.database import GraphDatabase
 from repro.index.builder import ActionAwareIndexes
 from repro.query_graph import VisualQuery
@@ -40,7 +42,24 @@ def similar_sub_candidates(
     top = q_size if include_exact_level else q_size - 1
     bottom = max(q_size - sigma, 1)
     out = SimilarCandidates()
+    use_bits = bitset_candidates()
+    db_bits = bits_of(db_ids) if use_bits else 0
     for level in range(top, bottom - 1, -1):
+        if use_bits:
+            # Word-parallel bucket accumulation: one OR per vertex, one
+            # AND-NOT for Algorithm 4's line 7, ids materialised once.
+            free_bits = 0
+            ver_bits = 0
+            for vertex in manager.vertices_at_level(level):
+                mask = exact_sub_candidates_bits(vertex, indexes, db_bits)
+                if vertex.fragment_list.is_indexed:
+                    free_bits |= mask
+                else:
+                    ver_bits |= mask
+            ver_bits &= ~free_bits
+            out.free[level] = set(iter_ids(free_bits))
+            out.ver[level] = set(iter_ids(ver_bits))
+            continue
         free: Set[int] = set()
         ver: Set[int] = set()
         for vertex in manager.vertices_at_level(level):
@@ -96,16 +115,20 @@ def iter_similar_results(
         to_verify = candidates.ver_at(level) - confirmed
         if to_verify:
             if verify_all_fragments:
-                fragments = list(manager.vertices_at_level(level))
+                vertices = list(manager.vertices_at_level(level))
             else:
-                fragments = level_fragments_to_verify(manager, level)
-            for gid in to_verify:
-                if sim_verify(fragments, db[gid]):
-                    confirmed.add(gid)
-                    batch.append(SimilarityMatch(
-                        distance=distance, graph_id=gid,
-                        verification_free=False,
-                    ))
+                vertices = level_fragments_to_verify(manager, level)
+            # Batched SimVerify: level fragments are compiled once for the
+            # whole candidate list (and chunked across the verification pool
+            # when it is large) instead of VF2-from-scratch per candidate.
+            for gid in sorted(sim_verify_scan(
+                [v.fragment for v in vertices], to_verify, db,
+            )):
+                confirmed.add(gid)
+                batch.append(SimilarityMatch(
+                    distance=distance, graph_id=gid,
+                    verification_free=False,
+                ))
         yield from sorted(batch)
 
 

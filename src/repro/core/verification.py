@@ -14,17 +14,143 @@
   verification").  Only NIF fragments need testing: had the candidate
   contained an *indexed* level-i fragment it would already sit in
   ``Rfree(i)``.
+
+Both verification flavours run through batch APIs (:func:`verify_batch`,
+:func:`sim_verify_scan`): patterns are compiled once per scan against
+corpus-wide label statistics, and large candidate lists are chunked across a
+``multiprocessing`` pool.  The worker count comes from
+:func:`repro.config.verification_workers` (``REPRO_WORKERS``; ``1`` = the
+serial path, deterministic and pool-free — what CI pins).  Worker count never
+affects *results*, only wall-clock: every path returns the same id sets.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List
+import multiprocessing
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
+from repro.config import verification_workers
 from repro.graph.database import GraphDatabase
-from repro.graph.isomorphism import is_subgraph_isomorphic
+from repro.graph.isomorphism import CompiledPattern, compile_pattern, \
+    is_subgraph_isomorphic
 from repro.graph.labeled_graph import Graph
 from repro.spig.manager import SpigManager
 from repro.spig.spig import SpigVertex
+
+#: Below this many candidates a pool costs more than it saves.
+_MIN_PARALLEL_BATCH = 16
+
+
+def _chunks(ids: Sequence[int], size: int) -> List[Sequence[int]]:
+    return [ids[i:i + size] for i in range(0, len(ids), size)]
+
+
+def _pool_context():
+    """Prefer fork (cheap, COW share of the db chunk); fall back otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _verify_chunk(payload) -> List[int]:
+    """Worker: ids of the chunk's graphs that contain the pattern."""
+    pattern, items, label_freq = payload
+    compiled = CompiledPattern(pattern, label_freq)
+    return [gid for gid, graph in items if compiled.embeds_in(graph)]
+
+
+def _sim_verify_chunk(payload) -> List[int]:
+    """Worker: ids of the chunk's graphs containing *any* of the fragments."""
+    fragments, items, label_freq = payload
+    compiled = [CompiledPattern(f, label_freq) for f in fragments]
+    return [
+        gid for gid, graph in items if any(c.embeds_in(graph) for c in compiled)
+    ]
+
+
+def _run_batch(
+    worker,
+    make_payload,
+    ids: List[int],
+    workers: int,
+) -> List[int]:
+    """Chunk ``ids`` across a pool (or run serially for workers == 1)."""
+    chunk_size = max(1, -(-len(ids) // (workers * 4)))  # ~4 chunks per worker
+    payloads = [make_payload(chunk) for chunk in _chunks(ids, chunk_size)]
+    with _pool_context().Pool(workers) as pool:
+        parts = pool.map(worker, payloads)
+    out: List[int] = []
+    for part in parts:  # chunks are ascending and disjoint: concat is sorted
+        out.extend(part)
+    return out
+
+
+def verify_batch(
+    pattern: Graph,
+    graph_ids: Iterable[int],
+    db: GraphDatabase,
+    workers: Optional[int] = None,
+) -> List[int]:
+    """Ids among ``graph_ids`` whose data graph contains ``pattern`` (sorted).
+
+    The pattern is compiled once against corpus label statistics.  With
+    ``workers > 1`` (default: ``repro.config.verification_workers()``) the
+    candidates are chunked across a process pool; ``workers=1`` is the exact
+    serial path.  Results are identical for any worker count.
+    """
+    ids = sorted(graph_ids)
+    if not ids:
+        return []
+    if workers is None:
+        workers = verification_workers()
+    workers = max(1, min(workers, len(ids)))
+    label_freq = db.label_frequencies()
+    if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
+        compiled = compile_pattern(pattern, label_freq)
+        return [gid for gid in ids if compiled.embeds_in(db[gid])]
+    return _run_batch(
+        _verify_chunk,
+        lambda chunk: (pattern, [(gid, db[gid]) for gid in chunk], label_freq),
+        ids,
+        workers,
+    )
+
+
+def sim_verify_scan(
+    fragments: Sequence[Graph],
+    graph_ids: Iterable[int],
+    db: GraphDatabase,
+    workers: Optional[int] = None,
+) -> Set[int]:
+    """Ids among ``graph_ids`` containing *any* of ``fragments`` (SimVerify).
+
+    Each fragment is compiled once for the whole scan instead of once per
+    (fragment, candidate) pair; large candidate lists are chunked across the
+    verification pool exactly like :func:`verify_batch`.
+    """
+    ids = sorted(graph_ids)
+    if not ids or not fragments:
+        return set()
+    if workers is None:
+        workers = verification_workers()
+    workers = max(1, min(workers, len(ids)))
+    label_freq = db.label_frequencies()
+    if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
+        compiled = [CompiledPattern(f, label_freq) for f in fragments]
+        return {
+            gid for gid in ids if any(c.embeds_in(db[gid]) for c in compiled)
+        }
+    return set(
+        _run_batch(
+            _sim_verify_chunk,
+            lambda chunk: (
+                list(fragments),
+                [(gid, db[gid]) for gid in chunk],
+                label_freq,
+            ),
+            ids,
+            workers,
+        )
+    )
 
 
 def exact_verification(
@@ -32,13 +158,12 @@ def exact_verification(
     candidates: FrozenSet[int],
     db: GraphDatabase,
     verification_free: bool,
+    workers: Optional[int] = None,
 ) -> List[int]:
     """Final exact results from ``Rq`` (sorted ids)."""
     if verification_free:
         return sorted(candidates)
-    return sorted(
-        gid for gid in candidates if is_subgraph_isomorphic(query_fragment, db[gid])
-    )
+    return verify_batch(query_fragment, candidates, db, workers=workers)
 
 
 def level_fragments_to_verify(

@@ -26,8 +26,10 @@ lexicographically optimal because codes are compared tuple by tuple.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.config import canonical_cache_size
 from repro.exceptions import GraphError
 from repro.graph.labeled_graph import Graph, NodeId, edge_key
 
@@ -151,13 +153,8 @@ def _min_code_connected(g: Graph) -> CanonicalCode:
     return tuple(code)
 
 
-def canonical_code(g: Graph) -> CanonicalCode:
-    """The canonical code of ``g``; equal codes iff isomorphic graphs.
-
-    Connected graphs get their minimum DFS code.  For a disconnected graph the
-    code is the sorted concatenation of per-component codes separated by
-    markers, so the iff property still holds.
-    """
+def _compute_canonical_code(g: Graph) -> CanonicalCode:
+    """Uncached canonical-code computation (the pre-memoization hot path)."""
     if g.num_nodes == 0:
         return ()
     components = g.connected_components()
@@ -169,6 +166,78 @@ def canonical_code(g: Graph) -> CanonicalCode:
         out.append((-1, -1, "", "", ""))  # component separator
         out.extend(part)
     return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# memoization
+#
+# Two tiers guard the (worst-case exponential) min-DFS-code computation:
+#
+# * a per-graph cache on the Graph's version-guarded invariant store — free
+#   repeats when the *same object* is probed again (DB-scan pattern);
+# * a process-wide bounded LRU keyed by the graph's exact structure (node-id/
+#   label pairs + labeled edges), prefixed by the cheap order-invariant
+#   fingerprint for hash dispersal.  SPIG construction and gSpan mining
+#   rebuild equal fragments as *new* objects at every level; the LRU catches
+#   those.  The key is exact (not the fingerprint alone), so a collision can
+#   never return the code of a non-isomorphic graph.
+# ----------------------------------------------------------------------
+_lru: "OrderedDict[tuple, CanonicalCode]" = OrderedDict()
+_stats = {"graph_hits": 0, "lru_hits": 0, "misses": 0}
+
+
+def _structure_key(g: Graph) -> tuple:
+    edges = frozenset(
+        (u, v, g.edge_label(u, v)) for u, v in g.edges()
+    )
+    nodes = frozenset((n, g.label(n)) for n in g.nodes())
+    return (g.fingerprint(), nodes, edges)
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the canonical-code caches (for the bench suite)."""
+    return dict(_stats, size=len(_lru))
+
+
+def clear_cache() -> None:
+    """Drop the process-wide LRU and reset the counters (bench isolation)."""
+    _lru.clear()
+    for key in _stats:
+        _stats[key] = 0
+
+
+def canonical_code(g: Graph) -> CanonicalCode:
+    """The canonical code of ``g``; equal codes iff isomorphic graphs.
+
+    Connected graphs get their minimum DFS code.  For a disconnected graph the
+    code is the sorted concatenation of per-component codes separated by
+    markers, so the iff property still holds.  Results are memoized per graph
+    object (version-guarded) and in a process-wide bounded LRU keyed by exact
+    structure — see the module comment above.
+    """
+    cached = g._inv_cache.get("canonical_code") if \
+        g._inv_version == g.version else None
+    if cached is not None:
+        _stats["graph_hits"] += 1
+        return cached
+    max_size = canonical_cache_size()
+    if max_size == 0:
+        code = _compute_canonical_code(g)
+        g.cached("canonical_code", lambda: code)
+        return code
+    key = _structure_key(g)
+    code = _lru.get(key)
+    if code is not None:
+        _stats["lru_hits"] += 1
+        _lru.move_to_end(key)
+    else:
+        _stats["misses"] += 1
+        code = _compute_canonical_code(g)
+        _lru[key] = code
+        while len(_lru) > max_size:
+            _lru.popitem(last=False)
+    g.cached("canonical_code", lambda: code)
+    return code
 
 
 def cam(g: Graph) -> CanonicalCode:

@@ -7,6 +7,7 @@ identifiers throughout the library.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import GraphError
@@ -18,6 +19,7 @@ class GraphDatabase:
 
     def __init__(self, graphs: Iterable[Graph] = ()) -> None:
         self._graphs: List[Graph] = list(graphs)
+        self._label_freq: Optional[Counter] = None
         for i, g in enumerate(self._graphs):
             if g.num_edges == 0:
                 raise GraphError(f"data graph {i} has no edges (Section III)")
@@ -29,6 +31,7 @@ class GraphDatabase:
         if g.num_edges == 0 or not g.is_connected():
             raise GraphError("data graphs must be connected with >= 1 edge")
         self._graphs.append(g)
+        self._label_freq = None
         return len(self._graphs) - 1
 
     def __len__(self) -> int:
@@ -49,6 +52,20 @@ class GraphDatabase:
     # ------------------------------------------------------------------
     # vocabulary / statistics
     # ------------------------------------------------------------------
+    def label_frequencies(self) -> Counter:
+        """Corpus-wide node-label multiset (cached; treat as read-only).
+
+        Feeds the matching-order heuristic of DB scans: one statistics pass
+        replaces a per-target label count (see
+        :func:`repro.graph.isomorphism.compile_pattern`).
+        """
+        if self._label_freq is None:
+            freq: Counter = Counter()
+            for g in self._graphs:
+                freq.update(g.node_labels())
+            self._label_freq = freq
+        return self._label_freq
+
     def node_label_universe(self) -> List[str]:
         """Distinct node labels, lexicographic — what GUI Panel 2 displays."""
         labels: Set[str] = set()

@@ -10,45 +10,44 @@ of the graph-database literature the paper builds on.
 
 The matcher follows VF2's recursive state-space search (Cordella et al. [3] in
 the paper) with the usual engineering: a connected, most-constrained-first
-matching order computed once per pattern, candidate generation through already
-mapped neighbours, and cheap global pre-filters (label and edge-triple
-multiset containment) that reject most non-matches without search.
+matching order, candidate generation through already mapped neighbours, and
+cheap global pre-filters (label and edge-triple multiset containment) that
+reject most non-matches without search.
+
+Pattern-side structure is hoisted into :class:`CompiledPattern`: the matching
+order, the per-depth adjacency constraints and the pre-filter multisets are
+computed once per pattern and reused across every target of a DB scan, instead
+of once per (pattern, target) pair.  Target-side structure (label index,
+degree map, label/triple multisets) comes from the target graph's cached
+invariants, so scanning the same data graph with many patterns is equally
+cheap.  ``iter_embeddings`` keeps its original signature and routes through a
+compiled pattern memoised on the pattern graph.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from collections import Counter
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.graph.labeled_graph import Graph, NodeId
 
 
-def _prefilter(pattern: Graph, target: Graph) -> bool:
-    """Cheap necessary conditions for ``pattern ⊆ target``."""
-    if pattern.num_nodes > target.num_nodes or pattern.num_edges > target.num_edges:
-        return False
-    tlabels = target.node_labels()
-    for label, count in pattern.node_labels().items():
-        if tlabels.get(label, 0) < count:
-            return False
-    ttriples = target.edge_label_triples()
-    for triple, count in pattern.edge_label_triples().items():
-        if ttriples.get(triple, 0) < count:
-            return False
-    return True
+def _matching_order(pattern: Graph, label_freq: Counter) -> List[NodeId]:
+    """Connected, most-constrained-first node order for the pattern.
 
-
-def _matching_order(pattern: Graph, target: Graph) -> List[NodeId]:
-    """Connected, most-constrained-first node order for the pattern."""
-    tlabels = target.node_labels()
+    ``label_freq`` supplies the label-rarity statistic (a target's — or a
+    whole corpus's — node-label multiset); rarer labels are matched first.
+    """
+    degree = pattern.degree_map()
     remaining = set(pattern.nodes())
     order: List[NodeId] = []
     in_order = set()
     while remaining:
         # Start (or restart, for a disconnected pattern) at the node whose
-        # label is rarest in the target, breaking ties by degree.
+        # label is rarest, breaking ties by degree.
         start = min(
             remaining,
-            key=lambda n: (tlabels.get(pattern.label(n), 0), -pattern.degree(n)),
+            key=lambda n: (label_freq.get(pattern.label(n), 0), -degree[n]),
         )
         component = [start]
         in_order.add(start)
@@ -65,8 +64,8 @@ def _matching_order(pattern: Graph, target: Graph) -> List[NodeId]:
                 frontier,
                 key=lambda n: (
                     -sum(1 for nb in pattern.neighbors(n) if nb in in_order),
-                    tlabels.get(pattern.label(n), 0),
-                    -pattern.degree(n),
+                    label_freq.get(pattern.label(n), 0),
+                    -degree[n],
                 ),
             )
             component.append(nxt)
@@ -74,6 +73,147 @@ def _matching_order(pattern: Graph, target: Graph) -> List[NodeId]:
             remaining.discard(nxt)
         order.extend(component)
     return order
+
+
+class CompiledPattern:
+    """Target-independent precomputation of one pattern graph.
+
+    Holds the matching order plus, per depth, the pattern node's label and
+    degree and the (earlier-depth, edge-label) constraints toward already
+    mapped neighbours.  One instance serves any number of targets.
+    """
+
+    __slots__ = ("pattern", "order", "labels", "triples", "_steps")
+
+    def __init__(self, pattern: Graph, label_freq: Optional[Counter] = None) -> None:
+        self.pattern = pattern
+        self.labels = pattern.node_labels()
+        self.triples = pattern.edge_label_triples()
+        freq = self.labels if label_freq is None else label_freq
+        self.order = _matching_order(pattern, freq)
+        degree = pattern.degree_map()
+        index_of = {n: i for i, n in enumerate(self.order)}
+        steps: List[Tuple[str, int, Tuple[Tuple[int, Optional[str]], ...]]] = []
+        for depth, p_node in enumerate(self.order):
+            mapped = tuple(
+                (index_of[nb], pattern.edge_label(p_node, nb))
+                for nb in pattern.neighbors(p_node)
+                if index_of[nb] < depth
+            )
+            steps.append((pattern.label(p_node), degree[p_node], mapped))
+        self._steps = steps
+
+    # ------------------------------------------------------------------
+    def prefilter(self, target: Graph) -> bool:
+        """Cheap necessary conditions for ``pattern ⊆ target``."""
+        pattern = self.pattern
+        if (
+            pattern.num_nodes > target.num_nodes
+            or pattern.num_edges > target.num_edges
+        ):
+            return False
+        tlabels = target.node_labels()
+        for label, count in self.labels.items():
+            if tlabels.get(label, 0) < count:
+                return False
+        ttriples = target.edge_label_triples()
+        for triple, count in self.triples.items():
+            if ttriples.get(triple, 0) < count:
+                return False
+        return True
+
+    def iter_embeddings(
+        self, target: Graph, limit: Optional[int] = None
+    ) -> Iterator[Dict[NodeId, NodeId]]:
+        """Yield injective label/edge-preserving mappings pattern -> target."""
+        if self.pattern.num_nodes == 0:
+            yield {}
+            return
+        if not self.prefilter(target):
+            return
+        by_label = target.nodes_by_label()
+        tdegree = target.degree_map()
+        order = self.order
+        steps = self._steps
+        num = len(order)
+        assignment: List[Optional[NodeId]] = [None] * num
+        used = set()
+        yielded = 0
+
+        def candidates(depth: int) -> Iterator[NodeId]:
+            plabel, _pdeg, mapped = steps[depth]
+            if not mapped:
+                for t_node in by_label.get(plabel, ()):
+                    if t_node not in used:
+                        yield t_node
+                return
+            # Intersect target-neighbourhoods of mapped pattern-neighbours,
+            # seeded from the smallest one.
+            seed_idx = min(mapped, key=lambda m: tdegree[assignment[m[0]]])[0]
+            for t_node in target.neighbors(assignment[seed_idx]):
+                if t_node in used or target.label(t_node) != plabel:
+                    continue
+                ok = True
+                for idx, elabel in mapped:
+                    t_nb = assignment[idx]
+                    if not target.has_edge(t_node, t_nb):
+                        ok = False
+                        break
+                    if elabel != target.edge_label(t_node, t_nb):
+                        ok = False
+                        break
+                if ok:
+                    yield t_node
+
+        def search(depth: int) -> Iterator[Dict[NodeId, NodeId]]:
+            nonlocal yielded
+            if depth == num:
+                yielded += 1
+                yield {order[i]: assignment[i] for i in range(num)}
+                return
+            pdeg = steps[depth][1]
+            for t_node in candidates(depth):
+                if pdeg > tdegree[t_node]:
+                    continue
+                assignment[depth] = t_node
+                used.add(t_node)
+                yield from search(depth + 1)
+                used.discard(t_node)
+                if limit is not None and yielded >= limit:
+                    return
+
+        yield from search(0)
+
+    def embeds_in(self, target: Graph) -> bool:
+        """``pattern ⊆ target`` — the containment test."""
+        for _ in self.iter_embeddings(target, limit=1):
+            return True
+        return False
+
+    def count_embeddings(self, target: Graph, limit: Optional[int] = None) -> int:
+        return sum(1 for _ in self.iter_embeddings(target, limit=limit))
+
+
+def compile_pattern(
+    pattern: Graph, label_freq: Optional[Counter] = None
+) -> CompiledPattern:
+    """Compile ``pattern`` once for reuse across a scan.
+
+    With the default statistics (the pattern's own label multiset) the result
+    is memoised on the pattern graph itself, version-guarded — repeated
+    ``iter_embeddings``/``is_subgraph_isomorphic`` calls with the same pattern
+    object pay the compilation once.  Pass a corpus-wide ``label_freq`` to
+    order the search by database label rarity instead (the DB-scan case);
+    those instances are returned uncached — hold on to them.
+    """
+    if label_freq is None:
+        return pattern.cached("compiled_pattern", lambda: CompiledPattern(pattern))
+    return CompiledPattern(pattern, label_freq)
+
+
+def _prefilter(pattern: Graph, target: Graph) -> bool:
+    """Cheap necessary conditions for ``pattern ⊆ target``."""
+    return compile_pattern(pattern).prefilter(target)
 
 
 def iter_embeddings(
@@ -84,71 +224,7 @@ def iter_embeddings(
     Embeddings are distinct as mappings; automorphic images are all yielded.
     ``limit`` stops the search early (``limit=1`` is the containment test).
     """
-    if pattern.num_nodes == 0:
-        yield {}
-        return
-    if not _prefilter(pattern, target):
-        return
-    order = _matching_order(pattern, target)
-    # Pre-index target nodes by label for the component-start case.
-    by_label: Dict[str, List[NodeId]] = {}
-    for n in target.nodes():
-        by_label.setdefault(target.label(n), []).append(n)
-
-    mapping: Dict[NodeId, NodeId] = {}
-    used = set()
-    yielded = 0
-
-    def candidates(p_node: NodeId) -> Iterator[NodeId]:
-        mapped_nbrs = [nb for nb in pattern.neighbors(p_node) if nb in mapping]
-        if not mapped_nbrs:
-            for t_node in by_label.get(pattern.label(p_node), ()):
-                if t_node not in used:
-                    yield t_node
-            return
-        # Intersect target-neighbourhoods of mapped pattern-neighbours,
-        # seeded from the smallest one.
-        seed = min(mapped_nbrs, key=lambda nb: target.degree(mapping[nb]))
-        plabel = pattern.label(p_node)
-        for t_node in target.neighbors(mapping[seed]):
-            if t_node in used or target.label(t_node) != plabel:
-                continue
-            ok = True
-            for nb in mapped_nbrs:
-                t_nb = mapping[nb]
-                if not target.has_edge(t_node, t_nb):
-                    ok = False
-                    break
-                if pattern.edge_label(p_node, nb) != target.edge_label(t_node, t_nb):
-                    ok = False
-                    break
-            if ok:
-                yield t_node
-
-    def feasible(p_node: NodeId, t_node: NodeId) -> bool:
-        if pattern.degree(p_node) > target.degree(t_node):
-            return False
-        return True
-
-    def search(depth: int) -> Iterator[Dict[NodeId, NodeId]]:
-        nonlocal yielded
-        if depth == len(order):
-            yielded += 1
-            yield dict(mapping)
-            return
-        p_node = order[depth]
-        for t_node in candidates(p_node):
-            if not feasible(p_node, t_node):
-                continue
-            mapping[p_node] = t_node
-            used.add(t_node)
-            yield from search(depth + 1)
-            del mapping[p_node]
-            used.discard(t_node)
-            if limit is not None and yielded >= limit:
-                return
-
-    yield from search(0)
+    return compile_pattern(pattern).iter_embeddings(target, limit=limit)
 
 
 def find_embedding(pattern: Graph, target: Graph) -> Optional[Dict[NodeId, NodeId]]:
@@ -160,9 +236,9 @@ def find_embedding(pattern: Graph, target: Graph) -> Optional[Dict[NodeId, NodeI
 
 def is_subgraph_isomorphic(pattern: Graph, target: Graph) -> bool:
     """``pattern ⊆ target`` in the paper's sense (Section III)."""
-    return find_embedding(pattern, target) is not None
+    return compile_pattern(pattern).embeds_in(target)
 
 
 def count_embeddings(pattern: Graph, target: Graph, limit: Optional[int] = None) -> int:
     """Number of distinct embeddings (mappings), optionally capped."""
-    return sum(1 for _ in iter_embeddings(pattern, target, limit=limit))
+    return compile_pattern(pattern).count_embeddings(target, limit=limit)

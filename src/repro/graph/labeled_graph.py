@@ -14,7 +14,17 @@ integer (or hashable) node ids, O(1) edge lookup.  Everything heavier
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.exceptions import GraphError
 
@@ -42,12 +52,17 @@ class Graph:
         graphs with labeled nodes, Section III).
     """
 
-    __slots__ = ("_labels", "_adj", "_num_edges")
+    __slots__ = ("_labels", "_adj", "_num_edges", "_version", "_inv_cache",
+                 "_inv_version")
 
     def __init__(self) -> None:
         self._labels: Dict[NodeId, Label] = {}
         self._adj: Dict[NodeId, Dict[NodeId, Optional[Label]]] = {}
         self._num_edges = 0
+        # Monotonic mutation counter; every cached invariant is guarded by it.
+        self._version = 0
+        self._inv_cache: Dict[str, object] = {}
+        self._inv_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -78,6 +93,7 @@ class Graph:
         if node not in self._labels:
             self._labels[node] = label
             self._adj[node] = {}
+            self._version += 1
 
     def add_edge(self, u: NodeId, v: NodeId, label: Optional[Label] = None) -> None:
         """Add the undirected edge ``{u, v}``.  Both endpoints must exist."""
@@ -90,6 +106,7 @@ class Graph:
         self._adj[u][v] = label
         self._adj[v][u] = label
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge ``{u, v}``; endpoints are kept."""
@@ -98,6 +115,7 @@ class Graph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and all incident edges."""
@@ -107,6 +125,7 @@ class Graph:
             self.remove_edge(node, neighbor)
         del self._adj[node]
         del self._labels[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # inspection
@@ -162,16 +181,49 @@ class Graph:
         """The paper defines ``|G| = |E|`` — size is the edge count."""
         return self._num_edges
 
+    # ------------------------------------------------------------------
+    # cached invariants
+    #
+    # Every accessor below is memoised against ``_version`` (bumped by each
+    # mutator), so repeated reads on an unchanged graph are O(1) — the DB-scan
+    # access pattern where thousands of pre-filter probes hit the same target.
+    # Returned containers are shared: treat them as immutable.
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every structural change)."""
+        return self._version
+
+    def cached(self, key: str, build: "Callable[[], object]") -> object:
+        """Return the version-guarded cached value for ``key``.
+
+        ``build`` is invoked (and its result cached) only when the graph has
+        mutated since the last read.  Sibling modules (canonical codes, the
+        VF2 matcher) hang their own per-graph precomputations here.
+        """
+        if self._inv_version != self._version:
+            self._inv_cache.clear()
+            self._inv_version = self._version
+        try:
+            return self._inv_cache[key]
+        except KeyError:
+            value = build()
+            self._inv_cache[key] = value
+            return value
+
     def node_labels(self) -> Counter:
-        """Multiset of node labels."""
-        return Counter(self._labels.values())
+        """Multiset of node labels (cached; treat as read-only)."""
+        return self.cached("node_labels", lambda: Counter(self._labels.values()))
 
     def edge_label_triples(self) -> Counter:
         """Multiset of ``(label(u), edge_label, label(v))`` triples (sorted ends).
 
-        A cheap isomorphism-invariant fingerprint used for fast pre-filtering
-        before running VF2.
+        A cheap isomorphism-invariant signature used for fast pre-filtering
+        before running VF2 (cached; treat as read-only).
         """
+        return self.cached("edge_label_triples", self._build_edge_label_triples)
+
+    def _build_edge_label_triples(self) -> Counter:
         out: Counter = Counter()
         for u, v in self.edges():
             lu, lv = self._labels[u], self._labels[v]
@@ -179,6 +231,48 @@ class Graph:
                 lu, lv = lv, lu
             out[(lu, self._adj[u][v], lv)] += 1
         return out
+
+    def degree_map(self) -> Dict[NodeId, int]:
+        """``node -> degree`` for every node (cached; treat as read-only)."""
+        return self.cached(
+            "degree_map", lambda: {n: len(nbrs) for n, nbrs in self._adj.items()}
+        )
+
+    def nodes_by_label(self) -> Dict[Label, Tuple[NodeId, ...]]:
+        """``label -> nodes`` index (cached; treat as read-only).
+
+        The VF2 matcher seeds component starts from this index; caching it on
+        the *target* makes repeated scans against the same data graph cheap.
+        """
+        return self.cached("nodes_by_label", self._build_nodes_by_label)
+
+    def _build_nodes_by_label(self) -> Dict[Label, Tuple[NodeId, ...]]:
+        buckets: Dict[Label, List[NodeId]] = {}
+        for node, label in self._labels.items():
+            buckets.setdefault(label, []).append(node)
+        return {label: tuple(nodes) for label, nodes in buckets.items()}
+
+    def fingerprint(self) -> int:
+        """A cheap order-invariant structural hash (cached).
+
+        Equal fingerprints are *necessary* but not sufficient for isomorphism
+        — use it to reject or to bucket, never to equate.  Computed as a
+        commutative accumulation over node labels and edge triples so it is
+        independent of insertion order and node ids.
+        """
+        return self.cached("fingerprint", self._build_fingerprint)
+
+    def _build_fingerprint(self) -> int:
+        mask = (1 << 64) - 1
+        acc = 0
+        for label in self._labels.values():
+            acc = (acc + hash(("n", label))) & mask
+        for u, v in self.edges():
+            lu, lv = self._labels[u], self._labels[v]
+            if lu > lv:
+                lu, lv = lv, lu
+            acc = (acc + hash(("e", lu, self._adj[u][v], lv))) & mask
+        return hash((self.num_nodes, self._num_edges, acc))
 
     # ------------------------------------------------------------------
     # structure
@@ -244,6 +338,26 @@ class Graph:
         g._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
         g._num_edges = self._num_edges
         return g
+
+    # ------------------------------------------------------------------
+    # pickling — structural state only; caches are rebuilt on demand
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self._labels, self._adj, self._num_edges)
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple) and len(state) == 3:
+            self._labels, self._adj, self._num_edges = state
+        else:  # default slot-state format written by earlier versions
+            dict_state, slot_state = state
+            merged = dict(dict_state or {})
+            merged.update(slot_state or {})
+            self._labels = merged["_labels"]
+            self._adj = merged["_adj"]
+            self._num_edges = merged["_num_edges"]
+        self._version = 0
+        self._inv_cache = {}
+        self._inv_version = -1
 
     def relabel_nodes(self, mapping: Dict[NodeId, NodeId]) -> "Graph":
         """Return a copy with node ids renamed through ``mapping`` (a bijection)."""

@@ -79,6 +79,7 @@ class A2FIndex:
         self._vertices: List[A2FVertex] = []
         self._by_code: Dict[CanonicalCode, int] = {}
         self._fsg_cache: Dict[int, FrozenSet[int]] = {}
+        self._bits_cache: Dict[int, int] = {}
         self.clusters: List[FragmentCluster] = []
         self._build(frequent)
 
@@ -185,6 +186,17 @@ class A2FIndex:
         out = frozenset(ids)
         self._fsg_cache[a2f_id] = out
         return out
+
+    def fsg_bits(self, a2f_id: int) -> int:
+        """``fsgIds`` as an int bitmask (memoised) — the A2F/bitset boundary."""
+        cached = self._bits_cache.get(a2f_id)
+        if cached is None:
+            # Local import: repro.core pulls in the index package at init.
+            from repro.core.candidates import bits_of
+
+            cached = bits_of(self.fsg_ids(a2f_id))
+            self._bits_cache[a2f_id] = cached
+        return cached
 
     def support(self, a2f_id: int) -> int:
         return len(self.fsg_ids(a2f_id))

@@ -40,6 +40,7 @@ class A2IIndex:
         self._by_code: Dict[CanonicalCode, int] = {
             e.code: e.a2i_id for e in self._entries
         }
+        self._bits_cache: Dict[int, int] = {}
 
     def lookup(self, code: CanonicalCode) -> Optional[int]:
         """``a2iId`` of the DIF with this canonical code, if indexed."""
@@ -56,6 +57,17 @@ class A2IIndex:
 
     def fsg_ids(self, a2i_id: int) -> FrozenSet[int]:
         return self._entries[a2i_id].fsg_ids
+
+    def fsg_bits(self, a2i_id: int) -> int:
+        """``fsgIds`` as an int bitmask (memoised) — the A2I/bitset boundary."""
+        cached = self._bits_cache.get(a2i_id)
+        if cached is None:
+            # Local import: repro.core pulls in the index package at init.
+            from repro.core.candidates import bits_of
+
+            cached = bits_of(self._entries[a2i_id].fsg_ids)
+            self._bits_cache[a2i_id] = cached
+        return cached
 
     def entries(self) -> Tuple[A2IEntry, ...]:
         return tuple(self._entries)

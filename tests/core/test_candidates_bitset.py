@@ -1,0 +1,166 @@
+"""Bitset candidate algebra agrees with the frozenset reference everywhere:
+primitive ops, Algorithm 3's Φ/Υ intersection, Algorithm 4's Rfree/Rver
+buckets and Algorithm 6's deletion suggestion (REPRO_BITSET on vs off)."""
+
+import os
+import random
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import candidates as cand
+from repro.core.exact import (
+    exact_sub_candidates,
+    exact_sub_candidates_bits,
+    exact_sub_candidates_sets,
+)
+from repro.core.similar import similar_sub_candidates
+from repro.graph.generators import perturb_with_new_edge
+from repro.query_graph import VisualQuery
+from repro.spig import SpigManager
+from repro.testing import connected_order, sample_subgraph
+
+id_sets = st.sets(st.integers(0, 200), max_size=60)
+
+
+@contextmanager
+def _bitset_mode(toggle: str):
+    """Flip REPRO_BITSET inside a hypothesis example (monkeypatch is
+    function-scoped and thus off-limits under @given)."""
+    old = os.environ.get("REPRO_BITSET")
+    os.environ["REPRO_BITSET"] = toggle
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_BITSET", None)
+        else:
+            os.environ["REPRO_BITSET"] = old
+
+
+class TestPrimitives:
+    @given(ids=id_sets)
+    def test_bits_roundtrip(self, ids):
+        mask = cand.bits_of(ids)
+        assert cand.ids_of(mask) == frozenset(ids)
+        assert list(cand.iter_ids(mask)) == sorted(ids)
+        assert cand.count(mask) == len(ids)
+
+    @given(a=id_sets, b=id_sets)
+    def test_union_intersection_difference(self, a, b):
+        ba, bb = cand.bits_of(a), cand.bits_of(b)
+        assert cand.ids_of(ba | bb) == frozenset(a | b)
+        assert cand.ids_of(ba & bb) == frozenset(a & b)
+        assert cand.ids_of(ba & ~bb) == frozenset(a - b)
+
+    @given(sets=st.lists(id_sets, min_size=1, max_size=6))
+    def test_intersect_all_matches_set_fold(self, sets):
+        expected = frozenset.intersection(*map(frozenset, sets))
+        got = cand.intersect_all([cand.bits_of(s) for s in sets])
+        assert cand.ids_of(got) == expected
+
+    @given(n=st.integers(0, 300))
+    def test_full_mask(self, n):
+        assert cand.ids_of(cand.full_mask(n)) == frozenset(range(n))
+        assert cand.count(cand.full_mask(n)) == n
+
+
+# ----------------------------------------------------------------------
+# randomized SPIG/A2F fixtures: every vertex of every level
+# ----------------------------------------------------------------------
+def _spig_state(indexes, g):
+    query = VisualQuery()
+    for node in g.nodes():
+        query.add_node(node, g.label(node))
+    manager = SpigManager(indexes)
+    for u, v in connected_order(g):
+        eid = query.add_edge(u, v, g.edge_label(u, v))
+        manager.on_new_edge(query, eid)
+    return query, manager
+
+
+def _sample_query(seed, db):
+    rng = random.Random(seed)
+    q = sample_subgraph(rng, db, 2, 5)
+    if rng.random() < 0.5:
+        q = perturb_with_new_edge(rng, q, db.node_label_universe())
+    return q, rng.randint(1, 3)
+
+
+class TestAlgorithm3Equivalence:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_bits_agree_with_sets_on_every_vertex(
+        self, seed, small_db, small_indexes
+    ):
+        q, _ = _sample_query(seed, small_db)
+        query, manager = _spig_state(small_indexes, q)
+        db_ids = frozenset(small_db.ids())
+        db_bits = cand.bits_of(db_ids)
+        for level in range(1, query.num_edges + 1):
+            for vertex in manager.vertices_at_level(level):
+                via_sets = exact_sub_candidates_sets(
+                    vertex, small_indexes, db_ids
+                )
+                via_bits = cand.ids_of(
+                    exact_sub_candidates_bits(vertex, small_indexes, db_bits)
+                )
+                assert via_bits == via_sets
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_public_api_identical_under_toggle(
+        self, seed, small_db, small_indexes
+    ):
+        """exact_sub_candidates returns the same Rq with REPRO_BITSET on/off."""
+        q, _ = _sample_query(seed, small_db)
+        query, manager = _spig_state(small_indexes, q)
+        db_ids = frozenset(small_db.ids())
+        vertex = manager.target_vertex(query)
+        with _bitset_mode("1"):
+            rq_bits = exact_sub_candidates(vertex, small_indexes, db_ids)
+        with _bitset_mode("0"):
+            rq_sets = exact_sub_candidates(vertex, small_indexes, db_ids)
+        assert rq_bits == rq_sets
+
+
+class TestAlgorithm4Equivalence:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rfree_rver_identical_under_toggle(
+        self, seed, small_db, small_indexes
+    ):
+        q, sigma = _sample_query(seed, small_db)
+        query, manager = _spig_state(small_indexes, q)
+        db_ids = frozenset(small_db.ids())
+        buckets = {}
+        for toggle in ("1", "0"):
+            with _bitset_mode(toggle):
+                cands = similar_sub_candidates(
+                    query, sigma, manager, small_indexes, db_ids
+                )
+            buckets[toggle] = (
+                {lvl: set(cands.free_at(lvl)) for lvl in cands.levels()},
+                {lvl: set(cands.ver_at(lvl)) for lvl in cands.levels()},
+            )
+        assert buckets["1"] == buckets["0"]
+
+
+class TestAlgorithm6Equivalence:
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=15, deadline=None)
+    def test_deletion_suggestion_identical_under_toggle(
+        self, seed, small_db, small_indexes
+    ):
+        from repro.core.modify import suggest_deletion
+
+        q, _ = _sample_query(seed, small_db)
+        query, manager = _spig_state(small_indexes, q)
+        suggestions = {}
+        for toggle in ("1", "0"):
+            with _bitset_mode(toggle):
+                suggestions[toggle] = suggest_deletion(
+                    query, manager, small_indexes, frozenset(small_db.ids())
+                )
+        assert suggestions["1"] == suggestions["0"]

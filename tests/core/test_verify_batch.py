@@ -1,0 +1,97 @@
+"""Batch verification: pool size never affects results (determinism guard).
+
+``verify_batch``/``sim_verify_scan`` with ``workers=1`` (serial, pool-free)
+must return exactly the same id sets as any ``workers=N`` run on the same
+seeded AIDS-like corpus — parallelism is a wall-clock knob only.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.naive import naive_containment_search
+from repro.core.verification import (
+    exact_verification,
+    sim_verify_scan,
+    verify_batch,
+)
+from repro.datasets import generate_aids_like
+from repro.graph.generators import random_connected_subgraph
+
+
+@pytest.fixture(scope="module")
+def aids_corpus():
+    return generate_aids_like(80, seed=7)
+
+
+def _queries(db, count, rng, edges=4):
+    out = []
+    while len(out) < count:
+        g = db[rng.randrange(len(db))]
+        sub = random_connected_subgraph(rng, g, min(edges, g.num_edges))
+        if sub is not None:
+            out.append(sub)
+    return out
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_verify_batch_pool_matches_serial(self, aids_corpus, workers):
+        db = aids_corpus
+        rng = random.Random(2012)
+        all_ids = list(db.ids())
+        for query in _queries(db, 3, rng):
+            serial = verify_batch(query, all_ids, db, workers=1)
+            pooled = verify_batch(query, all_ids, db, workers=workers)
+            assert pooled == serial
+            assert serial == naive_containment_search(query, db)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_sim_verify_scan_pool_matches_serial(self, aids_corpus, workers):
+        db = aids_corpus
+        rng = random.Random(99)
+        fragments = _queries(db, 3, rng, edges=3)
+        all_ids = list(db.ids())
+        serial = sim_verify_scan(fragments, all_ids, db, workers=1)
+        pooled = sim_verify_scan(fragments, all_ids, db, workers=workers)
+        assert pooled == serial
+
+    def test_exact_verification_routes_through_batch(self, aids_corpus):
+        db = aids_corpus
+        rng = random.Random(5)
+        query = _queries(db, 1, rng)[0]
+        candidates = frozenset(db.ids())
+        serial = exact_verification(query, candidates, db,
+                                    verification_free=False, workers=1)
+        pooled = exact_verification(query, candidates, db,
+                                    verification_free=False, workers=2)
+        assert pooled == serial == naive_containment_search(query, db)
+
+    def test_verification_free_skips_vf2(self, aids_corpus):
+        ids = frozenset([5, 1, 9])
+        out = exact_verification(None, ids, aids_corpus,
+                                 verification_free=True)
+        assert out == [1, 5, 9]
+
+
+class TestBatchEdgeCases:
+    def test_empty_candidate_set(self, aids_corpus):
+        rng = random.Random(11)
+        query = _queries(aids_corpus, 1, rng)[0]
+        assert verify_batch(query, [], aids_corpus, workers=4) == []
+        assert sim_verify_scan([query], [], aids_corpus, workers=4) == set()
+
+    def test_no_fragments_means_no_matches(self, aids_corpus):
+        ids = list(aids_corpus.ids())[:10]
+        assert sim_verify_scan([], ids, aids_corpus, workers=2) == set()
+
+    def test_result_sorted_and_unique(self, aids_corpus):
+        rng = random.Random(21)
+        query = _queries(aids_corpus, 1, rng)[0]
+        ids = list(aids_corpus.ids())
+        # Duplicated, shuffled input ids must not duplicate output ids.
+        messy = ids + ids[: len(ids) // 2]
+        rng.shuffle(messy)
+        out = verify_batch(query, set(messy), aids_corpus, workers=3)
+        assert out == sorted(set(out))
+        assert out == verify_batch(query, ids, aids_corpus, workers=1)

@@ -1,0 +1,170 @@
+"""Cached graph invariants and memoized canonical codes stay correct under
+interleaved mutation (the contract documented in docs/PERFORMANCE.md)."""
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import canonical
+from repro.graph.canonical import canonical_code
+from repro.graph.generators import random_connected_graph
+from repro.graph.labeled_graph import Graph
+
+LABELS = "ABC"
+EDGE_LABELS = (None, "s", "d")
+
+
+# ----------------------------------------------------------------------
+# fresh (uncached) recomputation of every invariant, for comparison
+# ----------------------------------------------------------------------
+def _fresh_node_labels(g: Graph) -> Counter:
+    return Counter(g.label(n) for n in g.nodes())
+
+
+def _fresh_triples(g: Graph) -> Counter:
+    out: Counter = Counter()
+    for u, v in g.edges():
+        lu, lv = g.label(u), g.label(v)
+        if lu > lv:
+            lu, lv = lv, lu
+        out[(lu, g.edge_label(u, v), lv)] += 1
+    return out
+
+
+def _assert_invariants_fresh(g: Graph) -> None:
+    assert g.node_labels() == _fresh_node_labels(g)
+    assert g.edge_label_triples() == _fresh_triples(g)
+    assert g.degree_map() == {n: g.degree(n) for n in g.nodes()}
+    by_label = {}
+    for n in g.nodes():
+        by_label.setdefault(g.label(n), set()).add(n)
+    assert {l: set(ns) for l, ns in g.nodes_by_label().items()} == by_label
+    # A structural copy starts with cold caches; equal structure must give an
+    # equal fingerprint and an equal canonical code.
+    cold = g.copy()
+    assert g.fingerprint() == cold.fingerprint()
+    assert canonical_code(g) == canonical._compute_canonical_code(cold)
+
+
+def _mutate_once(rng: random.Random, g: Graph, next_id: list) -> None:
+    ops = ["add_node"]
+    nodes = list(g.nodes())
+    if len(nodes) >= 2:
+        ops.append("add_edge")
+    if g.num_edges:
+        ops.append("remove_edge")
+    if nodes:
+        ops.append("remove_node")
+    op = rng.choice(ops)
+    if op == "add_node":
+        g.add_node(next_id[0], rng.choice(LABELS))
+        next_id[0] += 1
+    elif op == "add_edge":
+        for _ in range(10):  # may be complete; a no-op attempt is fine
+            u, v = rng.sample(nodes, 2)
+            if not g.has_edge(u, v):
+                g.add_edge(u, v, rng.choice(EDGE_LABELS))
+                break
+    elif op == "remove_edge":
+        u, v = rng.choice(sorted(g.edges()))
+        g.remove_edge(u, v)
+    else:
+        g.remove_node(rng.choice(nodes))
+
+
+class TestVersionGuardedInvariants:
+    @given(seed=st.integers(0, 10**9), steps=st.integers(1, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_track_interleaved_mutation(self, seed, steps):
+        """Read invariants, mutate, re-read: caches never go stale."""
+        rng = random.Random(seed)
+        g = Graph()
+        next_id = [0]
+        _assert_invariants_fresh(g)  # empty graph
+        for _ in range(steps):
+            _mutate_once(rng, g, next_id)
+            if rng.random() < 0.5:
+                g.node_labels()  # warm some caches between mutations
+                g.degree_map()
+            _assert_invariants_fresh(g)
+
+    def test_mutators_bump_version_and_invalidate(self):
+        g = Graph()
+        g.add_node(0, "A")
+        g.add_node(1, "B")
+        v0 = g.version
+        labels_before = g.node_labels()
+        assert g.node_labels() is labels_before  # cache hit: shared object
+
+        g.add_edge(0, 1, "s")
+        assert g.version > v0
+        assert g.edge_label_triples() == Counter({("A", "s", "B"): 1})
+        g.remove_edge(0, 1)
+        assert g.edge_label_triples() == Counter()
+        g.remove_node(1)
+        assert g.node_labels() == Counter({"A": 1})
+        # re-adding an existing node is a no-op and must not bump the version
+        v = g.version
+        g.add_node(0, "A")
+        assert g.version == v
+
+
+class TestCanonicalMemoization:
+    @given(seed=st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_memoized_code_tracks_mutation(self, seed):
+        """canonical_code == the direct computation, before and after edits."""
+        rng = random.Random(seed)
+        n = rng.randint(2, 7)
+        m = rng.randint(n - 1, min(n * (n - 1) // 2, n + 2))
+        g = random_connected_graph(rng, n, m, LABELS)
+        assert canonical_code(g) == canonical._compute_canonical_code(g)
+        # Grow: a fresh leaf keeps the graph connected.
+        new = max(g.nodes()) + 1
+        g.add_node(new, rng.choice(LABELS))
+        g.add_edge(new, rng.choice([n for n in g.nodes() if n != new]),
+                   rng.choice(EDGE_LABELS))
+        assert canonical_code(g) == canonical._compute_canonical_code(g)
+        # Shrink back.
+        g.remove_node(new)
+        assert canonical_code(g) == canonical._compute_canonical_code(g)
+
+    @given(seed=st.integers(0, 10**9))
+    @settings(max_examples=30, deadline=None)
+    def test_code_invariant_under_node_renaming(self, seed):
+        """The LRU key includes node ids, so a renamed copy misses the cache;
+        its code must still equal the original's (isomorphism invariance)."""
+        rng = random.Random(seed)
+        n = rng.randint(2, 6)
+        m = rng.randint(n - 1, min(n * (n - 1) // 2, n + 2))
+        g = random_connected_graph(rng, n, m, LABELS)
+        nodes = sorted(g.nodes())
+        shuffled = nodes[:]
+        rng.shuffle(shuffled)
+        renamed = g.relabel_nodes(
+            {n: 1000 + s for n, s in zip(nodes, shuffled)}
+        )
+        assert g.fingerprint() == renamed.fingerprint()
+        assert canonical_code(g) == canonical_code(renamed)
+
+    def test_lru_keyed_by_exact_structure(self):
+        """Equal label multisets and edge counts must not collide in the LRU:
+        non-isomorphic graphs get distinct codes, renamed copies get a fresh
+        entry but the same code."""
+        canonical.clear_cache()
+        labels = {0: "A", 1: "A", 2: "A", 3: "A"}
+        path = Graph.from_edges([(0, 1), (1, 2), (2, 3)], labels)
+        star = Graph.from_edges([(0, 1), (0, 2), (0, 3)], labels)
+        assert canonical_code(path) != canonical_code(star)
+        renamed = star.relabel_nodes({0: 3, 3: 0})
+        assert canonical_code(renamed) == canonical_code(star)
+        stats = canonical.cache_stats()
+        assert stats["misses"] >= 3  # path, star, renamed: three distinct keys
+
+    def test_cache_disabled_still_correct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CANONICAL_CACHE", "0")
+        g = Graph.from_edges([(0, 1), (1, 2)], {0: "A", 1: "B", 2: "C"})
+        assert canonical_code(g) == canonical._compute_canonical_code(g)
+        assert canonical_code(g) == canonical._compute_canonical_code(g)
