@@ -101,6 +101,20 @@ def _build_parser() -> argparse.ArgumentParser:
     smoke.add_argument("--size", type=int, default=80,
                        help="corpus size for the smoke run")
     smoke.add_argument("--seed", type=int, default=2012)
+
+    oracle = sub.add_parser(
+        "oracle-smoke",
+        help="differential-oracle sweep: fuzzed sessions replayed across "
+             "the hot-path config matrix plus naive/fresh-replay oracles",
+    )
+    oracle.add_argument("--sessions", type=int, default=50,
+                        help="number of seeded fuzzer sessions to check")
+    oracle.add_argument("--seed", type=int, default=0,
+                        help="base seed (session i uses seed base+i)")
+    oracle.add_argument("--sigma", type=int, default=None,
+                        help="similarity budget (default: varied per seed)")
+    oracle.add_argument("--out", type=Path, default=None,
+                        help="write the sweep manifest as JSON")
     return parser
 
 
@@ -250,6 +264,47 @@ def _cmd_bench_smoke(args) -> int:
     return 0
 
 
+def _cmd_oracle_smoke(args) -> int:
+    """Bounded seeded sweep of the differential oracle (the CI guard).
+
+    Zero divergences across the full configuration matrix and both
+    independent oracles is the pass condition; any divergence is shrunk to a
+    minimal trace and printed as a paste-able regression test.
+    """
+    import json
+
+    from repro.oracle import CONFIG_MATRIX, run_sweep
+
+    report = run_sweep(
+        sessions=args.sessions,
+        base_seed=args.seed,
+        sigma=args.sigma,
+        progress=lambda message: print(f"  {message}"),
+    )
+    print(
+        f"oracle-smoke: {report.sessions} sessions, "
+        f"{report.total_steps} actions, {report.total_replays} replays "
+        f"across {len(CONFIG_MATRIX)} configs "
+        f"+ naive-baseline + fresh-replay oracles"
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report.manifest(), indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if not report.ok:
+        for result in report.failures:
+            print(f"\nseed {result.trace.seed} diverged:", file=sys.stderr)
+            for divergence in result.divergences:
+                print(divergence.describe(), file=sys.stderr)
+            if result.reproducer:
+                print("\n--- minimal reproducer "
+                      "(paste into tests/oracle/) ---", file=sys.stderr)
+                print(result.reproducer, file=sys.stderr)
+        return 1
+    print("oracle-smoke OK (divergence-free)")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.bench.harness import results_dir
     from repro.bench.report import render_report
@@ -267,6 +322,7 @@ _COMMANDS = {
     "session": _cmd_session,
     "report": _cmd_report,
     "bench-smoke": _cmd_bench_smoke,
+    "oracle-smoke": _cmd_oracle_smoke,
 }
 
 

@@ -53,15 +53,23 @@ def full_mask(n: int) -> Bits:
     return (1 << n) - 1
 
 
-def intersect_all(masks: Iterable[Bits]) -> Bits:
+def intersect_all(masks: Iterable[Bits], universe: Bits = 0) -> Bits:
     """AND-fold, smallest-popcount first, with an early exit on empty.
 
     Ordering by popcount keeps intermediate results small — the same
     smallest-first heuristic the frozenset path uses.
+
+    ``universe`` is the neutral element of the fold: an intersection over
+    *zero* constraint sets leaves every graph a candidate, so callers pass
+    the all-graphs mask (``full_mask(len(db))``), mirroring the ``db_ids``
+    fallback of the frozenset reference path.  An empty fold returning the
+    empty set would silently turn "no pruning information" into "provably
+    no match" — the exact-candidate emptiness test is load-bearing
+    (it triggers PRAGUE's option dialogue), so the distinction matters.
     """
     ordered = sorted(masks, key=count)
     if not ordered:
-        return 0
+        return universe
     out = ordered[0]
     for mask in ordered[1:]:
         out &= mask

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import FrozenSet, List, Optional
 
 from repro.config import bitset_candidates
-from repro.core.candidates import ids_of, intersect_all
+from repro.core.candidates import bits_of, ids_of, intersect_all
 from repro.index.builder import ActionAwareIndexes
 from repro.spig.spig import SpigVertex
 
@@ -49,7 +49,7 @@ def exact_sub_candidates(
         # queries within the paper's ≤ 10-edge envelope).
         return db_ids
     if bitset_candidates():
-        return ids_of(_phi_upsilon_bits(vertex, indexes))
+        return ids_of(_phi_upsilon_bits(vertex, indexes, bits_of(db_ids)))
     return exact_sub_candidates_sets(vertex, indexes, db_ids)
 
 
@@ -72,14 +72,16 @@ def exact_sub_candidates_bits(
         return indexes.a2i.fsg_bits(fl.dif_id)
     if not fl.phi and not fl.upsilon:
         return db_bits
-    return _phi_upsilon_bits(vertex, indexes)
+    return _phi_upsilon_bits(vertex, indexes, db_bits)
 
 
-def _phi_upsilon_bits(vertex: SpigVertex, indexes: ActionAwareIndexes) -> int:
+def _phi_upsilon_bits(
+    vertex: SpigVertex, indexes: ActionAwareIndexes, db_bits: int
+) -> int:
     fl = vertex.fragment_list
     masks = [indexes.a2f.fsg_bits(a2f_id) for a2f_id in fl.phi]
     masks += [indexes.a2i.fsg_bits(a2i_id) for a2i_id in fl.upsilon]
-    return intersect_all(masks)
+    return intersect_all(masks, db_bits)
 
 
 def exact_sub_candidates_sets(
@@ -106,10 +108,12 @@ def exact_sub_candidates_sets(
     ]
     id_lists += [indexes.a2i.fsg_ids(a2i_id) for a2i_id in fl.upsilon]
     id_lists.sort(key=len)
+    # Neutral element of the AND-fold over constraints: the full universe
+    # (zero constraints prune nothing) — kept in lock-step with
+    # ``intersect_all``'s ``universe`` argument on the bitset path.
     rq: Optional[FrozenSet[int]] = None
     for ids in id_lists:
         rq = ids if rq is None else rq & ids  # frozenset & -> frozenset
         if not rq:
             return frozenset()
-    assert rq is not None
-    return rq
+    return db_ids if rq is None else rq

@@ -84,7 +84,9 @@ class PragueEngine:
         self.indexes = indexes
         self.sigma = sigma
         self.auto_similarity = auto_similarity
-        self.db_ids: FrozenSet[int] = frozenset(db.ids())
+        self._db_ids: FrozenSet[int] = frozenset(db.ids())
+        self._db_ids_size = len(db)
+        self._candidates_db_size = len(db)
         self.query = VisualQuery()
         self.manager = SpigManager(indexes)
         self.sim_flag = False
@@ -92,6 +94,20 @@ class PragueEngine:
         self.rq: FrozenSet[int] = frozenset()
         self.similar_candidates: Optional[SimilarCandidates] = None
         self.history: List[StepReport] = []
+
+    @property
+    def db_ids(self) -> FrozenSet[int]:
+        """The current id universe, version-guarded against ``db.add()``.
+
+        Graphs appended mid-session (``GraphDatabase.add`` — e.g. through
+        :class:`~repro.index.maintenance.IncrementalIndexMaintainer`) must be
+        visible to every later candidate computation; a snapshot taken at
+        ``__init__`` silently hid them from ``Rq``/``Rfree``/``Rver``.
+        """
+        if self._db_ids_size != len(self.db):
+            self._db_ids = frozenset(self.db.ids())
+            self._db_ids_size = len(self.db)
+        return self._db_ids
 
     # ------------------------------------------------------------------
     # formulation actions
@@ -125,7 +141,7 @@ class PragueEngine:
         )
         if not self.sim_flag:
             target = self.manager.target_vertex(self.query)
-            self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
+            self._refresh_rq(target)
             report.rq_size = len(self.rq)
             if self.rq:
                 report.status = (
@@ -304,7 +320,7 @@ class PragueEngine:
             report.candidate_count = self.similar_candidates.candidate_count
         else:
             target = self.manager.target_vertex(self.query)
-            self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
+            self._refresh_rq(target)
             report.rq_size = len(self.rq)
             if self.rq:
                 report.status = (
@@ -322,6 +338,7 @@ class PragueEngine:
         if self.query.num_edges == 0:
             raise SessionError("cannot run an empty query")
         start = time.perf_counter()
+        self._ensure_current_candidates()
         report = RunReport()
         if not self.sim_flag:
             target = self.manager.target_vertex(self.query)
@@ -365,7 +382,23 @@ class PragueEngine:
             return self.history[-1].status
         return QueryStatus.FREQUENT
 
+    def _refresh_rq(self, target) -> None:
+        self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
+        self._candidates_db_size = len(self.db)
+
     def _refresh_similar_candidates(self) -> None:
         self.similar_candidates = similar_sub_candidates(
             self.query, self.sigma, self.manager, self.indexes, self.db_ids
         )
+        self._candidates_db_size = len(self.db)
+
+    def _ensure_current_candidates(self) -> None:
+        """Re-derive the candidate state if the database grew since the last
+        refresh (``db.add`` after the final formulation action): *Run* must
+        consult the universe as of the button press, not of the last edge."""
+        if self._candidates_db_size == len(self.db) or self.query.num_edges == 0:
+            return
+        if self.sim_flag:
+            self._refresh_similar_candidates()
+        else:
+            self._refresh_rq(self.manager.target_vertex(self.query))

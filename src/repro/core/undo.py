@@ -40,6 +40,9 @@ class EngineSnapshot:
     rq: Any
     similar_candidates: Any
     history_len: int
+    #: db size the snapshot's candidate state was derived against — restoring
+    #: must re-arm the engine's growth guard, not inherit the newer one.
+    candidates_db_size: int = -1
 
 
 def take_snapshot(engine: PragueEngine) -> EngineSnapshot:
@@ -57,6 +60,7 @@ def take_snapshot(engine: PragueEngine) -> EngineSnapshot:
         rq=engine.rq,
         similar_candidates=copy.deepcopy(engine.similar_candidates, memo),
         history_len=len(engine.history),
+        candidates_db_size=engine._candidates_db_size,
     )
 
 
@@ -70,6 +74,7 @@ def restore_snapshot(engine: PragueEngine, snapshot: EngineSnapshot) -> None:
     engine.option_pending = snapshot.option_pending
     engine.rq = snapshot.rq
     engine.similar_candidates = copy.deepcopy(snapshot.similar_candidates)
+    engine._candidates_db_size = snapshot.candidates_db_size
     del engine.history[snapshot.history_len:]
 
 

@@ -27,12 +27,12 @@ affects *results*, only wall-clock: every path returns the same id sets.
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.config import verification_workers
 from repro.graph.database import GraphDatabase
-from repro.graph.isomorphism import CompiledPattern, compile_pattern, \
-    is_subgraph_isomorphic
+from repro.graph.isomorphism import CompiledPattern, compile_pattern
 from repro.graph.labeled_graph import Graph
 from repro.spig.manager import SpigManager
 from repro.spig.spig import SpigVertex
@@ -73,11 +73,27 @@ def _run_batch(
     ids: List[int],
     workers: int,
 ) -> List[int]:
-    """Chunk ``ids`` across a pool (or run serially for workers == 1)."""
+    """Chunk ``ids`` across a pool, falling back to in-process execution.
+
+    Pool failures (unpicklable payloads on spawn platforms, broken workers,
+    fork unavailability) must degrade a *Run* action to the slower serial
+    path, not abort it: the answer is computable without a pool, so compute
+    it.  The fallback executes the same worker on the same payloads, hence
+    returns the identical id list.
+    """
     chunk_size = max(1, -(-len(ids) // (workers * 4)))  # ~4 chunks per worker
     payloads = [make_payload(chunk) for chunk in _chunks(ids, chunk_size)]
-    with _pool_context().Pool(workers) as pool:
-        parts = pool.map(worker, payloads)
+    try:
+        with _pool_context().Pool(workers) as pool:
+            parts = pool.map(worker, payloads)
+    except Exception as exc:  # pickling/OS/pool-management failures
+        warnings.warn(
+            f"verification pool failed ({type(exc).__name__}: {exc}); "
+            "falling back to the serial path",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        parts = [worker(payload) for payload in payloads]
     out: List[int] = []
     for part in parts:  # chunks are ascending and disjoint: concat is sorted
         out.extend(part)
@@ -180,6 +196,18 @@ def level_fragments_to_verify(
 def sim_verify(
     vertices: Iterable[SpigVertex],
     target: Graph,
+    label_freq=None,
 ) -> bool:
-    """True iff any of the given fragments embeds in ``target``."""
-    return any(is_subgraph_isomorphic(v.fragment, target) for v in vertices)
+    """True iff any of the given fragments embeds in ``target``.
+
+    Runs through :func:`compile_pattern` — the same matcher as the batch
+    :func:`sim_verify_scan` — so serial spot-checks and batched scans cannot
+    drift apart.  Pass the corpus ``label_freq``
+    (:meth:`GraphDatabase.label_frequencies`) to also reproduce the scan's
+    label-rarity matching order exactly; without it the fragment's own label
+    statistics drive the order (answers are identical either way).
+    """
+    return any(
+        compile_pattern(v.fragment, label_freq).embeds_in(target)
+        for v in vertices
+    )

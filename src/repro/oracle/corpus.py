@@ -1,0 +1,88 @@
+"""Small synthetic corpora the oracle fuzzes against.
+
+A corpus is a (database, indexes) pair plus the spec that built it.  Specs are
+value objects so a :class:`~repro.oracle.trace.SessionTrace` can embed one and
+stay fully self-describing: a trace printed into a regression test rebuilds
+the exact world it diverged in.
+
+The default spec is deliberately *harsher* than the unit-test fixtures: the
+mining bound (``max_fragment_edges``) is low relative to the query sizes the
+fuzzer draws, so sessions routinely push fragments past the indexed envelope
+and exercise the no-index-information fallback of Algorithm 3 — the path
+where the stale-``db_ids`` and empty-intersection bugs lived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.config import MiningParams
+from repro.graph.database import GraphDatabase
+from repro.index import build_indexes
+from repro.index.builder import ActionAwareIndexes
+from repro.testing import small_database
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Everything needed to rebuild a fuzzing corpus deterministically."""
+
+    seed: int = 0
+    num_graphs: int = 24
+    labels: str = "ABC"
+    min_nodes: int = 3
+    max_nodes: int = 7
+    min_support: float = 0.25
+    size_threshold: int = 3
+    max_fragment_edges: int = 4
+
+    def mining_params(self) -> MiningParams:
+        return MiningParams(
+            min_support=self.min_support,
+            size_threshold=self.size_threshold,
+            max_fragment_edges=self.max_fragment_edges,
+        )
+
+
+DEFAULT_SPEC = CorpusSpec()
+
+
+@dataclass(frozen=True)
+class OracleCorpus:
+    """A built corpus: immutable during replays, shared across configs."""
+
+    spec: CorpusSpec
+    db: GraphDatabase
+    indexes: ActionAwareIndexes
+
+    @property
+    def label_universe(self) -> Tuple[str, ...]:
+        return tuple(self.db.node_label_universe())
+
+
+_CACHE: Dict[CorpusSpec, OracleCorpus] = {}
+
+
+def corpus_for(spec: CorpusSpec = DEFAULT_SPEC) -> OracleCorpus:
+    """Build (or fetch) the corpus for ``spec``.
+
+    Replays never mutate the database or the indexes, so one built corpus is
+    shared by every configuration and every session over the same spec —
+    index mining is by far the most expensive part of a sweep.
+    """
+    cached = _CACHE.get(spec)
+    if cached is not None:
+        return cached
+    db = small_database(
+        seed=spec.seed,
+        num_graphs=spec.num_graphs,
+        labels=spec.labels,
+        min_nodes=spec.min_nodes,
+        max_nodes=spec.max_nodes,
+    )
+    corpus = OracleCorpus(
+        spec=spec, db=db, indexes=build_indexes(db, spec.mining_params())
+    )
+    _CACHE[spec] = corpus
+    return corpus

@@ -1,0 +1,79 @@
+"""Observation diffing: locate the first step where two replays disagree.
+
+Divergences are reported at the *earliest* diverging step — Algorithm 1's
+per-edge blending means a wrong candidate set at step ``k`` corrupts every
+step after it, so later mismatches are usually echoes of the first one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Divergence:
+    """One disagreement between two views of the same trace."""
+
+    kind: str               # "config" | "naive-baseline" | "fresh-replay"
+    step: Optional[int]     # action index, None for whole-session oracles
+    op: Optional[str]       # the gesture at that step
+    left: str               # name of the reference view
+    right: str              # name of the disagreeing view
+    details: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        where = "final state" if self.step is None else \
+            f"step {self.step} ({self.op})"
+        head = f"[{self.kind}] {self.left} vs {self.right} at {where}"
+        return "\n".join([head] + [f"  {line}" for line in self.details])
+
+
+def _fmt(value: Any, limit: int = 200) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def diff_observations(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> List[str]:
+    """Human-readable ``key: left != right`` lines for one step pair."""
+    lines: List[str] = []
+    for key in sorted(set(a) | set(b)):
+        left, right = a.get(key), b.get(key)
+        if left != right:
+            lines.append(f"{key}: {_fmt(left)} != {_fmt(right)}")
+    return lines
+
+
+def first_divergence(
+    reference: Sequence[Dict[str, Any]],
+    other: Sequence[Dict[str, Any]],
+    left: str,
+    right: str,
+    kind: str = "config",
+) -> Optional[Divergence]:
+    """The earliest step at which the two observation streams disagree."""
+    for step, (a, b) in enumerate(zip(reference, other)):
+        lines = diff_observations(a, b)
+        if lines:
+            return Divergence(
+                kind=kind,
+                step=step,
+                op=a.get("op"),
+                left=left,
+                right=right,
+                details=lines,
+            )
+    if len(reference) != len(other):
+        return Divergence(
+            kind=kind,
+            step=min(len(reference), len(other)),
+            op=None,
+            left=left,
+            right=right,
+            details=[
+                f"length: {len(reference)} steps != {len(other)} steps"
+            ],
+        )
+    return None

@@ -1,0 +1,208 @@
+"""The seeded session fuzzer: random-but-valid formulation sessions.
+
+Actions are generated against a live *scratch engine* (replayed under the
+reference configuration): a candidate gesture is performed, and only gestures
+the engine accepts are recorded.  That keeps traces valid by construction —
+connectivity, duplicate-edge and canvas rules are enforced by the engine
+itself, not re-implemented here — while still probing the interesting state
+space: dead labels, the option dialogue (implicit similarity opt-in),
+suggestion-driven deletions, multi-deletions, relabels, mid-session runs.
+
+Everything derives from one ``random.Random(seed)``, so a seed fully
+determines a trace (given the corpus spec) and every divergence is
+reproducible from ``(spec, seed)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set, Tuple
+
+from repro.core.modify import deletable_edges
+from repro.core.prague import PragueEngine
+from repro.exceptions import ReproError
+from repro.oracle.corpus import DEFAULT_SPEC, CorpusSpec, corpus_for
+from repro.oracle.replay import REFERENCE_CONFIG, applied
+from repro.oracle.trace import SessionTrace, TraceAction, apply_action
+
+#: A node label no generated corpus uses — exercises the ``dead`` fragment path.
+DEAD_LABEL = "ZZ"
+
+_MAX_QUERY_EDGES = 8
+
+
+def generate_trace(
+    seed: int,
+    spec: CorpusSpec = DEFAULT_SPEC,
+    sigma: Optional[int] = None,
+    length: Optional[int] = None,
+) -> SessionTrace:
+    """A deterministic random session over ``spec``'s corpus."""
+    rng = random.Random(seed)
+    corpus = corpus_for(spec)
+    labels = list(corpus.label_universe)
+    if sigma is None:
+        sigma = rng.choice((1, 2, 3))
+    if length is None:
+        length = rng.randint(6, 14)
+
+    recorded: List[TraceAction] = []
+    next_node = [0]
+
+    with applied(REFERENCE_CONFIG):
+        engine = PragueEngine(
+            corpus.db, corpus.indexes, sigma=sigma, auto_similarity=True
+        )
+
+        def attempt(action: TraceAction) -> bool:
+            try:
+                apply_action(engine, action)
+            except ReproError:
+                return False
+            recorded.append(action)
+            return True
+
+        def fresh_node() -> str:
+            node = f"n{next_node[0]}"
+            next_node[0] += 1
+            return node
+
+        def pick_label() -> str:
+            if rng.random() < 0.04:
+                return DEAD_LABEL
+            return rng.choice(labels)
+
+        def add_node() -> bool:
+            return attempt(
+                TraceAction("add_node", (fresh_node(), pick_label()))
+            )
+
+        def add_edge() -> bool:
+            pair = _edge_candidate(rng, engine)
+            if pair is None:
+                return False
+            return attempt(TraceAction("add_edge", (*pair, None)))
+
+        def add_pattern() -> bool:
+            size = rng.randint(2, 3)
+            chain = [pick_label() for _ in range(size + 1)]
+            attach: Tuple = ()
+            if engine.query.num_edges > 0:
+                anchor = rng.choice(sorted(
+                    engine.query.graph().nodes(), key=repr
+                ))
+                chain[0] = engine.query.node_label(anchor)
+                attach = ((0, anchor),)
+            nodes = tuple(enumerate(chain))
+            edges = tuple((i, i + 1, None) for i in range(size))
+            return attempt(TraceAction("add_pattern", (nodes, edges, attach)))
+
+        def delete_edge() -> bool:
+            if engine.query.num_edges == 0:
+                return False
+            if engine.query.num_edges >= 2 and rng.random() < 0.3:
+                # Accept the engine's own suggestion (Algorithm 6, lines 3-8);
+                # which edge that is becomes part of the observations.
+                return attempt(TraceAction("delete_edge", (None,)))
+            choices = deletable_edges(engine.query)
+            if not choices:
+                return False
+            return attempt(
+                TraceAction("delete_edge", (rng.choice(choices),))
+            )
+
+        def delete_edges() -> bool:
+            ids = engine.query.edge_ids()
+            if len(ids) < 3:
+                return False
+            picked = tuple(sorted(rng.sample(ids, 2)))
+            return attempt(TraceAction("delete_edges", (picked,)))
+
+        def relabel_node() -> bool:
+            if engine.query.num_edges == 0:
+                return False
+            node = rng.choice(sorted(engine.query.graph().nodes(), key=repr))
+            return attempt(
+                TraceAction("relabel_node", (node, pick_label()))
+            )
+
+        def enable_similarity() -> bool:
+            if engine.sim_flag or engine.query.num_edges == 0:
+                return False
+            return attempt(TraceAction("enable_similarity", ()))
+
+        def run() -> bool:
+            if engine.query.num_edges == 0:
+                return False
+            return attempt(TraceAction("run", ()))
+
+        # Seed the canvas so the session always gets off the ground.
+        add_node()
+        add_node()
+        add_edge()
+
+        moves = (
+            (add_node, 2),
+            (add_edge, 5),
+            (add_pattern, 1),
+            (delete_edge, 2),
+            (delete_edges, 1),
+            (relabel_node, 1),
+            (enable_similarity, 1),
+            (run, 1),
+        )
+        while len(recorded) < length:
+            fn = _weighted_choice(rng, [
+                (fn, w) for fn, w in moves
+                if fn not in (add_edge, add_pattern)
+                or engine.query.num_edges < _MAX_QUERY_EDGES
+            ])
+            fn()
+
+        # Every session ends with Run on a non-empty query.
+        while engine.query.num_edges == 0:
+            add_node()
+            add_node()
+            add_edge()
+        run()
+
+    return SessionTrace(
+        spec=spec, sigma=sigma, actions=tuple(recorded), seed=seed
+    )
+
+
+def _edge_candidate(
+    rng: random.Random, engine: PragueEngine
+) -> Optional[Tuple[str, str]]:
+    """A random drawable (u, v): on-canvas, fresh, keeps the fragment connected."""
+    query = engine.query
+    fragment_nodes: Set = set()
+    existing: Set[frozenset] = set()
+    for eid in query.edge_ids():
+        u, v, _ = query.edge(eid)
+        fragment_nodes.update((u, v))
+        existing.add(frozenset((u, v)))
+    canvas = sorted(query.nodes(), key=repr)
+    pairs = []
+    for i, u in enumerate(canvas):
+        for v in canvas[i + 1:]:
+            if frozenset((u, v)) in existing:
+                continue
+            if fragment_nodes and u not in fragment_nodes \
+                    and v not in fragment_nodes:
+                continue
+            pairs.append((u, v))
+    if not pairs:
+        return None
+    return rng.choice(pairs)
+
+
+def _weighted_choice(rng: random.Random, moves):
+    total = sum(w for _, w in moves)
+    roll = rng.random() * total
+    acc = 0.0
+    for fn, w in moves:
+        acc += w
+        if roll < acc:
+            return fn
+    return moves[-1][0]

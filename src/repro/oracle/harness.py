@@ -1,0 +1,156 @@
+"""The harness: one trace → full verdict; many seeds → sweep report.
+
+:func:`check_session` replays a trace under the reference configuration,
+diffs every other matrix cell against it step by step, then runs the two
+independent oracles (naive scan, fresh replay) on the reference session.
+
+:func:`run_sweep` fuzzes ``sessions`` seeded traces and checks each one; any
+divergence is shrunk to a minimal trace and rendered as a paste-able
+regression test.  The sweep's manifest (a plain dict) is what
+``python -m repro oracle-smoke`` prints/persists for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.oracle.corpus import DEFAULT_SPEC, CorpusSpec, corpus_for
+from repro.oracle.diff import Divergence, first_divergence
+from repro.oracle.fuzzer import generate_trace
+from repro.oracle.oracles import fresh_replay_check, naive_baseline_check
+from repro.oracle.replay import (
+    CONFIG_MATRIX,
+    REFERENCE_CONFIG,
+    OracleConfig,
+    replay_trace,
+)
+from repro.oracle.shrink import format_reproducer, shrink_trace
+from repro.oracle.trace import SessionTrace
+
+
+@dataclass
+class SessionResult:
+    """The verdict on one trace across the matrix and both oracles."""
+
+    trace: SessionTrace
+    divergences: List[Divergence] = field(default_factory=list)
+    steps: int = 0
+    replays: int = 0
+    shrunk: Optional[SessionTrace] = None
+    reproducer: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def check_session(
+    trace: SessionTrace,
+    configs: Sequence[OracleConfig] = CONFIG_MATRIX,
+    naive: bool = True,
+    fresh: bool = True,
+) -> SessionResult:
+    """Replay ``trace`` everywhere and collect every disagreement."""
+    corpus = corpus_for(trace.spec)
+    reference = replay_trace(trace, REFERENCE_CONFIG, corpus)
+    result = SessionResult(trace=trace, steps=len(trace), replays=1)
+    for config in configs:
+        if config == REFERENCE_CONFIG:
+            continue
+        other = replay_trace(trace, config, corpus)
+        result.replays += 1
+        divergence = first_divergence(
+            reference.observations,
+            other.observations,
+            left=REFERENCE_CONFIG.name,
+            right=config.name,
+        )
+        if divergence is not None:
+            result.divergences.append(divergence)
+    if naive:
+        result.divergences.extend(naive_baseline_check(reference))
+    if fresh:
+        result.divergences.extend(fresh_replay_check(reference))
+    return result
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of a seeded multi-session sweep."""
+
+    spec: CorpusSpec
+    base_seed: int
+    sessions: int = 0
+    total_steps: int = 0
+    total_replays: int = 0
+    failures: List[SessionResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def manifest(self) -> Dict:
+        """The JSON-able summary persisted by ``oracle-smoke``."""
+        from dataclasses import asdict
+
+        return {
+            "suite": "oracle-smoke",
+            "spec": asdict(self.spec),
+            "base_seed": self.base_seed,
+            "sessions": self.sessions,
+            "total_steps": self.total_steps,
+            "total_replays": self.total_replays,
+            "configs": [c.name for c in CONFIG_MATRIX],
+            "oracles": ["naive-baseline", "fresh-replay"],
+            "divergence_free": self.ok,
+            "failures": [
+                {
+                    "seed": r.trace.seed,
+                    "divergences": [d.describe() for d in r.divergences],
+                }
+                for r in self.failures
+            ],
+        }
+
+
+def run_sweep(
+    sessions: int = 50,
+    base_seed: int = 0,
+    spec: CorpusSpec = DEFAULT_SPEC,
+    sigma: Optional[int] = None,
+    shrink: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Fuzz + check ``sessions`` seeded traces; shrink whatever diverges."""
+    corpus_for(spec)  # build once, up front (shared by all replays)
+    report = SweepReport(spec=spec, base_seed=base_seed)
+    for offset in range(sessions):
+        seed = base_seed + offset
+        trace = generate_trace(seed, spec=spec, sigma=sigma)
+        result = check_session(trace)
+        report.sessions += 1
+        report.total_steps += result.steps
+        report.total_replays += result.replays
+        if result.ok:
+            if progress is not None and (offset + 1) % 10 == 0:
+                progress(
+                    f"{offset + 1}/{sessions} sessions clean "
+                    f"({report.total_steps} steps)"
+                )
+            continue
+        if shrink:
+            result.shrunk = shrink_trace(
+                trace,
+                lambda t: not check_session(t).ok,
+            )
+            result.reproducer = format_reproducer(
+                result.shrunk, check_session(result.shrunk).divergences
+            )
+        else:
+            result.reproducer = format_reproducer(trace, result.divergences)
+        report.failures.append(result)
+        if progress is not None:
+            progress(f"seed {seed} DIVERGED "
+                     f"({len(result.divergences)} divergence(s))")
+    return report

@@ -1,0 +1,115 @@
+"""Config-matrix replay: one trace, every hot-path configuration.
+
+The hot-path layer reads its knobs from the environment at call time
+(:func:`repro.config.bitset_candidates`, :func:`canonical_cache_size`,
+:func:`verification_workers`), so a configuration is just an environment
+patch.  :func:`replay_trace` applies one, replays a trace on a fresh engine
+and records an observation per step; the harness diffs those observation
+streams across the matrix.
+
+Engine-raised :class:`~repro.exceptions.ReproError`\\ s (and any crash) are
+*recorded into the observation* rather than propagated: a trace therefore
+replays to completion under every configuration, which keeps divergence
+defined step-wise and makes delta-debugging shrinks total.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.prague import PragueEngine
+from repro.graph import canonical
+from repro.oracle.corpus import OracleCorpus, corpus_for
+from repro.oracle.trace import SessionTrace, apply_action, observe_step
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """One cell of the hot-path configuration matrix."""
+
+    bitset: bool = True
+    canonical_cache: bool = True
+    workers: int = 1
+
+    @property
+    def name(self) -> str:
+        return (
+            f"bitset={int(self.bitset)},"
+            f"cache={int(self.canonical_cache)},"
+            f"workers={self.workers}"
+        )
+
+    def env(self) -> Dict[str, str]:
+        return {
+            "REPRO_BITSET": "1" if self.bitset else "0",
+            "REPRO_CANONICAL_CACHE": "8192" if self.canonical_cache else "0",
+            "REPRO_WORKERS": str(self.workers),
+        }
+
+
+#: The reference cell every other cell is diffed against: bitset algebra on,
+#: canonical LRU on, serial verification — the CI default.
+REFERENCE_CONFIG = OracleConfig(bitset=True, canonical_cache=True, workers=1)
+
+#: Full matrix: REPRO_BITSET on/off × canonical cache on/off × workers 1/3.
+CONFIG_MATRIX: Tuple[OracleConfig, ...] = tuple(
+    OracleConfig(bitset=b, canonical_cache=c, workers=w)
+    for b, c, w in itertools.product((True, False), (True, False), (1, 3))
+)
+
+
+@contextmanager
+def applied(config: OracleConfig):
+    """Temporarily install ``config``'s environment (and isolate the LRU)."""
+    saved = {key: os.environ.get(key) for key in config.env()}
+    os.environ.update(config.env())
+    canonical.clear_cache()  # no memo carry-over between replays
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@dataclass
+class ReplaySession:
+    """A completed replay: the per-step observations plus the final engine."""
+
+    trace: SessionTrace
+    config: OracleConfig
+    corpus: OracleCorpus
+    observations: List[Dict[str, Any]] = field(default_factory=list)
+    engine: Optional[PragueEngine] = None
+
+
+def replay_trace(
+    trace: SessionTrace,
+    config: OracleConfig = REFERENCE_CONFIG,
+    corpus: Optional[OracleCorpus] = None,
+) -> ReplaySession:
+    """Replay ``trace`` under ``config`` on a fresh engine, start to finish."""
+    if corpus is None:
+        corpus = corpus_for(trace.spec)
+    session = ReplaySession(trace=trace, config=config, corpus=corpus)
+    with applied(config):
+        engine = PragueEngine(
+            corpus.db, corpus.indexes, sigma=trace.sigma, auto_similarity=True
+        )
+        for action in trace.actions:
+            result, error = None, None
+            try:
+                result = apply_action(engine, action)
+            except Exception as exc:  # recorded, not raised — see module doc
+                error = exc
+            session.observations.append(
+                observe_step(engine, action, result, error)
+            )
+    session.engine = engine
+    return session

@@ -1,0 +1,207 @@
+"""The action-trace model: sessions as replayable, shrinkable data.
+
+A :class:`SessionTrace` is a pure-data description of one formulation
+session — the corpus spec, the similarity budget ``σ`` and a tuple of
+:class:`TraceAction` gestures.  Everything downstream (config-matrix replay,
+the independent oracles, delta-debugging shrinks, paste-able reproducers)
+operates on this one representation.
+
+An *observation* is what replay records after each action: candidate sets,
+statuses and results — **never timings**, which legitimately vary between
+configurations.  Observations are plain dicts of hashable, ordered values so
+that two replays can be compared with ``==`` key by key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.prague import PragueEngine, RunReport, StepReport
+from repro.graph.labeled_graph import Graph
+from repro.oracle.corpus import CorpusSpec
+
+#: Gesture names the fuzzer may emit — the monitored GUI action set plus the
+#: canned-pattern and multi-deletion extensions.
+ACTION_OPS = (
+    "add_node",
+    "add_edge",
+    "add_pattern",
+    "delete_edge",
+    "delete_edges",
+    "relabel_node",
+    "enable_similarity",
+    "run",
+)
+
+
+@dataclass(frozen=True)
+class TraceAction:
+    """One GUI gesture: an op name plus its (literal, hashable) arguments."""
+
+    op: str
+    args: Tuple[Any, ...] = ()
+
+    def render(self) -> str:
+        """Python-literal form, used verbatim inside generated reproducers."""
+        return f"TraceAction({self.op!r}, {self.args!r})"
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """A fully self-describing session: corpus + σ + the gesture sequence."""
+
+    spec: CorpusSpec
+    sigma: int
+    actions: Tuple[TraceAction, ...]
+    seed: Optional[int] = None  # fuzzer seed, for provenance only
+
+    def without(self, indices: Iterable[int]) -> "SessionTrace":
+        """The trace with the given action positions removed (for shrinking)."""
+        drop = set(indices)
+        return replace(
+            self,
+            actions=tuple(
+                a for i, a in enumerate(self.actions) if i not in drop
+            ),
+        )
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+# ----------------------------------------------------------------------
+# applying actions to an engine
+# ----------------------------------------------------------------------
+def _pattern_graph(nodes, edges) -> Graph:
+    g = Graph()
+    for node, label in nodes:
+        g.add_node(node, label)
+    for u, v, elabel in edges:
+        g.add_edge(u, v, elabel)
+    return g
+
+
+def apply_action(engine: PragueEngine, action: TraceAction):
+    """Perform one gesture on ``engine``; returns the engine's report (if any)."""
+    op, args = action.op, action.args
+    if op == "add_node":
+        node, label = args
+        return engine.add_node(node, label)
+    if op == "add_edge":
+        u, v, elabel = args
+        return engine.add_edge(u, v, elabel)
+    if op == "add_pattern":
+        nodes, edges, attach = args
+        return engine.add_pattern(
+            _pattern_graph(nodes, edges), attach=dict(attach)
+        )
+    if op == "delete_edge":
+        (edge_id,) = args
+        return engine.delete_edge(edge_id)
+    if op == "delete_edges":
+        (edge_ids,) = args
+        return engine.delete_edges(list(edge_ids))
+    if op == "relabel_node":
+        node, new_label = args
+        return engine.relabel_node(node, new_label)
+    if op == "enable_similarity":
+        return engine.enable_similarity()
+    if op == "run":
+        return engine.run()
+    raise ValueError(f"unknown trace op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# observations
+# ----------------------------------------------------------------------
+def _fragment_snapshot(engine: PragueEngine):
+    """An id-normalised literal of the current query fragment.
+
+    Node ids are ``repr``-ed so the snapshot is orderable and hashable no
+    matter what ids the session used; the naive oracle rebuilds a graph from
+    it (isomorphic to the real fragment by construction).
+    """
+    g = engine.query.graph()
+    nodes = tuple(sorted((repr(n), g.label(n)) for n in g.nodes()))
+    edges = []
+    for u, v in g.edges():
+        a, b = sorted((repr(u), repr(v)))
+        edges.append((a, b, g.edge_label(u, v)))
+    return nodes, tuple(sorted(edges, key=lambda e: (e[0], e[1], e[2] or "")))
+
+
+def snapshot_to_graph(snapshot) -> Graph:
+    """Rebuild the (isomorphic) fragment a ``fragment`` observation recorded."""
+    nodes, edges = snapshot
+    g = Graph()
+    for node, label in nodes:
+        g.add_node(node, label)
+    for u, v, elabel in edges:
+        g.add_edge(u, v, elabel)
+    return g
+
+
+def _buckets(engine: PragueEngine):
+    sc = engine.similar_candidates
+    if sc is None:
+        return None
+    return {
+        level: (
+            tuple(sorted(sc.free_at(level))),
+            tuple(sorted(sc.ver_at(level))),
+        )
+        for level in sc.levels()
+    }
+
+
+def observe_step(
+    engine: PragueEngine,
+    action: TraceAction,
+    result,
+    error: Optional[BaseException],
+) -> Dict[str, Any]:
+    """The comparable record of one replay step (state + report, no timings)."""
+    obs: Dict[str, Any] = {
+        "op": action.op,
+        "args": action.args,
+        "error": None if error is None else
+        f"{type(error).__name__}: {error}",
+        "status": engine.status.value,
+        "sim_flag": engine.sim_flag,
+        "option_pending": engine.option_pending,
+        "num_edges": engine.query.num_edges,
+        "rq": tuple(sorted(engine.rq)),
+        "buckets": _buckets(engine),
+        "fragment": _fragment_snapshot(engine),
+    }
+    if isinstance(result, StepReport):
+        obs["report"] = _step_report_obs(result)
+    elif isinstance(result, list) and result and \
+            isinstance(result[0], StepReport):
+        obs["report"] = tuple(_step_report_obs(r) for r in result)
+    elif isinstance(result, RunReport):
+        obs["run"] = {
+            "exact": tuple(result.results.exact_ids),
+            "similar": tuple(
+                (m.distance, m.graph_id, m.verification_free)
+                for m in result.results.similar
+            ),
+            "verification_free": result.verification_free,
+            "candidate_count": result.candidate_count,
+        }
+    return obs
+
+
+def _step_report_obs(report: StepReport):
+    return (
+        report.action.value,
+        report.status.value,
+        report.edge_id,
+        report.rq_size,
+        report.candidate_count,
+        None if report.suggestion is None else (
+            report.suggestion.edge_id,
+            tuple(sorted(report.suggestion.candidates)),
+        ),
+    )

@@ -101,6 +101,10 @@ class VisualQuery:
     def edge_ids(self) -> List[int]:
         return sorted(self._edges)
 
+    def nodes(self) -> List[NodeId]:
+        """All canvas nodes — including isolated ones — in insertion order."""
+        return list(self._node_labels)
+
     def edge_id_set(self) -> FrozenSet[int]:
         return frozenset(self._edges)
 

@@ -133,3 +133,19 @@ class TestSession:
                    "--script", str(script)])
         assert rc == 1
         assert "!!" in capsys.readouterr().err
+
+
+class TestOracleSmoke:
+    def test_bounded_sweep_is_divergence_free(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "oracle_smoke.json"
+        rc = main(["oracle-smoke", "--sessions", "3",
+                   "--out", str(manifest_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oracle-smoke OK (divergence-free)" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["divergence_free"] is True
+        assert manifest["sessions"] == 3
+        assert manifest["failures"] == []

@@ -1,0 +1,96 @@
+"""Divergence location, delta-debugging shrinks, reproducer rendering."""
+
+from repro.oracle import first_divergence, format_reproducer, shrink_trace
+from repro.oracle.corpus import DEFAULT_SPEC
+from repro.oracle.diff import diff_observations
+from repro.oracle.trace import SessionTrace, TraceAction
+
+
+def _obs(step: int, rq=(1, 2)) -> dict:
+    return {"op": f"op{step}", "rq": tuple(rq), "error": None}
+
+
+class TestDiff:
+    def test_identical_streams_have_no_divergence(self):
+        stream = [_obs(i) for i in range(4)]
+        assert first_divergence(stream, list(stream), "a", "b") is None
+
+    def test_earliest_differing_step_wins(self):
+        left = [_obs(0), _obs(1), _obs(2)]
+        right = [_obs(0), _obs(1, rq=(1, 2, 3)), _obs(2, rq=())]
+        d = first_divergence(left, right, "ref", "alt")
+        assert d is not None
+        assert d.step == 1
+        assert d.left == "ref" and d.right == "alt"
+        assert any("rq" in line for line in d.details)
+
+    def test_length_mismatch_is_a_divergence(self):
+        left = [_obs(0), _obs(1)]
+        d = first_divergence(left, left[:1], "ref", "alt")
+        assert d is not None
+        assert "length" in d.details[0]
+
+    def test_diff_observations_names_all_differing_keys(self):
+        a = {"x": 1, "y": 2, "z": 3}
+        b = {"x": 1, "y": 9, "w": 0}
+        keys = {line.split(":")[0] for line in diff_observations(a, b)}
+        assert keys == {"y", "z", "w"}
+
+
+def _marker_trace(n: int, marker_at: int) -> SessionTrace:
+    actions = tuple(
+        TraceAction("add_node", (f"n{i}", "A")) if i != marker_at
+        else TraceAction("relabel_node", ("MARKER", "A"))
+        for i in range(n)
+    )
+    return SessionTrace(spec=DEFAULT_SPEC, sigma=1, actions=actions)
+
+
+def _has_marker(trace: SessionTrace) -> bool:
+    return any(a.op == "relabel_node" for a in trace.actions)
+
+
+class TestShrink:
+    def test_shrinks_to_single_culprit_action(self):
+        trace = _marker_trace(12, marker_at=7)
+        shrunk = shrink_trace(trace, _has_marker)
+        assert len(shrunk) == 1
+        assert shrunk.actions[0].op == "relabel_node"
+
+    def test_non_failing_trace_is_returned_unchanged(self):
+        trace = _marker_trace(5, marker_at=2).without([2])
+        assert shrink_trace(trace, _has_marker) is trace
+
+    def test_check_budget_bounds_the_loop(self):
+        calls = []
+
+        def failing(t):
+            calls.append(1)
+            return _has_marker(t)
+
+        shrink_trace(_marker_trace(20, marker_at=0), failing, max_checks=5)
+        assert len(calls) <= 6  # initial check + the budget
+
+
+class TestReproducer:
+    def test_output_is_valid_python(self):
+        trace = _marker_trace(3, marker_at=1)
+        source = format_reproducer(trace, [])
+        compile(source, "<reproducer>", "exec")  # must not raise
+
+    def test_output_contains_trace_and_assertion(self):
+        trace = _marker_trace(2, marker_at=0)
+        source = format_reproducer(trace, [])
+        assert "TraceAction('relabel_node', ('MARKER', 'A'))" in source
+        assert "check_session(trace)" in source
+        assert "def test_oracle_regression_" in source
+
+    def test_divergence_summary_rendered_as_comments(self):
+        from repro.oracle.diff import Divergence
+
+        trace = _marker_trace(1, marker_at=0)
+        d = Divergence(kind="config", step=0, op="run",
+                       left="ref", right="alt", details=["rq: (1,) != (2,)"])
+        source = format_reproducer(trace, [d])
+        assert "# [config] ref vs alt at step 0 (run)" in source
+        compile(source, "<reproducer>", "exec")
