@@ -1,0 +1,63 @@
+"""Observability no-op overhead — the ``repro.obs`` acceptance benchmark.
+
+Not a paper figure: this guards the tracing layer's core promise that with
+``REPRO_TRACE`` off (the default) the instrumentation sprinkled through the
+hot paths is invisible.  :mod:`repro.bench.obs_overhead` measures the no-op
+per-call cost of each primitive in a tight loop, counts how many obs calls a
+real fuzzed session fires, and bounds the per-session overhead as
+``volume × per-call cost`` against the untraced session wall time.
+
+The assertion is ``overhead_bound_pct < 5`` — the tentpole acceptance
+criterion — plus a sanity floor that the per-call no-op cost stays in the
+sub-microsecond regime.  The traced/untraced A/B is recorded for scale but
+not asserted (tracing on is opt-in and allowed to cost more).
+"""
+
+import pytest
+
+from repro.bench import emit, format_table
+from repro.bench.obs_overhead import OVERHEAD_CEILING_PCT, run_obs_overhead
+
+#: A disabled obs call that costs ≥ 2 µs would no longer be "an attribute
+#: load and a branch" — catch gross regressions in the no-op path itself.
+NOOP_CALL_CEILING_NS = 2000.0
+
+
+@pytest.mark.benchmark(group="obs_overhead")
+def test_obs_overhead(benchmark):
+    data = run_obs_overhead()
+
+    per_call = data["noop_per_call_ns"]
+    volume = data["volume_per_session"]
+    rows = [
+        ["span() disabled", f"{per_call['span']:.0f} ns",
+         str(volume["spans"])],
+        ["count() disabled", f"{per_call['count']:.0f} ns",
+         str(volume["counter_increments"])],
+        ["sync_env()", f"{per_call['sync_env']:.0f} ns",
+         str(volume["env_syncs"])],
+        ["bound per session",
+         f"{1e6 * data['noop_per_session_s']:.1f} µs",
+         f"{data['overhead_bound_pct']:.2f}% of "
+         f"{1e3 * data['untraced_session_s']:.2f} ms"],
+        ["traced / untraced", f"{data['traced_over_untraced']:.2f}x", "-"],
+    ]
+    table = format_table(
+        f"obs no-op overhead, fuzzed session of {data['actions']} actions",
+        ["probe", "cost", "volume / share"],
+        rows,
+    )
+    emit("obs_overhead", table, data)
+
+    # Benchmarked op: one untraced session replay (the default-mode path).
+    from repro.bench.obs_overhead import _replay
+    from repro.oracle.corpus import corpus_for
+    from repro.oracle.fuzzer import generate_trace
+
+    trace = generate_trace(seed=data["seed"])
+    corpus = corpus_for(trace.spec)
+    benchmark(lambda: _replay(trace, corpus))
+
+    assert data["overhead_bound_pct"] < OVERHEAD_CEILING_PCT
+    for name, cost_ns in per_call.items():
+        assert cost_ns < NOOP_CALL_CEILING_NS, (name, cost_ns)

@@ -1,0 +1,154 @@
+"""Overhead accounting for the ``repro.obs`` no-op mode.
+
+The observability layer's contract is that with ``REPRO_TRACE`` off (the
+default) every instrumentation site costs one attribute load and a branch.
+This module turns that claim into numbers:
+
+* **per-call no-op costs** — tight-loop timings of a disabled ``span()``
+  (including the ``with``-protocol on the shared no-op handle), a disabled
+  ``count()`` and a ``sync_env()`` call, each with the empty-loop baseline
+  subtracted;
+* **per-session obs-call volume** — one traced replay of a fuzzed session
+  counts how many spans, counter increments and env syncs a session actually
+  fires (counter increments via ``amount > 1`` are over-counted per unit,
+  which only makes the bound more conservative);
+* **the overhead bound** — ``volume × per-call cost`` as a percentage of the
+  untraced session's wall time (best of several replays).  This is an upper
+  bound on what the instrumentation can add in no-op mode, measured rather
+  than argued;
+* **a traced/untraced A/B** of the same session, for scale (tracing *on* is
+  allowed to cost more — it is opt-in).
+
+``benchmarks/bench_obs_overhead.py`` asserts the bound stays under 5 % and
+emits ``benchmarks/results/obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro import obs
+from repro.core.prague import PragueEngine
+from repro.obs.metrics import count
+from repro.obs.tracer import span, sync_env
+
+#: Iterations for the tight no-op loops (cheap: ~a few ms total).
+NOOP_LOOP = 200_000
+#: Untraced replays; the best (minimum) wall time is the denominator.
+SESSION_REPEATS = 5
+#: The acceptance ceiling asserted by the benchmark.
+OVERHEAD_CEILING_PCT = 5.0
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _noop_costs(loop: int = NOOP_LOOP) -> Dict[str, float]:
+    """Per-call no-op costs in seconds, empty-loop baseline subtracted."""
+    obs.TRACER.force(False)
+    try:
+        r = range(loop)
+
+        def baseline() -> None:
+            for _ in r:
+                pass
+
+        def span_loop() -> None:
+            for _ in r:
+                with span("bench.noop", probe=1):
+                    pass
+
+        def count_loop() -> None:
+            for _ in r:
+                count("bench.noop")
+
+        def sync_loop() -> None:
+            for _ in r:
+                sync_env()
+
+        base = _best_of(baseline, 3)
+        return {
+            "span_s": max(0.0, (_best_of(span_loop, 3) - base)) / loop,
+            "count_s": max(0.0, (_best_of(count_loop, 3) - base)) / loop,
+            "sync_s": max(0.0, (_best_of(sync_loop, 3) - base)) / loop,
+        }
+    finally:
+        obs.TRACER.force(None)
+
+
+def _replay(trace, corpus) -> None:
+    from repro.oracle.trace import apply_action
+
+    engine = PragueEngine(corpus.db, corpus.indexes, sigma=trace.sigma)
+    for action in trace.actions:
+        apply_action(engine, action)
+
+
+def run_obs_overhead(seed: int = 2012) -> Dict[str, Any]:
+    """Measure the no-op overhead bound for one fuzzed session.
+
+    Returns a JSON-ready dict; ``overhead_bound_pct`` is the headline
+    number (see the module docstring for the methodology).
+    """
+    from repro.graph import canonical
+    from repro.oracle.corpus import corpus_for
+    from repro.oracle.fuzzer import generate_trace
+
+    trace = generate_trace(seed=seed)
+    corpus = corpus_for(trace.spec)
+    _replay(trace, corpus)  # warm the corpus-level caches once
+
+    # Obs-call volume of one session, counted under a real traced replay.
+    with obs.trace() as tracer:
+        _replay(trace, corpus)
+        snapshot = obs.METRICS.snapshot()
+    spans = tracer.span_count()
+    counter_incs = int(sum(snapshot["counters"].values()))
+    action_ops = ("add_edge", "add_pattern", "delete_edge", "delete_edges",
+                  "relabel_node", "enable_similarity", "run")
+    syncs = sum(1 for a in trace.actions if a.op in action_ops)
+
+    costs = _noop_costs()
+    per_session_s = (
+        spans * costs["span_s"]
+        + counter_incs * costs["count_s"]
+        + syncs * costs["sync_s"]
+    )
+
+    canonical.clear_cache()
+    untraced_s = _best_of(lambda: _replay(trace, corpus), SESSION_REPEATS)
+
+    def traced_replay() -> None:
+        with obs.trace():
+            _replay(trace, corpus)
+
+    canonical.clear_cache()
+    traced_s = _best_of(traced_replay, SESSION_REPEATS)
+
+    return {
+        "seed": seed,
+        "actions": len(trace.actions),
+        "noop_per_call_ns": {
+            "span": 1e9 * costs["span_s"],
+            "count": 1e9 * costs["count_s"],
+            "sync_env": 1e9 * costs["sync_s"],
+        },
+        "volume_per_session": {
+            "spans": spans,
+            "counter_increments": counter_incs,
+            "env_syncs": syncs,
+        },
+        "noop_per_session_s": per_session_s,
+        "untraced_session_s": untraced_s,
+        "traced_session_s": traced_s,
+        "overhead_bound_pct": 100 * per_session_s / untraced_s,
+        "traced_over_untraced": traced_s / untraced_s,
+        "ceiling_pct": OVERHEAD_CEILING_PCT,
+    }

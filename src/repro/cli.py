@@ -115,6 +115,31 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="similarity budget (default: varied per seed)")
     oracle.add_argument("--out", type=Path, default=None,
                         help="write the sweep manifest as JSON")
+
+    tracecmd = sub.add_parser(
+        "trace",
+        help="replay a session with tracing on: span tree, metrics and the "
+             "per-action SRT ledger",
+    )
+    tracecmd.add_argument(
+        "--trace", type=Path, default=None,
+        help="JSON oracle trace (repro.oracle.trace.save_trace); default: "
+             "generate one with the session fuzzer",
+    )
+    tracecmd.add_argument("--seed", type=int, default=0,
+                          help="fuzzer seed when no --trace file is given")
+    tracecmd.add_argument("--sigma", type=int, default=None,
+                          help="similarity budget for fuzzed traces "
+                               "(default: varied per seed)")
+    tracecmd.add_argument(
+        "--latency", type=float, default=None,
+        help="per-gesture GUI latency in seconds for the SRT ledger "
+             "(default: the paper's 2 s lower bound)",
+    )
+    tracecmd.add_argument("--min-ms", type=float, default=0.0,
+                          help="prune spans shorter than this many ms")
+    tracecmd.add_argument("--json", type=Path, default=None,
+                          help="also write the full report as JSON")
     return parser
 
 
@@ -305,6 +330,89 @@ def _cmd_oracle_smoke(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Replay one session with tracing on and print where the time went.
+
+    The SRT ledger's ``total processing`` row is reconciled against the
+    end-to-end wall time of the replay loop: the difference is replay
+    bookkeeping (observation glue, span plumbing), not engine work —
+    ``docs/PERFORMANCE.md`` ("Reading a trace") walks through an example.
+    """
+    import json
+    import time
+
+    from repro import obs
+    from repro.config import DEFAULT_EDGE_LATENCY_SECONDS
+    from repro.core.prague import RunReport, StepReport
+    from repro.oracle.corpus import corpus_for
+    from repro.oracle.fuzzer import generate_trace
+    from repro.oracle.trace import apply_action, load_trace
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+        source = str(args.trace)
+    else:
+        trace = generate_trace(seed=args.seed, sigma=args.sigma)
+        source = f"fuzzer seed {args.seed}"
+    latency = (
+        args.latency if args.latency is not None
+        else DEFAULT_EDGE_LATENCY_SECONDS
+    )
+    corpus = corpus_for(trace.spec)
+    engine = PragueEngine(corpus.db, corpus.indexes, sigma=trace.sigma)
+
+    def step_event(report: StepReport):
+        label = report.action.value
+        if report.edge_id is not None:
+            label += f" e{report.edge_id}"
+        return (label, report.processing_seconds, latency)
+
+    events = []
+    with obs.trace() as tracer:
+        wall_start = time.perf_counter()
+        for action in trace.actions:
+            result = apply_action(engine, action)
+            if isinstance(result, StepReport):
+                events.append(step_event(result))
+            elif isinstance(result, list) and result and \
+                    isinstance(result[0], StepReport):
+                events.extend(step_event(r) for r in result)
+            elif isinstance(result, RunReport):
+                # Run offers no drawing gap; a non-terminal Run (the user
+                # kept drawing afterwards) still contributes a ledger row.
+                events.append(("run", result.processing_seconds, 0.0))
+        wall_seconds = time.perf_counter() - wall_start
+        snapshot = obs.full_snapshot()
+
+    run_seconds = 0.0
+    if events and events[-1][0] == "run":
+        run_seconds = events.pop()[1]
+    ledger = obs.build_ledger(events, run_seconds=run_seconds)
+
+    print(f"trace: {source} — {len(trace.actions)} actions, "
+          f"sigma={trace.sigma}, corpus seed={trace.spec.seed} "
+          f"({trace.spec.num_graphs} graphs)")
+    print(f"\nspans ({tracer.span_count()} recorded):")
+    print(obs.render_span_tree(tracer.roots, min_seconds=args.min_ms / 1000))
+    print("\nmetrics:")
+    print(obs.render_metrics(snapshot))
+    print(f"\nSRT ledger (latency {latency:.2f} s per gesture):")
+    print(obs.render_ledger(ledger))
+    covered = 100 * ledger.total_processing / wall_seconds if wall_seconds else 0
+    print(f"\nend-to-end wall time   {1000 * wall_seconds:9.2f} ms "
+          f"(ledger covers {covered:.1f}%; the rest is replay bookkeeping)")
+    if args.json is not None:
+        payload = obs.report_to_dict(
+            tracer.roots, snapshot, ledger,
+            wall_seconds=wall_seconds, source=source,
+            actions=len(trace.actions), sigma=trace.sigma,
+        )
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.bench.harness import results_dir
     from repro.bench.report import render_report
@@ -323,6 +431,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "bench-smoke": _cmd_bench_smoke,
     "oracle-smoke": _cmd_oracle_smoke,
+    "trace": _cmd_trace,
 }
 
 

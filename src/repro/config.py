@@ -54,6 +54,18 @@ def bitset_candidates() -> bool:
     return os.environ.get("REPRO_BITSET", "1") not in ("0", "false", "no")
 
 
+def trace_enabled() -> bool:
+    """Whether the observability layer records spans and metrics.
+
+    ``REPRO_TRACE=1`` turns tracing on; the default (``0``/unset) is the
+    no-op mode, whose per-call overhead is bounded by
+    ``benchmarks/bench_obs_overhead.py``.  The engine re-reads this knob at
+    every GUI action (see :data:`repro.obs.TRACER`), so flipping the variable
+    mid-process takes effect at the next action.
+    """
+    return os.environ.get("REPRO_TRACE", "0") not in ("0", "false", "no", "")
+
+
 @dataclass(frozen=True)
 class MiningParams:
     """Parameters of the offline mining/indexing phase (Sections III, VIII).

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Iterator
 
+from repro.obs.metrics import count as _metric_count
+
 Bits = int
 
 
@@ -67,6 +69,7 @@ def intersect_all(masks: Iterable[Bits], universe: Bits = 0) -> Bits:
     no match" — the exact-candidate emptiness test is load-bearing
     (it triggers PRAGUE's option dialogue), so the distinction matters.
     """
+    _metric_count("candidates.intersections")
     ordered = sorted(masks, key=count)
     if not ordered:
         return universe

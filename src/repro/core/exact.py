@@ -26,6 +26,7 @@ from typing import FrozenSet, List, Optional
 from repro.config import bitset_candidates
 from repro.core.candidates import bits_of, ids_of, intersect_all
 from repro.index.builder import ActionAwareIndexes
+from repro.obs.metrics import count
 from repro.spig.spig import SpigVertex
 
 
@@ -49,7 +50,9 @@ def exact_sub_candidates(
         # queries within the paper's ≤ 10-edge envelope).
         return db_ids
     if bitset_candidates():
+        count("candidates.path.bitset")
         return ids_of(_phi_upsilon_bits(vertex, indexes, bits_of(db_ids)))
+    count("candidates.path.frozenset")
     return exact_sub_candidates_sets(vertex, indexes, db_ids)
 
 

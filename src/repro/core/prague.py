@@ -22,7 +22,33 @@ draw implicitly opts into similarity search, matching Figure 3's flow where
 the status simply turns "Similar" and formulation proceeds.
 
 All per-action processing is timed (``perf_counter``); the session layer
-overlays these timings on the GUI-latency timeline to compute SRT.
+overlays these timings on the GUI-latency timeline to compute SRT
+(:mod:`repro.obs.srt`), and every action records a span plus counters
+through :mod:`repro.obs` when ``REPRO_TRACE`` is on.
+
+Example — formulate a two-edge path query over a small seeded corpus and
+run it (ids are deterministic because the corpus is)::
+
+    >>> from repro.oracle.corpus import corpus_for
+    >>> corpus = corpus_for()                      # 24 seeded graphs + indexes
+    >>> engine = PragueEngine(corpus.db, corpus.indexes, sigma=1)
+    >>> engine.add_node("a", "A")
+    'a'
+    >>> engine.add_node("b", "B")
+    'b'
+    >>> engine.add_node("c", "C")
+    'c'
+    >>> report = engine.add_edge("a", "b")         # New: SPIG + Rq refresh
+    >>> (report.status.value, report.rq_size)
+    ('frequent', 15)
+    >>> report = engine.add_edge("b", "c")
+    >>> (report.status.value, report.rq_size)
+    ('frequent', 7)
+    >>> run = engine.run()                         # Run: verification + results
+    >>> sorted(run.results.exact_ids)
+    [0, 6, 14, 17, 19, 22, 23]
+    >>> run.verification_free                      # the A-B-C path is indexed
+    True
 """
 
 from __future__ import annotations
@@ -42,6 +68,8 @@ from repro.exceptions import SessionError
 from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import NodeId
 from repro.index.builder import ActionAwareIndexes
+from repro.obs.metrics import count
+from repro.obs.tracer import span, sync_env
 from repro.query_graph import VisualQuery
 from repro.spig.manager import SpigManager
 
@@ -128,36 +156,40 @@ class PragueEngine:
                 )
             # Continuing to draw = implicitly opting into similarity search.
             self.enable_similarity()
+        sync_env()
         start = time.perf_counter()
-        edge_id = self.query.add_edge(u, v, label)
-        spig_start = time.perf_counter()
-        self.manager.on_new_edge(self.query, edge_id)
-        spig_seconds = time.perf_counter() - spig_start
-        report = StepReport(
-            action=Action.NEW,
-            status=QueryStatus.FREQUENT,
-            edge_id=edge_id,
-            spig_seconds=spig_seconds,
-        )
-        if not self.sim_flag:
-            target = self.manager.target_vertex(self.query)
-            self._refresh_rq(target)
-            report.rq_size = len(self.rq)
-            if self.rq:
-                report.status = (
-                    QueryStatus.FREQUENT
-                    if target.fragment_list.freq_id is not None
-                    else QueryStatus.INFREQUENT
-                )
+        with span("action.new") as sp:
+            count("engine.action.new")
+            edge_id = self.query.add_edge(u, v, label)
+            spig_start = time.perf_counter()
+            self.manager.on_new_edge(self.query, edge_id)
+            spig_seconds = time.perf_counter() - spig_start
+            report = StepReport(
+                action=Action.NEW,
+                status=QueryStatus.FREQUENT,
+                edge_id=edge_id,
+                spig_seconds=spig_seconds,
+            )
+            if not self.sim_flag:
+                target = self.manager.target_vertex(self.query)
+                self._refresh_rq(target)
+                report.rq_size = len(self.rq)
+                if self.rq:
+                    report.status = (
+                        QueryStatus.FREQUENT
+                        if target.fragment_list.freq_id is not None
+                        else QueryStatus.INFREQUENT
+                    )
+                else:
+                    report.status = QueryStatus.SIMILAR
+                    self.option_pending = True  # Alg 1, line 8: dialogue pops up
             else:
+                self._refresh_similar_candidates()
+                assert self.similar_candidates is not None
                 report.status = QueryStatus.SIMILAR
-                self.option_pending = True  # Alg 1, line 8: dialogue pops up
-        else:
-            self._refresh_similar_candidates()
-            assert self.similar_candidates is not None
-            report.status = QueryStatus.SIMILAR
-            report.candidate_count = self.similar_candidates.candidate_count
-        report.processing_seconds = time.perf_counter() - start
+                report.candidate_count = self.similar_candidates.candidate_count
+            report.processing_seconds = time.perf_counter() - start
+            sp.set(edge=edge_id, status=report.status.value)
         self.history.append(report)
         return report
 
@@ -223,17 +255,21 @@ class PragueEngine:
 
     def enable_similarity(self) -> StepReport:
         """Action ``SimQuery``: switch to substructure similarity search."""
+        sync_env()
         start = time.perf_counter()
-        self.sim_flag = True
-        self.option_pending = False
-        self._refresh_similar_candidates()
-        assert self.similar_candidates is not None
-        report = StepReport(
-            action=Action.SIM_QUERY,
-            status=QueryStatus.SIMILAR,
-            candidate_count=self.similar_candidates.candidate_count,
-            processing_seconds=time.perf_counter() - start,
-        )
+        with span("action.simquery") as sp:
+            count("engine.action.simquery")
+            self.sim_flag = True
+            self.option_pending = False
+            self._refresh_similar_candidates()
+            assert self.similar_candidates is not None
+            report = StepReport(
+                action=Action.SIM_QUERY,
+                status=QueryStatus.SIMILAR,
+                candidate_count=self.similar_candidates.candidate_count,
+                processing_seconds=time.perf_counter() - start,
+            )
+            sp.set(candidates=report.candidate_count)
         self.history.append(report)
         return report
 
@@ -243,23 +279,27 @@ class PragueEngine:
 
     def delete_edge(self, edge_id: Optional[int] = None) -> StepReport:
         """Action ``Modify``: delete an edge (``None`` accepts the suggestion)."""
+        sync_env()
         start = time.perf_counter()
-        suggestion = None
-        if edge_id is None:
-            suggestion = self.suggestion()
-            if suggestion is None:
-                raise SessionError("nothing can be deleted from this query")
-            edge_id = suggestion.edge_id
-        apply_deletion(self.query, self.manager, edge_id)
-        self.option_pending = False
-        report = StepReport(
-            action=Action.MODIFY,
-            status=QueryStatus.SIMILAR,
-            edge_id=edge_id,
-            suggestion=suggestion,
-        )
-        self._refresh_after_modification(report)
-        report.processing_seconds = time.perf_counter() - start
+        with span("action.modify") as sp:
+            count("engine.action.modify")
+            suggestion = None
+            if edge_id is None:
+                suggestion = self.suggestion()
+                if suggestion is None:
+                    raise SessionError("nothing can be deleted from this query")
+                edge_id = suggestion.edge_id
+            apply_deletion(self.query, self.manager, edge_id)
+            self.option_pending = False
+            report = StepReport(
+                action=Action.MODIFY,
+                status=QueryStatus.SIMILAR,
+                edge_id=edge_id,
+                suggestion=suggestion,
+            )
+            self._refresh_after_modification(report)
+            report.processing_seconds = time.perf_counter() - start
+            sp.set(edge=edge_id, suggested=suggestion is not None)
         self.history.append(report)
         return report
 
@@ -272,16 +312,20 @@ class PragueEngine:
         """
         from repro.core.modify import apply_multi_deletion
 
+        sync_env()
         start = time.perf_counter()
-        applied = apply_multi_deletion(self.query, self.manager, edge_ids)
-        self.option_pending = False
-        report = StepReport(
-            action=Action.MODIFY,
-            status=QueryStatus.SIMILAR,
-            edge_id=applied[-1] if applied else None,
-        )
-        self._refresh_after_modification(report)
-        report.processing_seconds = time.perf_counter() - start
+        with span("action.modify") as sp:
+            count("engine.action.modify")
+            applied = apply_multi_deletion(self.query, self.manager, edge_ids)
+            self.option_pending = False
+            report = StepReport(
+                action=Action.MODIFY,
+                status=QueryStatus.SIMILAR,
+                edge_id=applied[-1] if applied else None,
+            )
+            self._refresh_after_modification(report)
+            report.processing_seconds = time.perf_counter() - start
+            sp.set(edges=len(applied))
         self.history.append(report)
         return report
 
@@ -294,16 +338,20 @@ class PragueEngine:
         """
         from repro.core.modify import relabel_node as _relabel
 
+        sync_env()
         start = time.perf_counter()
-        new_ids = _relabel(self.query, self.manager, node, new_label)
-        self.option_pending = False
-        report = StepReport(
-            action=Action.MODIFY,
-            status=QueryStatus.SIMILAR,
-            edge_id=new_ids[-1] if new_ids else None,
-        )
-        self._refresh_after_modification(report)
-        report.processing_seconds = time.perf_counter() - start
+        with span("action.modify") as sp:
+            count("engine.action.modify")
+            new_ids = _relabel(self.query, self.manager, node, new_label)
+            self.option_pending = False
+            report = StepReport(
+                action=Action.MODIFY,
+                status=QueryStatus.SIMILAR,
+                edge_id=new_ids[-1] if new_ids else None,
+            )
+            self._refresh_after_modification(report)
+            report.processing_seconds = time.perf_counter() - start
+            sp.set(relabel=str(node), edges=len(new_ids))
         self.history.append(report)
         return report
 
@@ -337,42 +385,50 @@ class PragueEngine:
         """Action ``Run``: produce the final results (Alg 1, lines 16-23)."""
         if self.query.num_edges == 0:
             raise SessionError("cannot run an empty query")
+        sync_env()
         start = time.perf_counter()
-        self._ensure_current_candidates()
-        report = RunReport()
-        if not self.sim_flag:
-            target = self.manager.target_vertex(self.query)
-            verification_free = target.fragment_list.is_indexed
-            exact_ids = exact_verification(
-                self.query.graph(), self.rq, self.db, verification_free
-            )
-            report.verification_free = verification_free
-            report.candidate_count = len(self.rq)
-            if exact_ids:
-                report.results = QueryResults(exact_ids=exact_ids)
-            else:
-                # Alg 1, lines 19-21: fall back to similarity search.  Exact
-                # matches are now proven absent, so skip the |q| level.
-                candidates = similar_sub_candidates(
-                    self.query, self.sigma, self.manager, self.indexes,
-                    self.db_ids, include_exact_level=False,
+        with span("action.run") as sp:
+            count("engine.action.run")
+            self._ensure_current_candidates()
+            report = RunReport()
+            if not self.sim_flag:
+                target = self.manager.target_vertex(self.query)
+                verification_free = target.fragment_list.is_indexed
+                exact_ids = exact_verification(
+                    self.query.graph(), self.rq, self.db, verification_free
                 )
+                report.verification_free = verification_free
+                report.candidate_count = len(self.rq)
+                if exact_ids:
+                    report.results = QueryResults(exact_ids=exact_ids)
+                else:
+                    # Alg 1, lines 19-21: fall back to similarity search.  Exact
+                    # matches are now proven absent, so skip the |q| level.
+                    candidates = similar_sub_candidates(
+                        self.query, self.sigma, self.manager, self.indexes,
+                        self.db_ids, include_exact_level=False,
+                    )
+                    matches = similar_results_gen(
+                        self.query, candidates, self.sigma, self.manager, self.db
+                    )
+                    report.results = QueryResults(similar=matches)
+                    report.candidate_count = candidates.candidate_count
+            else:
+                if self.similar_candidates is None:
+                    self._refresh_similar_candidates()
+                assert self.similar_candidates is not None
                 matches = similar_results_gen(
-                    self.query, candidates, self.sigma, self.manager, self.db
+                    self.query, self.similar_candidates, self.sigma, self.manager,
+                    self.db,
                 )
                 report.results = QueryResults(similar=matches)
-                report.candidate_count = candidates.candidate_count
-        else:
-            if self.similar_candidates is None:
-                self._refresh_similar_candidates()
-            assert self.similar_candidates is not None
-            matches = similar_results_gen(
-                self.query, self.similar_candidates, self.sigma, self.manager,
-                self.db,
+                report.candidate_count = self.similar_candidates.candidate_count
+            report.processing_seconds = time.perf_counter() - start
+            sp.set(
+                similar=self.sim_flag,
+                candidates=report.candidate_count,
+                verification_free=report.verification_free,
             )
-            report.results = QueryResults(similar=matches)
-            report.candidate_count = self.similar_candidates.candidate_count
-        report.processing_seconds = time.perf_counter() - start
         return report
 
     # ------------------------------------------------------------------
@@ -383,7 +439,9 @@ class PragueEngine:
         return QueryStatus.FREQUENT
 
     def _refresh_rq(self, target) -> None:
-        self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
+        with span("candidates.exact") as sp:
+            self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
+            sp.set(rq=len(self.rq))
         self._candidates_db_size = len(self.db)
 
     def _refresh_similar_candidates(self) -> None:

@@ -23,6 +23,7 @@ from repro.config import DEFAULT_EDGE_LATENCY_SECONDS
 from repro.core.prague import PragueEngine, RunReport, StepReport
 from repro.core.results import QueryResults
 from repro.graph.labeled_graph import Graph, NodeId
+from repro.obs.srt import SrtLedger, build_ledger, events_from_reports
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,9 @@ class SessionTrace:
     backlog_before_run: float
     srt_seconds: float
     formulation_seconds: float
+    #: Per-action SRT decomposition (:mod:`repro.obs.srt`); the scalar
+    #: ``backlog_before_run``/``srt_seconds`` fields above are its folds.
+    ledger: Optional[SrtLedger] = None
 
     @property
     def results(self) -> QueryResults:
@@ -98,22 +102,23 @@ def formulate(
     """
     for node, label in spec.nodes.items():
         engine.add_node(node, label)
-    backlog = 0.0
     reports: List[StepReport] = []
     for u, v in spec.edges:
-        report = engine.add_edge(u, v, spec.edge_labels.get((u, v)))
-        reports.append(report)
-        backlog = max(0.0, backlog + report.processing_seconds - edge_latency)
+        reports.append(engine.add_edge(u, v, spec.edge_labels.get((u, v))))
     run_report = engine.run()
-    srt = backlog + run_report.processing_seconds
+    ledger = build_ledger(
+        events_from_reports(reports, edge_latency),
+        run_seconds=run_report.processing_seconds,
+    )
     return SessionTrace(
         spec_name=spec.name,
         step_reports=reports,
         run_report=run_report,
         edge_latency=edge_latency,
-        backlog_before_run=backlog,
-        srt_seconds=srt,
+        backlog_before_run=ledger.backlog_before_run,
+        srt_seconds=ledger.srt_seconds,
         formulation_seconds=edge_latency * len(spec.edges),
+        ledger=ledger,
     )
 
 

@@ -23,6 +23,8 @@ from repro.core.results import SimilarCandidates, SimilarityMatch
 from repro.core.verification import level_fragments_to_verify, sim_verify_scan
 from repro.graph.database import GraphDatabase
 from repro.index.builder import ActionAwareIndexes
+from repro.obs.metrics import count
+from repro.obs.tracer import span
 from repro.query_graph import VisualQuery
 from repro.spig.manager import SpigManager
 
@@ -44,33 +46,49 @@ def similar_sub_candidates(
     out = SimilarCandidates()
     use_bits = bitset_candidates()
     db_bits = bits_of(db_ids) if use_bits else 0
-    for level in range(top, bottom - 1, -1):
-        if use_bits:
-            # Word-parallel bucket accumulation: one OR per vertex, one
-            # AND-NOT for Algorithm 4's line 7, ids materialised once.
-            free_bits = 0
-            ver_bits = 0
-            for vertex in manager.vertices_at_level(level):
-                mask = exact_sub_candidates_bits(vertex, indexes, db_bits)
-                if vertex.fragment_list.is_indexed:
-                    free_bits |= mask
+    with span("candidates.similar", sigma=sigma) as outer:
+        count(
+            "candidates.path.bitset" if use_bits
+            else "candidates.path.frozenset"
+        )
+        for level in range(top, bottom - 1, -1):
+            with span("candidates.level", level=level) as sp:
+                if use_bits:
+                    # Word-parallel bucket accumulation: one OR per vertex,
+                    # one AND-NOT for Algorithm 4's line 7, ids materialised
+                    # once.
+                    free_bits = 0
+                    ver_bits = 0
+                    for vertex in manager.vertices_at_level(level):
+                        mask = exact_sub_candidates_bits(
+                            vertex, indexes, db_bits
+                        )
+                        if vertex.fragment_list.is_indexed:
+                            free_bits |= mask
+                        else:
+                            ver_bits |= mask
+                    ver_bits &= ~free_bits
+                    out.free[level] = set(iter_ids(free_bits))
+                    out.ver[level] = set(iter_ids(ver_bits))
                 else:
-                    ver_bits |= mask
-            ver_bits &= ~free_bits
-            out.free[level] = set(iter_ids(free_bits))
-            out.ver[level] = set(iter_ids(ver_bits))
-            continue
-        free: Set[int] = set()
-        ver: Set[int] = set()
-        for vertex in manager.vertices_at_level(level):
-            candidates = exact_sub_candidates(vertex, indexes, db_ids)
-            if vertex.fragment_list.is_indexed:
-                free |= candidates
-            else:
-                ver |= candidates
-        ver -= free  # already verification-free at this level (Alg 4, line 7)
-        out.free[level] = free
-        out.ver[level] = ver
+                    free: Set[int] = set()
+                    ver: Set[int] = set()
+                    for vertex in manager.vertices_at_level(level):
+                        candidates = exact_sub_candidates(
+                            vertex, indexes, db_ids
+                        )
+                        if vertex.fragment_list.is_indexed:
+                            free |= candidates
+                        else:
+                            ver |= candidates
+                    # Already verification-free at this level (Alg 4, line 7).
+                    ver -= free
+                    out.free[level] = free
+                    out.ver[level] = ver
+                sp.set(
+                    free=len(out.free[level]), ver=len(out.ver[level])
+                )
+        outer.set(candidates=out.candidate_count)
     return out
 
 
@@ -141,7 +159,10 @@ def similar_results_gen(
     verify_all_fragments: bool = False,
 ) -> List[SimilarityMatch]:
     """Algorithm 5: the materialised form of :func:`iter_similar_results`."""
-    return list(iter_similar_results(
-        query, candidates, sigma, manager, db,
-        verify_all_fragments=verify_all_fragments,
-    ))
+    with span("results.similar", sigma=sigma) as sp:
+        matches = list(iter_similar_results(
+            query, candidates, sigma, manager, db,
+            verify_all_fragments=verify_all_fragments,
+        ))
+        sp.set(matches=len(matches))
+    return matches

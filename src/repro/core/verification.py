@@ -34,6 +34,8 @@ from repro.config import verification_workers
 from repro.graph.database import GraphDatabase
 from repro.graph.isomorphism import CompiledPattern, compile_pattern
 from repro.graph.labeled_graph import Graph
+from repro.obs.metrics import count
+from repro.obs.tracer import span
 from repro.spig.manager import SpigManager
 from repro.spig.spig import SpigVertex
 
@@ -83,10 +85,13 @@ def _run_batch(
     """
     chunk_size = max(1, -(-len(ids) // (workers * 4)))  # ~4 chunks per worker
     payloads = [make_payload(chunk) for chunk in _chunks(ids, chunk_size)]
+    count("verify.pool.runs")
+    count("verify.pool.chunks", len(payloads))
     try:
         with _pool_context().Pool(workers) as pool:
             parts = pool.map(worker, payloads)
     except Exception as exc:  # pickling/OS/pool-management failures
+        count("verify.pool.fallbacks")
         warnings.warn(
             f"verification pool failed ({type(exc).__name__}: {exc}); "
             "falling back to the serial path",
@@ -119,16 +124,20 @@ def verify_batch(
     if workers is None:
         workers = verification_workers()
     workers = max(1, min(workers, len(ids)))
-    label_freq = db.label_frequencies()
-    if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
-        compiled = compile_pattern(pattern, label_freq)
-        return [gid for gid in ids if compiled.embeds_in(db[gid])]
-    return _run_batch(
-        _verify_chunk,
-        lambda chunk: (pattern, [(gid, db[gid]) for gid in chunk], label_freq),
-        ids,
-        workers,
-    )
+    with span("verify.scan", candidates=len(ids), workers=workers):
+        label_freq = db.label_frequencies()
+        if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
+            count("verify.serial")
+            compiled = compile_pattern(pattern, label_freq)
+            return [gid for gid in ids if compiled.embeds_in(db[gid])]
+        return _run_batch(
+            _verify_chunk,
+            lambda chunk: (
+                pattern, [(gid, db[gid]) for gid in chunk], label_freq
+            ),
+            ids,
+            workers,
+        )
 
 
 def sim_verify_scan(
@@ -149,24 +158,30 @@ def sim_verify_scan(
     if workers is None:
         workers = verification_workers()
     workers = max(1, min(workers, len(ids)))
-    label_freq = db.label_frequencies()
-    if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
-        compiled = [CompiledPattern(f, label_freq) for f in fragments]
-        return {
-            gid for gid in ids if any(c.embeds_in(db[gid]) for c in compiled)
-        }
-    return set(
-        _run_batch(
-            _sim_verify_chunk,
-            lambda chunk: (
-                list(fragments),
-                [(gid, db[gid]) for gid in chunk],
-                label_freq,
-            ),
-            ids,
-            workers,
+    with span(
+        "verify.sim",
+        candidates=len(ids), fragments=len(fragments), workers=workers,
+    ):
+        label_freq = db.label_frequencies()
+        if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
+            count("verify.serial")
+            compiled = [CompiledPattern(f, label_freq) for f in fragments]
+            return {
+                gid for gid in ids
+                if any(c.embeds_in(db[gid]) for c in compiled)
+            }
+        return set(
+            _run_batch(
+                _sim_verify_chunk,
+                lambda chunk: (
+                    list(fragments),
+                    [(gid, db[gid]) for gid in chunk],
+                    label_freq,
+                ),
+                ids,
+                workers,
+            )
         )
-    )
 
 
 def exact_verification(
@@ -177,9 +192,14 @@ def exact_verification(
     workers: Optional[int] = None,
 ) -> List[int]:
     """Final exact results from ``Rq`` (sorted ids)."""
-    if verification_free:
-        return sorted(candidates)
-    return verify_batch(query_fragment, candidates, db, workers=workers)
+    with span(
+        "verify.exact",
+        candidates=len(candidates), free=verification_free,
+    ):
+        if verification_free:
+            count("verify.free")
+            return sorted(candidates)
+        return verify_batch(query_fragment, candidates, db, workers=workers)
 
 
 def level_fragments_to_verify(

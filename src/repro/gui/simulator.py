@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.core.prague import RunReport
 from repro.core.session import QuerySpec
 from repro.gui.canvas import VisualInterface
+from repro.obs.srt import LedgerEvent, SrtLedger, build_ledger
 
 
 @dataclass
@@ -45,6 +46,10 @@ class SimulatedFormulation:
     backlog_before_run: float
     run_report: RunReport
     srt_seconds: float
+    #: Per-action SRT decomposition (:mod:`repro.obs.srt`).  Dialogue
+    #: answers appear as zero-latency rows: the option dialogue blocks the
+    #: user, so its processing has no drawing gap to hide in.
+    ledger: Optional[SrtLedger] = None
 
     @property
     def formulation_seconds(self) -> float:
@@ -81,7 +86,9 @@ class SimulatedUser:
         node_ids = {}
         for node, label in spec.nodes.items():
             node_ids[node] = canvas.drop_node(label)
-        backlog = 0.0
+        # Dialogue answers block the user, so they offer zero latency cover;
+        # drawn edges offer this user's randomised drawing gap.
+        events: List[LedgerEvent] = []
         latencies: List[float] = []
         for u, v in spec.edges:
             if interface.pending_dialogue:
@@ -89,25 +96,35 @@ class SimulatedUser:
                     report = interface.answer_similarity()
                 else:
                     report = interface.answer_modify()
-                backlog = max(0.0, backlog + report.processing_seconds)
+                events.append(
+                    (report.action.value, report.processing_seconds, 0.0)
+                )
             report = canvas.draw_edge(node_ids[u], node_ids[v])
             latency = self._draw_latency()
             latencies.append(latency)
-            backlog = max(0.0, backlog + report.processing_seconds - latency)
+            events.append(
+                (f"new e{report.edge_id}", report.processing_seconds, latency)
+            )
         if interface.pending_dialogue:
             if accept_similarity:
                 report = interface.answer_similarity()
             else:
                 report = interface.answer_modify()
-            backlog = max(0.0, backlog + report.processing_seconds)
+            events.append(
+                (report.action.value, report.processing_seconds, 0.0)
+            )
         run_report = interface.run()
+        ledger = build_ledger(
+            events, run_seconds=run_report.processing_seconds
+        )
         return SimulatedFormulation(
             user=self.profile.name,
             query=spec.name,
             edge_latencies=latencies,
-            backlog_before_run=backlog,
+            backlog_before_run=ledger.backlog_before_run,
             run_report=run_report,
-            srt_seconds=backlog + run_report.processing_seconds,
+            srt_seconds=ledger.srt_seconds,
+            ledger=ledger,
         )
 
 

@@ -31,6 +31,7 @@ from repro.graph.canonical import CanonicalCode
 from repro.mining.dif import connected_one_smaller_subgraphs
 from repro.mining.fragments import Fragment, FragmentCatalog
 from repro.graph.canonical import canonical_code
+from repro.obs.metrics import count
 
 
 class A2FVertex:
@@ -163,7 +164,9 @@ class A2FIndex:
     # ------------------------------------------------------------------
     def lookup(self, code: CanonicalCode) -> Optional[int]:
         """``a2fId`` of the fragment with this canonical code, if frequent."""
-        return self._by_code.get(code)
+        a2f_id = self._by_code.get(code)
+        count("a2f.lookup.hit" if a2f_id is not None else "a2f.lookup.miss")
+        return a2f_id
 
     def __contains__(self, code: CanonicalCode) -> bool:
         return code in self._by_code
@@ -178,7 +181,9 @@ class A2FIndex:
         """Reconstruct ``fsgIds`` from delta lists (memoised)."""
         cached = self._fsg_cache.get(a2f_id)
         if cached is not None:
+            count("a2f.fsg_cache.hit")
             return cached
+        count("a2f.fsg_cache.miss")
         v = self._vertices[a2f_id]
         ids: Set[int] = set(v.del_ids)
         for cid in v.children:
@@ -191,11 +196,14 @@ class A2FIndex:
         """``fsgIds`` as an int bitmask (memoised) — the A2F/bitset boundary."""
         cached = self._bits_cache.get(a2f_id)
         if cached is None:
+            count("a2f.bits_cache.miss")
             # Local import: repro.core pulls in the index package at init.
             from repro.core.candidates import bits_of
 
             cached = bits_of(self.fsg_ids(a2f_id))
             self._bits_cache[a2f_id] = cached
+        else:
+            count("a2f.bits_cache.hit")
         return cached
 
     def support(self, a2f_id: int) -> int:

@@ -12,6 +12,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.graph.canonical import CanonicalCode
 from repro.mining.fragments import FragmentCatalog
+from repro.obs.metrics import count
 
 
 class A2IEntry:
@@ -44,7 +45,9 @@ class A2IIndex:
 
     def lookup(self, code: CanonicalCode) -> Optional[int]:
         """``a2iId`` of the DIF with this canonical code, if indexed."""
-        return self._by_code.get(code)
+        a2i_id = self._by_code.get(code)
+        count("a2i.lookup.hit" if a2i_id is not None else "a2i.lookup.miss")
+        return a2i_id
 
     def __contains__(self, code: CanonicalCode) -> bool:
         return code in self._by_code
@@ -62,11 +65,14 @@ class A2IIndex:
         """``fsgIds`` as an int bitmask (memoised) — the A2I/bitset boundary."""
         cached = self._bits_cache.get(a2i_id)
         if cached is None:
+            count("a2i.bits_cache.miss")
             # Local import: repro.core pulls in the index package at init.
             from repro.core.candidates import bits_of
 
             cached = bits_of(self._entries[a2i_id].fsg_ids)
             self._bits_cache[a2i_id] = cached
+        else:
+            count("a2i.bits_cache.hit")
         return cached
 
     def entries(self) -> Tuple[A2IEntry, ...]:

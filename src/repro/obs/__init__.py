@@ -1,0 +1,83 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and SRT accounting.
+
+PRAGUE's whole premise is a latency budget: per-edge work must hide inside
+GUI latency, and what does not hide becomes the SRT at *Run*.  This package
+is the measurement substrate for that budget — it answers *where each
+millisecond of a formulation session goes* without changing any answer:
+
+* **spans** (:mod:`repro.obs.tracer`) — hierarchical timed regions.  The
+  engine opens one ``action.*`` span per GUI gesture with children for SPIG
+  construction, candidate algebra and verification;
+* **metrics** (:mod:`repro.obs.metrics`) — counters/gauges for cache
+  hits/misses (canonical LRU, A2F/A2I posting lists), bitset-vs-frozenset
+  path taken, and verification-pool task counts and fallbacks;
+* **SRT ledger** (:mod:`repro.obs.srt`) — the per-action decomposition into
+  *hidden-in-GUI-latency* vs *residual-at-Run* work;
+* **exporters** (:mod:`repro.obs.export`) — JSON and human-readable tables,
+  consumed by the ``python -m repro trace`` CLI.
+
+Tracing is **off by default** and controlled by ``REPRO_TRACE`` (see
+``docs/CONFIGURATION.md``); when off, every instrumentation site costs one
+attribute load and a branch (bounded by ``benchmarks/bench_obs_overhead.py``).
+Programmatic use needs no environment variable:
+
+>>> from repro import obs
+>>> with obs.trace() as tracer:
+...     with obs.span("session", queries=1):
+...         with obs.span("action.new"):
+...             obs.count("candidates.path.bitset")
+>>> print(obs.render_span_tree(tracer.roots).split()[0])
+session
+>>> obs.METRICS.snapshot()["counters"]
+{'candidates.path.bitset': 1}
+
+Instrumented modules never *require* tracing: with the tracer disabled the
+engine behaves byte-for-byte identically (pinned by
+``tests/obs/test_trace_noop_equivalence.py`` via the differential oracle).
+"""
+
+from repro.obs.export import (
+    render_ledger,
+    render_metrics,
+    render_span_tree,
+    report_to_dict,
+)
+from repro.obs.metrics import METRICS, Metrics, count, full_snapshot, gauge
+from repro.obs.srt import (
+    LedgerEntry,
+    SrtLedger,
+    build_ledger,
+    events_from_reports,
+)
+from repro.obs.tracer import (
+    TRACER,
+    Span,
+    Tracer,
+    add_attrs,
+    span,
+    sync_env,
+    trace,
+)
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "Span",
+    "span",
+    "add_attrs",
+    "sync_env",
+    "trace",
+    "METRICS",
+    "Metrics",
+    "count",
+    "gauge",
+    "full_snapshot",
+    "LedgerEntry",
+    "SrtLedger",
+    "build_ledger",
+    "events_from_reports",
+    "render_span_tree",
+    "render_metrics",
+    "render_ledger",
+    "report_to_dict",
+]

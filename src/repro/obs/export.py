@@ -1,0 +1,143 @@
+"""Exporters: span trees, metrics and SRT ledgers as JSON or tables.
+
+Two render targets, no dependencies:
+
+* **JSON** — :func:`report_to_dict` bundles everything a traced session
+  produced into one ``json.dump``-ready dict (what ``python -m repro trace
+  --json`` writes);
+* **human-readable** — :func:`render_span_tree`, :func:`render_metrics` and
+  :func:`render_ledger` produce aligned monospace tables (what the CLI
+  prints; ``docs/PERFORMANCE.md`` shows an annotated example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.srt import SrtLedger
+from repro.obs.tracer import Span
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{1000 * seconds:9.2f} ms"
+
+
+def _fmt_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    return "  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+
+
+def render_span_tree(
+    roots: Sequence[Span],
+    min_seconds: float = 0.0,
+) -> str:
+    """The span forest as an indented tree with per-span durations.
+
+    ``min_seconds`` prunes spans shorter than the threshold (their children
+    are pruned with them) — useful on very chatty traces.
+    """
+    lines: List[str] = []
+    width = 2 + max(
+        (depth * 3 + len(span.name)
+         for root in roots for span, depth in root.walk()),
+        default=0,
+    )
+    for root in roots:
+        _render_span(root, "", True, True, width, min_seconds, lines)
+    return "\n".join(lines)
+
+
+def _render_span(
+    span: Span,
+    prefix: str,
+    is_last: bool,
+    is_root: bool,
+    width: int,
+    min_seconds: float,
+    lines: List[str],
+) -> None:
+    if span.duration_seconds < min_seconds:
+        return
+    if is_root:
+        label = span.name
+        child_prefix = ""
+    else:
+        connector = "└─ " if is_last else "├─ "
+        label = prefix + connector + span.name
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    lines.append(
+        f"{label:<{width}}{_fmt_ms(span.duration_seconds)}"
+        f"{_fmt_attrs(span.attrs)}"
+    )
+    kept = [c for c in span.children if c.duration_seconds >= min_seconds]
+    for i, child in enumerate(kept):
+        _render_span(
+            child, child_prefix, i == len(kept) - 1, False, width,
+            min_seconds, lines,
+        )
+
+
+def render_metrics(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Counters and gauges as one aligned two-column table."""
+    rows: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    names = list(sorted(counters)) + [f"{name} (gauge)" for name in sorted(gauges)]
+    if not names:
+        return "(no metrics recorded)"
+    width = 2 + max(len(name) for name in names)
+    for name in sorted(counters):
+        rows.append(f"{name:<{width}}{counters[name]}")
+    for name in sorted(gauges):
+        rows.append(f"{name + ' (gauge)':<{width}}{gauges[name]}")
+    return "\n".join(rows)
+
+
+def render_ledger(ledger: SrtLedger) -> str:
+    """The SRT ledger as a table plus its summary/reconciliation lines."""
+    header = (
+        f"{'#':>3}  {'action':<14}{'processing':>13}{'latency':>10}"
+        f"{'hidden':>13}{'backlog':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for e in ledger.entries:
+        lines.append(
+            f"{e.index:>3}  {e.action:<14}"
+            f"{1000 * e.processing_seconds:>10.2f} ms"
+            f"{e.latency_seconds:>8.2f} s"
+            f"{1000 * e.hidden_seconds:>10.2f} ms"
+            f"{1000 * e.backlog_after:>10.2f} ms"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"  Run residual        {1000 * ledger.run_seconds:>9.2f} ms"
+    )
+    lines.append(
+        f"  SRT (backlog + Run) {1000 * ledger.srt_seconds:>9.2f} ms"
+    )
+    lines.append(
+        f"  hidden in GUI gaps  {1000 * ledger.hidden_seconds:>9.2f} ms"
+    )
+    lines.append(
+        f"  total processing    {1000 * ledger.total_processing:>9.2f} ms"
+        f"  (= hidden + SRT, slack {1e6 * abs(ledger.residual_error()):.1f} µs)"
+    )
+    return "\n".join(lines)
+
+
+def report_to_dict(
+    roots: Iterable[Span],
+    snapshot: Dict[str, Dict[str, Any]],
+    ledger: Optional[SrtLedger] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """One JSON-ready bundle: spans + metrics (+ ledger, + extras)."""
+    out: Dict[str, Any] = {
+        "spans": [root.to_dict() for root in roots],
+        "metrics": snapshot,
+    }
+    if ledger is not None:
+        out["ledger"] = ledger.to_dict()
+    out.update(extra)
+    return out

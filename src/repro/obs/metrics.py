@@ -1,0 +1,103 @@
+"""Counters and gauges — the metrics half of ``repro.obs``.
+
+A *counter* is a monotonically increasing integer (cache hits, pool
+fallbacks, path-taken tallies); a *gauge* is a last-write-wins value
+(candidate-set sizes, LRU occupancy).  Both live in the process-wide
+:data:`METRICS` registry and share the tracing switch: :func:`count` and
+:func:`gauge` record only while :data:`repro.obs.TRACER` is enabled, so the
+disabled cost at an instrumentation site is one attribute load and a branch.
+
+Names are dotted, lowercase, and stable — they are part of the observable
+API (``docs/PERFORMANCE.md`` documents the vocabulary):
+
+>>> from repro.obs import METRICS, count, gauge, trace
+>>> with trace():
+...     count("a2f.lookup.hit")
+...     count("a2f.lookup.hit")
+...     gauge("rq.size", 17)
+>>> METRICS.snapshot()["counters"]["a2f.lookup.hit"]
+2
+>>> METRICS.snapshot()["gauges"]["rq.size"]
+17
+
+The canonical-code caches keep their own counters for historical reasons
+(:func:`repro.graph.canonical.cache_stats`); :func:`full_snapshot` merges
+them under the ``canonical.*`` prefix so one call sees everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+from repro.obs.tracer import TRACER
+
+Number = Union[int, float]
+
+
+class Metrics:
+    """The process-wide counter/gauge registry."""
+
+    __slots__ = ("_counters", "_gauges")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def counter(self, name: str) -> Number:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """A sorted, copied view: ``{"counters": {...}, "gauges": {...}}``."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+        }
+
+    def reset(self) -> None:
+        """Zero everything (test/bench isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+
+
+#: The process-wide registry every instrumentation site writes to.
+METRICS = Metrics()
+
+
+def count(name: str, amount: Number = 1) -> None:
+    """Increment a counter — no-op while tracing is disabled."""
+    if TRACER.enabled:
+        METRICS.inc(name, amount)
+
+
+def gauge(name: str, value: Number) -> None:
+    """Set a gauge — no-op while tracing is disabled."""
+    if TRACER.enabled:
+        METRICS.set_gauge(name, value)
+
+
+def full_snapshot() -> Dict[str, Dict[str, Any]]:
+    """The metrics snapshot with the canonical-code cache stats merged in.
+
+    The canonical module's counters predate ``repro.obs`` and record
+    unconditionally (they cost nothing extra); they appear here under
+    ``canonical.*``: ``graph_hits`` (per-graph invariant-store hits),
+    ``lru_hits`` (process-wide structural LRU hits), ``misses`` (full
+    recomputations) and ``size`` (current LRU occupancy, a gauge).
+    """
+    from repro.graph.canonical import cache_stats
+
+    out = METRICS.snapshot()
+    stats = cache_stats()
+    for key in ("graph_hits", "lru_hits", "misses"):
+        out["counters"][f"canonical.{key}"] = stats[key]
+    out["gauges"]["canonical.lru_size"] = stats["size"]
+    return out

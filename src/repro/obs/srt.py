@@ -1,0 +1,163 @@
+"""The per-action SRT ledger — the paper's response-time accounting as data.
+
+Section VIII-B defines system response time (SRT) as the delay between
+pressing *Run* and seeing results.  PRAGUE's claim is that blended
+processing hides per-action work inside the GUI latency the user spends
+drawing (≥ 2 s per edge), leaving only the *residual* at Run.  The ledger
+makes that decomposition explicit, one row per engine-processed action:
+
+* ``processing_seconds`` — engine work triggered by the action;
+* ``latency_seconds``    — GUI latency the action offered as cover;
+* ``hidden_seconds``     — work (including carried backlog) absorbed by
+  that cover;
+* ``backlog_after``      — work left over, carried to the next action.
+
+The fold is exactly :func:`repro.core.session.formulate`'s timeline model
+(``backlog' = max(0, backlog + processing − latency)``), so
+
+``total_processing == hidden_total + srt_seconds``
+
+always holds (:meth:`SrtLedger.residual_error` is the floating-point
+remainder) — the invariant behind the acceptance check of
+``python -m repro trace``, which additionally reconciles
+``total_processing`` against the end-to-end wall time of the replay.
+
+>>> from repro.obs.srt import build_ledger
+>>> ledger = build_ledger(
+...     [("new e1", 0.4, 2.0), ("new e2", 2.5, 2.0)], run_seconds=0.3)
+>>> ledger.backlog_before_run  # 0.5 s of step-2 work did not fit
+0.5
+>>> ledger.srt_seconds         # felt at Run: backlog + Run work
+0.8
+>>> round(ledger.hidden_seconds, 6)  # hidden inside the 2 s drawing gaps
+2.4
+>>> round(ledger.total_processing, 6)
+3.2
+>>> abs(ledger.residual_error()) < 1e-9
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
+
+#: One ledger input: (action label, processing seconds, offered GUI latency).
+LedgerEvent = Tuple[str, float, float]
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One action's row in the SRT ledger."""
+
+    index: int
+    action: str
+    processing_seconds: float
+    latency_seconds: float
+    hidden_seconds: float
+    backlog_after: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "action": self.action,
+            "processing_seconds": self.processing_seconds,
+            "latency_seconds": self.latency_seconds,
+            "hidden_seconds": self.hidden_seconds,
+            "backlog_after": self.backlog_after,
+        }
+
+
+@dataclass(frozen=True)
+class SrtLedger:
+    """The full session decomposition: formulation rows plus the Run row."""
+
+    entries: Tuple[LedgerEntry, ...]
+    run_seconds: float
+
+    @property
+    def backlog_before_run(self) -> float:
+        """Work still pending when Run is pressed."""
+        return self.entries[-1].backlog_after if self.entries else 0.0
+
+    @property
+    def srt_seconds(self) -> float:
+        """What the user feels at Run: carried backlog + Run-time work."""
+        return self.backlog_before_run + self.run_seconds
+
+    @property
+    def hidden_seconds(self) -> float:
+        """Total work absorbed by GUI latency across the session."""
+        return sum(e.hidden_seconds for e in self.entries)
+
+    @property
+    def total_processing(self) -> float:
+        """All engine work: every action's processing plus Run."""
+        return sum(e.processing_seconds for e in self.entries) + self.run_seconds
+
+    def residual_error(self) -> float:
+        """Floating-point slack in ``total == hidden + srt`` (≈ 0)."""
+        return self.total_processing - (self.hidden_seconds + self.srt_seconds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entries": [e.to_dict() for e in self.entries],
+            "run_seconds": self.run_seconds,
+            "backlog_before_run": self.backlog_before_run,
+            "srt_seconds": self.srt_seconds,
+            "hidden_seconds": self.hidden_seconds,
+            "total_processing": self.total_processing,
+        }
+
+
+def build_ledger(
+    events: Iterable[LedgerEvent],
+    run_seconds: float,
+    latency: Union[float, Sequence[float], None] = None,
+) -> SrtLedger:
+    """Fold ``events`` through the blended-timeline model into a ledger.
+
+    ``events`` are ``(label, processing_seconds, latency_seconds)`` triples.
+    ``latency`` optionally overrides the third element of every event —
+    pass a scalar for a uniform per-action latency, or a sequence aligned
+    with ``events``.
+    """
+    entries: List[LedgerEntry] = []
+    backlog = 0.0
+    for index, (label, processing, offered) in enumerate(events):
+        if latency is not None:
+            offered = (
+                latency if isinstance(latency, (int, float))
+                else latency[index]
+            )
+        available = backlog + processing
+        hidden = min(available, offered)
+        backlog = available - hidden
+        entries.append(LedgerEntry(
+            index=index,
+            action=label,
+            processing_seconds=processing,
+            latency_seconds=offered,
+            hidden_seconds=hidden,
+            backlog_after=backlog,
+        ))
+    return SrtLedger(entries=tuple(entries), run_seconds=run_seconds)
+
+
+def events_from_reports(
+    reports: Iterable[Any],
+    latency: float,
+) -> List[LedgerEvent]:
+    """Ledger events from engine :class:`~repro.core.prague.StepReport`\\ s.
+
+    Each report is labelled ``"<action> e<edge_id>"`` and offered the uniform
+    ``latency`` — the model of :func:`repro.core.session.formulate`, where
+    every formulation gesture grants one drawing gap of cover.
+    """
+    events: List[LedgerEvent] = []
+    for report in reports:
+        label = report.action.value
+        if report.edge_id is not None:
+            label += f" e{report.edge_id}"
+        events.append((label, report.processing_seconds, latency))
+    return events

@@ -1,0 +1,248 @@
+"""Hierarchical spans with monotonic timings — the tracing half of ``repro.obs``.
+
+A *span* is one named, timed region of work.  Spans nest: the span opened
+while another is active becomes its child, so a traced formulation session
+yields a tree — ``session`` at the root, one ``action.*`` span per GUI
+gesture, and inside each action the work it triggered (``spig.construct``,
+``candidates.exact``, ``verify.scan``, …).  Timings come from
+``time.perf_counter`` (monotonic), never from wall-clock dates.
+
+The module-level :data:`TRACER` is process-wide and **off by default**: when
+disabled, :func:`span` returns a shared no-op context manager and the only
+cost at an instrumentation site is one attribute load and a branch (the
+bound is enforced by ``benchmarks/bench_obs_overhead.py``).  ``REPRO_TRACE=1``
+enables it (see :func:`repro.config.trace_enabled`); the engine calls
+:func:`sync_env` once per GUI action, so the knob is live.  For programmatic
+use — tests, the ``python -m repro trace`` CLI — :func:`trace` force-enables
+tracing for a block regardless of the environment:
+
+>>> from repro.obs import span, trace
+>>> with trace() as tracer:
+...     with span("outer", kind="demo"):
+...         with span("inner"):
+...             pass
+>>> [s.name for s in tracer.roots]
+['outer']
+>>> [child.name for child in tracer.roots[0].children]
+['inner']
+>>> tracer.roots[0].attrs
+{'kind': 'demo'}
+
+The tracer is per-process and not thread-safe (the engine is single-threaded;
+verification workers are separate *processes* and do not trace).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.config import trace_enabled
+
+
+class Span:
+    """One completed (or still-open) timed region."""
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration_seconds(self) -> float:
+        """Elapsed time; for a still-open span, elapsed so far."""
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Depth-first (self, depth) pairs — the rendering order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (seconds, attrs, recursive children)."""
+        return {
+            "name": self.name,
+            "seconds": self.duration_seconds,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {1000 * self.duration_seconds:.2f} ms)"
+
+
+class _SpanHandle:
+    """Context manager for one live span (returned by :func:`span`)."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.span: Optional[Span] = None
+        # Created eagerly so ``span(...)`` without ``with`` still times from
+        # the call site; __enter__ only registers it in the tree.
+        self.span = Span(name, attrs)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._open(self.span)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._close(self.span)
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach/overwrite attributes on this span (usable after exit)."""
+        self.span.attrs.update(attrs)
+
+
+class _NoopHandle:
+    """The shared do-nothing handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NOOP = _NoopHandle()
+
+
+class Tracer:
+    """Process-wide span collector.
+
+    ``enabled`` is a plain bool so hot paths pay one attribute load to skip
+    instrumentation.  It follows ``REPRO_TRACE`` (via :func:`sync_env`)
+    unless an override is installed by :meth:`force` / :func:`trace`.
+    """
+
+    #: Upper bound on retained root spans — a leak guard for long-lived
+    #: processes that trace many sessions without draining.
+    MAX_ROOTS = 4096
+
+    def __init__(self) -> None:
+        self.enabled: bool = trace_enabled()
+        self._override: Optional[bool] = None
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # switching
+    # ------------------------------------------------------------------
+    def sync_env(self) -> bool:
+        """Refresh ``enabled`` from ``REPRO_TRACE`` (unless overridden)."""
+        if self._override is None:
+            self.enabled = trace_enabled()
+        return self.enabled
+
+    def force(self, enabled: Optional[bool]) -> None:
+        """Install (or with ``None`` remove) an override of the env knob."""
+        self._override = enabled
+        self.enabled = trace_enabled() if enabled is None else enabled
+
+    def reset(self) -> None:
+        """Drop all collected spans (including any left open)."""
+        self._stack.clear()
+        self.roots.clear()
+
+    # ------------------------------------------------------------------
+    # span lifecycle (called by _SpanHandle)
+    # ------------------------------------------------------------------
+    def _open(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+            if len(self.roots) > self.MAX_ROOTS:
+                del self.roots[: len(self.roots) - self.MAX_ROOTS]
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end_s = time.perf_counter()
+        # Tolerate out-of-order closes (e.g. a generator finalised late):
+        # pop up to and including this span if present, else ignore.
+        if any(entry is span for entry in self._stack):
+            while self._stack:
+                if self._stack.pop() is span:
+                    break
+
+    def _iter_all(self) -> Iterator[Tuple[Span, int]]:
+        for root in self.roots:
+            yield from root.walk()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def span_count(self) -> int:
+        """Total number of recorded spans across all root trees."""
+        return sum(1 for _ in self._iter_all())
+
+
+#: The process-wide tracer every instrumentation site consults.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: Any):
+    """Open a traced region: ``with span("spig.construct", edge=3): ...``.
+
+    When tracing is disabled this returns a shared no-op handle — the call
+    itself is the entire overhead.
+    """
+    if not TRACER.enabled:
+        return _NOOP
+    return _SpanHandle(TRACER, name, attrs)
+
+
+def add_attrs(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span (no-op when disabled)."""
+    if not TRACER.enabled:
+        return
+    current = TRACER.current()
+    if current is not None:
+        current.attrs.update(attrs)
+
+
+def sync_env() -> bool:
+    """Shorthand for ``TRACER.sync_env()`` (used at engine action entry)."""
+    return TRACER.sync_env()
+
+
+@contextmanager
+def trace(reset: bool = True):
+    """Force-enable tracing for a block and yield the tracer.
+
+    >>> from repro.obs import span, trace
+    >>> with trace() as tracer:
+    ...     with span("step"):
+    ...         pass
+    >>> tracer.span_count()
+    1
+    """
+    from repro.obs.metrics import METRICS
+
+    previous = TRACER._override
+    if reset:
+        TRACER.reset()
+        METRICS.reset()
+    TRACER.force(True)
+    try:
+        yield TRACER
+    finally:
+        TRACER.force(previous)

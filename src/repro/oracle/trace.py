@@ -14,8 +14,10 @@ that two replays can be compared with ``==`` key by key.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, Optional, Tuple
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.prague import PragueEngine, RunReport, StepReport
 from repro.graph.labeled_graph import Graph
@@ -68,6 +70,58 @@ class SessionTrace:
 
     def __len__(self) -> int:
         return len(self.actions)
+
+
+# ----------------------------------------------------------------------
+# JSON persistence
+# ----------------------------------------------------------------------
+def _tuplify(value: Any) -> Any:
+    """Recursively turn JSON lists back into the tuples replay expects.
+
+    Action arguments must stay hashable (observations are compared with
+    ``==`` over tuples), so the list/tuple distinction that JSON erases is
+    restored on load.
+    """
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def trace_to_dict(trace: SessionTrace) -> Dict[str, Any]:
+    """``trace`` as a JSON-ready dict (tuples degrade to lists on dump)."""
+    return {
+        "spec": asdict(trace.spec),
+        "sigma": trace.sigma,
+        "seed": trace.seed,
+        "actions": [
+            {"op": a.op, "args": list(a.args)} for a in trace.actions
+        ],
+    }
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> SessionTrace:
+    """Rebuild a :class:`SessionTrace` from :func:`trace_to_dict` output."""
+    return SessionTrace(
+        spec=CorpusSpec(**payload["spec"]),
+        sigma=payload["sigma"],
+        seed=payload.get("seed"),
+        actions=tuple(
+            TraceAction(a["op"], _tuplify(a["args"]))
+            for a in payload["actions"]
+        ),
+    )
+
+
+def save_trace(trace: SessionTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` as pretty-printed JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(trace), indent=2) + "\n")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> SessionTrace:
+    """Read a trace saved by :func:`save_trace` (or written by hand)."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
 
 
 # ----------------------------------------------------------------------

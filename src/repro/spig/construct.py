@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING, FrozenSet, Set
 from repro.exceptions import SpigError
 from repro.graph.canonical import canonical_code
 from repro.index.builder import ActionAwareIndexes
+from repro.obs.metrics import count
+from repro.obs.tracer import span
 from repro.query_graph import VisualQuery
 from repro.spig.spig import SPIG, FragmentList, SpigVertex
 
@@ -98,36 +100,40 @@ def build_spig(
     spig = SPIG(new_edge_id, dedup=dedup)
     level_sets: Set[FrozenSet[int]] = {frozenset({new_edge_id})}
     level = 1
-    while level_sets:
-        # Deterministic order keeps vertex positions stable across runs.
-        for edge_set in sorted(level_sets, key=sorted):
-            fragment = query.edge_subgraph_by_ids(edge_set)
-            code = canonical_code(fragment)
-            vertex, created = spig.get_or_create(level, code, fragment)
-            vertex.edge_sets.add(edge_set)
-            manager.register(edge_set, vertex)
-            if created:
-                vertex.fragment_list = _compute_fragment_list(
-                    vertex, edge_set, query, manager, indexes
-                )
-            # Parent links inside S_ℓ: (level−1)-subsets still containing e_ℓ.
-            if level > 1:
-                for eid in edge_set:
-                    if eid == new_edge_id:
-                        continue
-                    sub = edge_set - {eid}
-                    if not _connected_edge_subset(query, sub):
-                        continue
-                    parent = manager.vertex_for(sub)
-                    if parent is None or parent.spig_id != new_edge_id:
-                        continue
-                    parent.children.add(vertex)
-                    vertex.parents.add(parent)
-        # Expand to the next level through edges adjacent to each subset.
-        next_sets: Set[FrozenSet[int]] = set()
-        for edge_set in level_sets:
-            for eid in query.adjacent_edge_ids(edge_set):
-                next_sets.add(edge_set | {eid})
-        level_sets = next_sets
-        level += 1
+    with span("spig.construct", edge=new_edge_id) as sp:
+        while level_sets:
+            # Deterministic order keeps vertex positions stable across runs.
+            for edge_set in sorted(level_sets, key=sorted):
+                fragment = query.edge_subgraph_by_ids(edge_set)
+                code = canonical_code(fragment)
+                vertex, created = spig.get_or_create(level, code, fragment)
+                vertex.edge_sets.add(edge_set)
+                manager.register(edge_set, vertex)
+                if created:
+                    count("spig.vertices.created")
+                    vertex.fragment_list = _compute_fragment_list(
+                        vertex, edge_set, query, manager, indexes
+                    )
+                # Parent links inside S_ℓ: (level−1)-subsets still
+                # containing e_ℓ.
+                if level > 1:
+                    for eid in edge_set:
+                        if eid == new_edge_id:
+                            continue
+                        sub = edge_set - {eid}
+                        if not _connected_edge_subset(query, sub):
+                            continue
+                        parent = manager.vertex_for(sub)
+                        if parent is None or parent.spig_id != new_edge_id:
+                            continue
+                        parent.children.add(vertex)
+                        vertex.parents.add(parent)
+            # Expand to the next level through edges adjacent to each subset.
+            next_sets: Set[FrozenSet[int]] = set()
+            for edge_set in level_sets:
+                for eid in query.adjacent_edge_ids(edge_set):
+                    next_sets.add(edge_set | {eid})
+            level_sets = next_sets
+            level += 1
+        sp.set(vertices=spig.num_vertices, levels=level - 1)
     return spig

@@ -1,0 +1,138 @@
+"""SRT ledger arithmetic and its parity with the session/GUI layers."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import PragueEngine, QuerySpec, formulate
+from repro.datasets import spec_from_graph
+from repro.gui import SimulatedUser, UserProfile, VisualInterface
+from repro.obs.srt import build_ledger, events_from_reports
+from repro.testing import sample_subgraph
+
+
+class TestBuildLedger:
+    def test_empty_session_is_pure_run(self):
+        ledger = build_ledger([], run_seconds=0.25)
+        assert ledger.entries == ()
+        assert ledger.backlog_before_run == 0.0
+        assert ledger.srt_seconds == 0.25
+        assert ledger.hidden_seconds == 0.0
+        assert ledger.total_processing == 0.25
+
+    def test_fold_matches_hand_computation(self):
+        events = [
+            ("new e1", 0.4, 2.0),   # fits entirely: hidden 0.4, backlog 0
+            ("new e2", 2.5, 2.0),   # 0.5 spills over
+            ("modify", 0.1, 0.0),   # dialogue: zero cover, backlog grows
+            ("new e3", 0.2, 2.0),   # 0.8 pending, all hidden
+        ]
+        ledger = build_ledger(events, run_seconds=0.3)
+        rows = ledger.entries
+        assert [r.hidden_seconds for r in rows] == pytest.approx(
+            [0.4, 2.0, 0.0, 0.8]
+        )
+        assert [r.backlog_after for r in rows] == pytest.approx(
+            [0.0, 0.5, 0.6, 0.0]
+        )
+        assert ledger.backlog_before_run == pytest.approx(0.0)
+        assert ledger.srt_seconds == pytest.approx(0.3)
+
+    def test_invariant_total_equals_hidden_plus_srt(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            events = [
+                ("e", rng.uniform(0, 3), rng.uniform(0, 3))
+                for _ in range(rng.randrange(0, 12))
+            ]
+            ledger = build_ledger(events, run_seconds=rng.uniform(0, 1))
+            assert abs(ledger.residual_error()) < 1e-9
+
+    def test_backlog_never_negative(self):
+        events = [("e", 0.1, 5.0), ("e", 0.1, 5.0)]
+        ledger = build_ledger(events, run_seconds=0.0)
+        assert all(row.backlog_after >= 0.0 for row in ledger.entries)
+        assert ledger.backlog_before_run == 0.0
+
+    def test_scalar_latency_override(self):
+        events = [("e", 1.0, 99.0), ("e", 1.0, 99.0)]
+        ledger = build_ledger(events, run_seconds=0.0, latency=0.5)
+        assert all(
+            row.latency_seconds == 0.5 for row in ledger.entries
+        )
+        assert ledger.backlog_before_run == pytest.approx(1.0)
+
+    def test_sequence_latency_override(self):
+        events = [("a", 1.0, 0.0), ("b", 1.0, 0.0)]
+        ledger = build_ledger(events, run_seconds=0.0, latency=[2.0, 0.0])
+        assert ledger.entries[0].hidden_seconds == pytest.approx(1.0)
+        assert ledger.entries[1].backlog_after == pytest.approx(1.0)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        ledger = build_ledger([("new e1", 0.4, 2.0)], run_seconds=0.1)
+        payload = json.loads(json.dumps(ledger.to_dict()))
+        assert payload["entries"][0]["action"] == "new e1"
+        assert payload["srt_seconds"] == pytest.approx(0.1)
+
+
+class TestEventsFromReports:
+    def test_labels_carry_action_and_edge(self, small_db, small_indexes):
+        engine = PragueEngine(small_db, small_indexes, sigma=2)
+        engine.add_node("a", "A")
+        engine.add_node("b", "B")
+        reports = [engine.add_edge("a", "b")]
+        events = events_from_reports(reports, latency=2.0)
+        assert len(events) == 1
+        label, processing, latency = events[0]
+        assert label == f"New e{reports[0].edge_id}"
+        assert processing == reports[0].processing_seconds
+        assert latency == 2.0
+
+
+class TestLayerParity:
+    """The scalar SRT fields the session/GUI layers expose are the
+    ledger's own folds — refactoring them onto the ledger must not have
+    changed a single number."""
+
+    @pytest.fixture
+    def spec(self, small_db):
+        q = sample_subgraph(random.Random(1), small_db, 3, 4)
+        return spec_from_graph("ledger-parity", q)
+
+    def test_formulate_scalars_are_ledger_folds(
+        self, spec, small_db, small_indexes
+    ):
+        engine = PragueEngine(small_db, small_indexes, sigma=2)
+        trace = formulate(engine, spec, edge_latency=2.0)
+        assert trace.ledger is not None
+        assert trace.backlog_before_run == trace.ledger.backlog_before_run
+        assert trace.srt_seconds == trace.ledger.srt_seconds
+        assert trace.ledger.run_seconds == trace.run_report.processing_seconds
+        assert len(trace.ledger.entries) == len(trace.step_reports)
+        # total engine work is conserved through the decomposition
+        assert math.isclose(
+            trace.ledger.total_processing,
+            trace.total_step_processing + trace.run_report.processing_seconds,
+        )
+
+    def test_simulator_scalars_are_ledger_folds(
+        self, spec, small_db, small_indexes
+    ):
+        interface = VisualInterface()
+        interface.open_database(small_db, small_indexes, sigma=2)
+        user = SimulatedUser(UserProfile(seed=4))
+        sim = user.formulate(interface, spec)
+        assert sim.ledger is not None
+        assert sim.backlog_before_run == sim.ledger.backlog_before_run
+        assert sim.srt_seconds == sim.ledger.srt_seconds
+        drawn = [
+            row for row in sim.ledger.entries if row.action.startswith("new e")
+        ]
+        assert [row.latency_seconds for row in drawn] == sim.edge_latencies
+        # dialogue rows (if any) offer zero cover
+        for row in sim.ledger.entries:
+            if not row.action.startswith("new e"):
+                assert row.latency_seconds == 0.0

@@ -1,0 +1,65 @@
+"""Tracing must never change answers.
+
+The observability layer is read-only by design: the same fuzzed session,
+replayed with ``REPRO_TRACE=0`` and ``REPRO_TRACE=1``, must produce
+byte-identical step observations through the differential-oracle differ.
+"""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro import obs
+from repro.oracle.diff import first_divergence
+from repro.oracle.fuzzer import generate_trace
+from repro.oracle.replay import REFERENCE_CONFIG, replay_trace
+
+
+def _observations(trace, trace_env):
+    with mock.patch.dict(os.environ, {"REPRO_TRACE": trace_env}):
+        obs.sync_env()
+        obs.TRACER.reset()
+        obs.METRICS.reset()
+        try:
+            session = replay_trace(trace, REFERENCE_CONFIG)
+        finally:
+            pass
+    obs.sync_env()
+    return session.observations
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11, 42])
+def test_traced_replay_observations_identical(seed):
+    trace = generate_trace(seed=seed)
+    untraced = _observations(trace, "0")
+    traced = _observations(trace, "1")
+    divergence = first_divergence(
+        untraced, traced, left="REPRO_TRACE=0", right="REPRO_TRACE=1", kind="obs"
+    )
+    assert divergence is None
+    assert len(untraced) == len(traced) == len(trace)
+
+
+def test_traced_replay_actually_recorded_spans():
+    """Guard the guard: the traced leg really had tracing on."""
+    trace = generate_trace(seed=3)
+    with mock.patch.dict(os.environ, {"REPRO_TRACE": "1"}):
+        obs.sync_env()
+        obs.TRACER.reset()
+        replay_trace(trace, REFERENCE_CONFIG)
+        recorded = obs.TRACER.span_count()
+    obs.sync_env()
+    obs.TRACER.reset()
+    assert recorded > 0
+
+
+def test_programmatic_trace_block_is_also_neutral():
+    trace = generate_trace(seed=7)
+    baseline = replay_trace(trace, REFERENCE_CONFIG).observations
+    with obs.trace():
+        traced = replay_trace(trace, REFERENCE_CONFIG).observations
+    assert (
+        first_divergence(baseline, traced, left="plain", right="obs.trace")
+        is None
+    )
