@@ -1,14 +1,15 @@
-"""Observability no-op overhead — the ``repro.obs`` acceptance benchmark.
+"""Observability default-posture overhead — the ``repro.obs`` acceptance benchmark.
 
-Not a paper figure: this guards the tracing layer's core promise that with
-``REPRO_TRACE`` off (the default) the instrumentation sprinkled through the
-hot paths is invisible.  :mod:`repro.bench.obs_overhead` measures the no-op
-per-call cost of each primitive in a tight loop, counts how many obs calls a
-real fuzzed session fires, and bounds the per-session overhead as
-``volume × per-call cost`` against the untraced session wall time.
+Not a paper figure: this guards the observability layer's core promise that
+its *default posture* — tracing off, latency histograms and flight recorder
+on — stays invisible.  :mod:`repro.bench.obs_overhead` measures the per-call
+cost of each primitive in a tight loop (spans/counters disabled, histogram
+``observe`` and recorder ``record`` enabled, as they ship), counts how many
+obs calls a real fuzzed session fires, and bounds the per-session overhead
+as ``volume × per-call cost`` against the session wall time.
 
 The assertion is ``overhead_bound_pct < 5`` — the tentpole acceptance
-criterion — plus a sanity floor that the per-call no-op cost stays in the
+criterion — plus a sanity floor that every per-call cost stays in the
 sub-microsecond regime.  The traced/untraced A/B is recorded for scale but
 not asserted (tracing on is opt-in and allowed to cost more).
 """
@@ -36,6 +37,10 @@ def test_obs_overhead(benchmark):
          str(volume["counter_increments"])],
         ["sync_env()", f"{per_call['sync_env']:.0f} ns",
          str(volume["env_syncs"])],
+        ["observe() enabled", f"{per_call['observe']:.0f} ns",
+         str(volume["histogram_observations"])],
+        ["record() enabled", f"{per_call['record']:.0f} ns",
+         str(volume["recorder_calls"])],
         ["bound per session",
          f"{1e6 * data['noop_per_session_s']:.1f} µs",
          f"{data['overhead_bound_pct']:.2f}% of "

@@ -1,21 +1,27 @@
-"""Overhead accounting for the ``repro.obs`` no-op mode.
+"""Overhead accounting for the default ``repro.obs`` posture.
 
 The observability layer's contract is that with ``REPRO_TRACE`` off (the
-default) every instrumentation site costs one attribute load and a branch.
-This module turns that claim into numbers:
+default) every *gated* instrumentation site costs one attribute load and a
+branch, and the *always-on* pieces — latency histograms and the flight
+recorder — stay cheap enough to never turn off.  This module turns both
+claims into numbers:
 
-* **per-call no-op costs** — tight-loop timings of a disabled ``span()``
+* **per-call costs** — tight-loop timings of a disabled ``span()``
   (including the ``with``-protocol on the shared no-op handle), a disabled
-  ``count()`` and a ``sync_env()`` call, each with the empty-loop baseline
-  subtracted;
+  ``count()``, a ``sync_env()`` call, an *enabled* histogram ``observe()``
+  and an *enabled* recorder ``record()`` (the costlier of the recorder's two
+  entry points; deduplicated ``transition()`` probes are cheaper), each with
+  the empty-loop baseline subtracted;
 * **per-session obs-call volume** — one traced replay of a fuzzed session
-  counts how many spans, counter increments and env syncs a session actually
-  fires (counter increments via ``amount > 1`` are over-counted per unit,
-  which only makes the bound more conservative);
+  counts how many spans, counter increments, env syncs, histogram
+  observations and recorder calls a session actually fires (counter
+  increments via ``amount > 1`` are over-counted per unit, and every
+  recorder call is charged the full ``record()`` price, which only makes
+  the bound more conservative);
 * **the overhead bound** — ``volume × per-call cost`` as a percentage of the
-  untraced session's wall time (best of several replays).  This is an upper
-  bound on what the instrumentation can add in no-op mode, measured rather
-  than argued;
+  session's wall time under the default posture (histograms + recorder on,
+  tracing off; best of several replays).  This is an upper bound on what the
+  instrumentation can add by default, measured rather than argued;
 * **a traced/untraced A/B** of the same session, for scale (tracing *on* is
   allowed to cost more — it is opt-in).
 
@@ -30,7 +36,9 @@ from typing import Any, Dict
 
 from repro import obs
 from repro.core.prague import PragueEngine
+from repro.obs.histogram import HISTOGRAMS, observe, total_observations
 from repro.obs.metrics import count
+from repro.obs.recorder import RECORDER
 from repro.obs.tracer import span, sync_env
 
 #: Iterations for the tight no-op loops (cheap: ~a few ms total).
@@ -51,8 +59,14 @@ def _best_of(fn, repeats: int) -> float:
 
 
 def _noop_costs(loop: int = NOOP_LOOP) -> Dict[str, float]:
-    """Per-call no-op costs in seconds, empty-loop baseline subtracted."""
+    """Per-call costs in seconds, empty-loop baseline subtracted.
+
+    Spans and counters are probed *disabled* (their default); histogram
+    ``observe`` and recorder ``record`` are probed *enabled* (their default
+    — they are the always-on layer whose live cost the bound must cover).
+    """
     obs.TRACER.force(False)
+    RECORDER.force(True)
     try:
         r = range(loop)
 
@@ -73,14 +87,27 @@ def _noop_costs(loop: int = NOOP_LOOP) -> Dict[str, float]:
             for _ in r:
                 sync_env()
 
+        def observe_loop() -> None:
+            for _ in r:
+                observe("bench.noop", 1e-6)
+
+        def record_loop() -> None:
+            for _ in r:
+                RECORDER.record("bench.noop", probe=1)
+
         base = _best_of(baseline, 3)
         return {
             "span_s": max(0.0, (_best_of(span_loop, 3) - base)) / loop,
             "count_s": max(0.0, (_best_of(count_loop, 3) - base)) / loop,
             "sync_s": max(0.0, (_best_of(sync_loop, 3) - base)) / loop,
+            "observe_s": max(0.0, (_best_of(observe_loop, 3) - base)) / loop,
+            "record_s": max(0.0, (_best_of(record_loop, 3) - base)) / loop,
         }
     finally:
         obs.TRACER.force(None)
+        RECORDER.force(None)
+        RECORDER.reset()
+        HISTOGRAMS.pop("bench.noop", None)  # drop the probe histogram
 
 
 def _replay(trace, corpus) -> None:
@@ -105,10 +132,19 @@ def run_obs_overhead(seed: int = 2012) -> Dict[str, Any]:
     corpus = corpus_for(trace.spec)
     _replay(trace, corpus)  # warm the corpus-level caches once
 
-    # Obs-call volume of one session, counted under a real traced replay.
-    with obs.trace() as tracer:
-        _replay(trace, corpus)
-        snapshot = obs.METRICS.snapshot()
+    # Obs-call volume of one session, counted under a real traced replay
+    # (recorder force-enabled so its call counter sees the full stream).
+    RECORDER.force(True)
+    RECORDER.reset()
+    try:
+        with obs.trace() as tracer:
+            _replay(trace, corpus)
+            snapshot = obs.METRICS.snapshot()
+            observations = total_observations()
+        recorder_calls = RECORDER.calls
+    finally:
+        RECORDER.force(None)
+        RECORDER.reset()
     spans = tracer.span_count()
     counter_incs = int(sum(snapshot["counters"].values()))
     action_ops = ("add_edge", "add_pattern", "delete_edge", "delete_edges",
@@ -120,6 +156,8 @@ def run_obs_overhead(seed: int = 2012) -> Dict[str, Any]:
         spans * costs["span_s"]
         + counter_incs * costs["count_s"]
         + syncs * costs["sync_s"]
+        + observations * costs["observe_s"]
+        + recorder_calls * costs["record_s"]
     )
 
     canonical.clear_cache()
@@ -139,11 +177,15 @@ def run_obs_overhead(seed: int = 2012) -> Dict[str, Any]:
             "span": 1e9 * costs["span_s"],
             "count": 1e9 * costs["count_s"],
             "sync_env": 1e9 * costs["sync_s"],
+            "observe": 1e9 * costs["observe_s"],
+            "record": 1e9 * costs["record_s"],
         },
         "volume_per_session": {
             "spans": spans,
             "counter_increments": counter_incs,
             "env_syncs": syncs,
+            "histogram_observations": observations,
+            "recorder_calls": recorder_calls,
         },
         "noop_per_session_s": per_session_s,
         "untraced_session_s": untraced_s,

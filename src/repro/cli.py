@@ -140,6 +140,33 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="prune spans shorter than this many ms")
     tracecmd.add_argument("--json", type=Path, default=None,
                           help="also write the full report as JSON")
+
+    perf = sub.add_parser(
+        "perf",
+        help="bounded perf-regression suite: append a machine-normalized "
+             "record to the trajectory, or --check against the last record",
+    )
+    perf.add_argument("--label", default="checkpoint",
+                      help="label stored on the appended record")
+    perf.add_argument("--seed", type=int, default=2012)
+    perf.add_argument("--threshold", type=float, default=None,
+                      help="regression threshold in percent (default: 20)")
+    perf.add_argument(
+        "--trajectory", type=Path, default=None,
+        help="trajectory file (default: benchmarks/results/trajectory.json)",
+    )
+    perf.add_argument(
+        "--check", action="store_true",
+        help="compare against the last record instead of appending; exit 1 "
+             "on a regression, 2 when no baseline exists",
+    )
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder post-mortem bundle as a timeline",
+    )
+    postmortem.add_argument("bundle", type=Path,
+                            help="JSON bundle written by the recorder")
     return parser
 
 
@@ -396,20 +423,105 @@ def _cmd_trace(args) -> int:
     print(obs.render_span_tree(tracer.roots, min_seconds=args.min_ms / 1000))
     print("\nmetrics:")
     print(obs.render_metrics(snapshot))
+    print("\nlatency histograms (always-on):")
+    print(obs.render_histograms(snapshot.get("histograms", {})))
     print(f"\nSRT ledger (latency {latency:.2f} s per gesture):")
     print(obs.render_ledger(ledger))
     covered = 100 * ledger.total_processing / wall_seconds if wall_seconds else 0
     print(f"\nend-to-end wall time   {1000 * wall_seconds:9.2f} ms "
           f"(ledger covers {covered:.1f}%; the rest is replay bookkeeping)")
     if args.json is not None:
-        payload = obs.report_to_dict(
+        payload = obs.envelope("trace-report", obs.report_to_dict(
             tracer.roots, snapshot, ledger,
             wall_seconds=wall_seconds, source=source,
             actions=len(trace.actions), sigma=trace.sigma,
-        )
+        ))
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    """Run the bounded perf suite and maintain the regression trajectory.
+
+    Default mode appends a machine-normalized record to the trajectory file
+    (creating it with a first record when absent); ``--check`` instead
+    compares the fresh run against the *last* checked-in record and fails on
+    any metric more than the threshold above it — the CI gate.
+    """
+    from repro.bench import ledger as perf_ledger
+    from repro.bench.harness import format_table
+
+    threshold = (
+        args.threshold if args.threshold is not None
+        else perf_ledger.REGRESSION_THRESHOLD_PCT
+    )
+    path = (
+        args.trajectory if args.trajectory is not None
+        else perf_ledger.trajectory_path()
+    )
+    records = perf_ledger.load_trajectory(path)
+    baseline = records[-1] if records else None
+    calibration = perf_ledger.calibrate()
+    metrics = perf_ledger.run_perf_suite(seed=args.seed)
+    record = perf_ledger.make_record(metrics, calibration, label=args.label)
+    comparisons = (
+        perf_ledger.compare_records(baseline, record, threshold)
+        if baseline is not None else []
+    )
+    by_name = {c["metric"]: c for c in comparisons}
+
+    rows = []
+    for name in sorted(metrics):
+        comp = by_name.get(name)
+        verdict = "-" if comp is None else (
+            f"{comp['change_pct']:+.1f}% "
+            + ("REGRESSED" if comp["regression"] else "ok")
+        )
+        rows.append([
+            name,
+            f"{1000 * metrics[name]:.3f} ms",
+            f"{record['normalized'][name]:.4f}",
+            verdict,
+        ])
+    print(format_table(
+        f"perf suite (calibration {1000 * calibration:.3f} ms, baseline: "
+        f"{baseline['label'] if baseline else 'none'})",
+        ["metric", "raw", "normalized", "vs baseline"],
+        rows,
+    ))
+
+    if args.check:
+        if baseline is None:
+            print(f"perf --check: no baseline record in {path}",
+                  file=sys.stderr)
+            return 2
+        regressions = [c for c in comparisons if c["regression"]]
+        if regressions:
+            for c in regressions:
+                print(f"perf regression: {c['metric']} "
+                      f"{c['change_pct']:+.1f}% (threshold {threshold:g}%)",
+                      file=sys.stderr)
+            return 1
+        print(f"perf --check OK "
+              f"({len(comparisons)} metrics within {threshold:g}%)")
+        return 0
+    perf_ledger.append_record(path, record)
+    print(f"appended record {len(records) + 1} ({args.label!r}) to {path}")
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    """Render a flight-recorder post-mortem bundle back into a timeline."""
+    import json
+
+    from repro.obs import open_envelope, render_postmortem
+
+    bundle = open_envelope(
+        json.loads(args.bundle.read_text()), expect_kind="postmortem"
+    )
+    print(render_postmortem(bundle))
     return 0
 
 
@@ -432,6 +544,8 @@ _COMMANDS = {
     "bench-smoke": _cmd_bench_smoke,
     "oracle-smoke": _cmd_oracle_smoke,
     "trace": _cmd_trace,
+    "perf": _cmd_perf,
+    "postmortem": _cmd_postmortem,
 }
 
 

@@ -66,6 +66,44 @@ def trace_enabled() -> bool:
     return os.environ.get("REPRO_TRACE", "0") not in ("0", "false", "no", "")
 
 
+def recorder_enabled() -> bool:
+    """Whether the flight recorder keeps its event ring (``REPRO_RECORDER``).
+
+    **On by default** — unlike tracing, the recorder exists for failures
+    nobody planned to reproduce (oracle divergences, pool fallbacks), so it
+    must already be running when they happen.  ``REPRO_RECORDER=0`` disables
+    it; the per-event cost is bounded by
+    ``benchmarks/bench_obs_overhead.py``.  Like ``REPRO_TRACE``, the knob is
+    re-read at every GUI action.
+    """
+    return os.environ.get("REPRO_RECORDER", "1") not in ("0", "false", "no")
+
+
+def recorder_size() -> int:
+    """Flight-recorder ring capacity in events (``REPRO_RECORDER_SIZE``).
+
+    The ring keeps the *last* N events; older ones are dropped (the drop
+    count is reported in every post-mortem bundle).  Floor of 16 so a bundle
+    always has enough context to read.
+    """
+    try:
+        value = int(os.environ.get("REPRO_RECORDER_SIZE", "512"))
+    except ValueError:
+        value = 512
+    return max(value, 16)
+
+
+def postmortem_dir():
+    """Directory for automatic post-mortem bundles (``REPRO_POSTMORTEM_DIR``).
+
+    When set, a verification-pool fallback writes a flight-recorder bundle
+    here (renderable with ``python -m repro postmortem``).  Unset (the
+    default) means no files are written implicitly; returns ``None`` then.
+    """
+    value = os.environ.get("REPRO_POSTMORTEM_DIR", "").strip()
+    return value or None
+
+
 @dataclass(frozen=True)
 class MiningParams:
     """Parameters of the offline mining/indexing phase (Sections III, VIII).

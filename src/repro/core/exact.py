@@ -27,6 +27,7 @@ from repro.config import bitset_candidates
 from repro.core.candidates import bits_of, ids_of, intersect_all
 from repro.index.builder import ActionAwareIndexes
 from repro.obs.metrics import count
+from repro.obs.recorder import RECORDER
 from repro.spig.spig import SpigVertex
 
 
@@ -51,8 +52,10 @@ def exact_sub_candidates(
         return db_ids
     if bitset_candidates():
         count("candidates.path.bitset")
+        RECORDER.transition("candidates.path", "bitset")
         return ids_of(_phi_upsilon_bits(vertex, indexes, bits_of(db_ids)))
     count("candidates.path.frozenset")
+    RECORDER.transition("candidates.path", "frozenset")
     return exact_sub_candidates_sets(vertex, indexes, db_ids)
 
 

@@ -68,7 +68,9 @@ from repro.exceptions import SessionError
 from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import NodeId
 from repro.index.builder import ActionAwareIndexes
+from repro.obs.histogram import observe
 from repro.obs.metrics import count
+from repro.obs.recorder import RECORDER
 from repro.obs.tracer import span, sync_env
 from repro.query_graph import VisualQuery
 from repro.spig.manager import SpigManager
@@ -158,6 +160,7 @@ class PragueEngine:
             self.enable_similarity()
         sync_env()
         start = time.perf_counter()
+        RECORDER.record("action.start", op="new")
         with span("action.new") as sp:
             count("engine.action.new")
             edge_id = self.query.add_edge(u, v, label)
@@ -190,6 +193,11 @@ class PragueEngine:
                 report.candidate_count = self.similar_candidates.candidate_count
             report.processing_seconds = time.perf_counter() - start
             sp.set(edge=edge_id, status=report.status.value)
+        observe("action.new", report.processing_seconds)
+        RECORDER.record(
+            "action.end", op="new", edge=edge_id,
+            status=report.status.value, seconds=report.processing_seconds,
+        )
         self.history.append(report)
         return report
 
@@ -257,6 +265,7 @@ class PragueEngine:
         """Action ``SimQuery``: switch to substructure similarity search."""
         sync_env()
         start = time.perf_counter()
+        RECORDER.record("action.start", op="simquery")
         with span("action.simquery") as sp:
             count("engine.action.simquery")
             self.sim_flag = True
@@ -270,6 +279,12 @@ class PragueEngine:
                 processing_seconds=time.perf_counter() - start,
             )
             sp.set(candidates=report.candidate_count)
+        observe("action.simquery", report.processing_seconds)
+        RECORDER.record(
+            "action.end", op="simquery",
+            candidates=report.candidate_count,
+            seconds=report.processing_seconds,
+        )
         self.history.append(report)
         return report
 
@@ -281,6 +296,7 @@ class PragueEngine:
         """Action ``Modify``: delete an edge (``None`` accepts the suggestion)."""
         sync_env()
         start = time.perf_counter()
+        RECORDER.record("action.start", op="modify")
         with span("action.modify") as sp:
             count("engine.action.modify")
             suggestion = None
@@ -300,6 +316,11 @@ class PragueEngine:
             self._refresh_after_modification(report)
             report.processing_seconds = time.perf_counter() - start
             sp.set(edge=edge_id, suggested=suggestion is not None)
+        observe("action.modify", report.processing_seconds)
+        RECORDER.record(
+            "action.end", op="modify", edge=edge_id,
+            status=report.status.value, seconds=report.processing_seconds,
+        )
         self.history.append(report)
         return report
 
@@ -314,6 +335,7 @@ class PragueEngine:
 
         sync_env()
         start = time.perf_counter()
+        RECORDER.record("action.start", op="modify")
         with span("action.modify") as sp:
             count("engine.action.modify")
             applied = apply_multi_deletion(self.query, self.manager, edge_ids)
@@ -326,6 +348,11 @@ class PragueEngine:
             self._refresh_after_modification(report)
             report.processing_seconds = time.perf_counter() - start
             sp.set(edges=len(applied))
+        observe("action.modify", report.processing_seconds)
+        RECORDER.record(
+            "action.end", op="modify", edges=len(applied),
+            status=report.status.value, seconds=report.processing_seconds,
+        )
         self.history.append(report)
         return report
 
@@ -340,6 +367,7 @@ class PragueEngine:
 
         sync_env()
         start = time.perf_counter()
+        RECORDER.record("action.start", op="modify")
         with span("action.modify") as sp:
             count("engine.action.modify")
             new_ids = _relabel(self.query, self.manager, node, new_label)
@@ -352,6 +380,11 @@ class PragueEngine:
             self._refresh_after_modification(report)
             report.processing_seconds = time.perf_counter() - start
             sp.set(relabel=str(node), edges=len(new_ids))
+        observe("action.modify", report.processing_seconds)
+        RECORDER.record(
+            "action.end", op="modify", relabel=str(node), edges=len(new_ids),
+            status=report.status.value, seconds=report.processing_seconds,
+        )
         self.history.append(report)
         return report
 
@@ -387,6 +420,7 @@ class PragueEngine:
             raise SessionError("cannot run an empty query")
         sync_env()
         start = time.perf_counter()
+        RECORDER.record("action.start", op="run")
         with span("action.run") as sp:
             count("engine.action.run")
             self._ensure_current_candidates()
@@ -429,6 +463,12 @@ class PragueEngine:
                 candidates=report.candidate_count,
                 verification_free=report.verification_free,
             )
+        observe("action.run", report.processing_seconds)
+        RECORDER.record(
+            "action.end", op="run", candidates=report.candidate_count,
+            verification_free=report.verification_free,
+            seconds=report.processing_seconds,
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -439,9 +479,11 @@ class PragueEngine:
         return QueryStatus.FREQUENT
 
     def _refresh_rq(self, target) -> None:
+        rq_start = time.perf_counter()
         with span("candidates.exact") as sp:
             self.rq = exact_sub_candidates(target, self.indexes, self.db_ids)
             sp.set(rq=len(self.rq))
+        observe("candidates.exact", time.perf_counter() - rq_start)
         self._candidates_db_size = len(self.db)
 
     def _refresh_similar_candidates(self) -> None:

@@ -14,6 +14,7 @@ answer is reported at its *minimum* distance, and returns the ranked list
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, Iterator, List, Set
 
 from repro.config import bitset_candidates
@@ -23,7 +24,9 @@ from repro.core.results import SimilarCandidates, SimilarityMatch
 from repro.core.verification import level_fragments_to_verify, sim_verify_scan
 from repro.graph.database import GraphDatabase
 from repro.index.builder import ActionAwareIndexes
+from repro.obs.histogram import observe
 from repro.obs.metrics import count
+from repro.obs.recorder import RECORDER
 from repro.obs.tracer import span
 from repro.query_graph import VisualQuery
 from repro.spig.manager import SpigManager
@@ -46,6 +49,10 @@ def similar_sub_candidates(
     out = SimilarCandidates()
     use_bits = bitset_candidates()
     db_bits = bits_of(db_ids) if use_bits else 0
+    sim_start = time.perf_counter()
+    RECORDER.transition(
+        "candidates.path", "bitset" if use_bits else "frozenset"
+    )
     with span("candidates.similar", sigma=sigma) as outer:
         count(
             "candidates.path.bitset" if use_bits
@@ -89,6 +96,7 @@ def similar_sub_candidates(
                     free=len(out.free[level]), ver=len(out.ver[level])
                 )
         outer.set(candidates=out.candidate_count)
+    observe("candidates.similar", time.perf_counter() - sim_start)
     return out
 
 

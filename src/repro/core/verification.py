@@ -27,6 +27,7 @@ affects *results*, only wall-clock: every path returns the same id sets.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import warnings
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
 
@@ -34,7 +35,9 @@ from repro.config import verification_workers
 from repro.graph.database import GraphDatabase
 from repro.graph.isomorphism import CompiledPattern, compile_pattern
 from repro.graph.labeled_graph import Graph
+from repro.obs.histogram import observe
 from repro.obs.metrics import count
+from repro.obs.recorder import RECORDER
 from repro.obs.tracer import span
 from repro.spig.manager import SpigManager
 from repro.spig.spig import SpigVertex
@@ -87,18 +90,30 @@ def _run_batch(
     payloads = [make_payload(chunk) for chunk in _chunks(ids, chunk_size)]
     count("verify.pool.runs")
     count("verify.pool.chunks", len(payloads))
+    RECORDER.record(
+        "pool.run", chunks=len(payloads), workers=workers,
+        candidates=len(ids),
+    )
     try:
         with _pool_context().Pool(workers) as pool:
             parts = pool.map(worker, payloads)
     except Exception as exc:  # pickling/OS/pool-management failures
         count("verify.pool.fallbacks")
+        RECORDER.record_exception(
+            "pool.fallback", exc, chunks=len(payloads), workers=workers
+        )
+        RECORDER.dump_to_dir("pool-fallback")
         warnings.warn(
             f"verification pool failed ({type(exc).__name__}: {exc}); "
             "falling back to the serial path",
             RuntimeWarning,
             stacklevel=3,
         )
-        parts = [worker(payload) for payload in payloads]
+        parts = []
+        for payload in payloads:
+            chunk_start = time.perf_counter()
+            parts.append(worker(payload))
+            observe("verify.chunk", time.perf_counter() - chunk_start)
     out: List[int] = []
     for part in parts:  # chunks are ascending and disjoint: concat is sorted
         out.extend(part)
@@ -124,20 +139,24 @@ def verify_batch(
     if workers is None:
         workers = verification_workers()
     workers = max(1, min(workers, len(ids)))
+    start = time.perf_counter()
     with span("verify.scan", candidates=len(ids), workers=workers):
         label_freq = db.label_frequencies()
         if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
             count("verify.serial")
             compiled = compile_pattern(pattern, label_freq)
-            return [gid for gid in ids if compiled.embeds_in(db[gid])]
-        return _run_batch(
-            _verify_chunk,
-            lambda chunk: (
-                pattern, [(gid, db[gid]) for gid in chunk], label_freq
-            ),
-            ids,
-            workers,
-        )
+            out = [gid for gid in ids if compiled.embeds_in(db[gid])]
+        else:
+            out = _run_batch(
+                _verify_chunk,
+                lambda chunk: (
+                    pattern, [(gid, db[gid]) for gid in chunk], label_freq
+                ),
+                ids,
+                workers,
+            )
+    observe("verify.scan", time.perf_counter() - start)
+    return out
 
 
 def sim_verify_scan(
@@ -158,6 +177,7 @@ def sim_verify_scan(
     if workers is None:
         workers = verification_workers()
     workers = max(1, min(workers, len(ids)))
+    start = time.perf_counter()
     with span(
         "verify.sim",
         candidates=len(ids), fragments=len(fragments), workers=workers,
@@ -166,22 +186,25 @@ def sim_verify_scan(
         if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
             count("verify.serial")
             compiled = [CompiledPattern(f, label_freq) for f in fragments]
-            return {
+            out = {
                 gid for gid in ids
                 if any(c.embeds_in(db[gid]) for c in compiled)
             }
-        return set(
-            _run_batch(
-                _sim_verify_chunk,
-                lambda chunk: (
-                    list(fragments),
-                    [(gid, db[gid]) for gid in chunk],
-                    label_freq,
-                ),
-                ids,
-                workers,
+        else:
+            out = set(
+                _run_batch(
+                    _sim_verify_chunk,
+                    lambda chunk: (
+                        list(fragments),
+                        [(gid, db[gid]) for gid in chunk],
+                        label_freq,
+                    ),
+                    ids,
+                    workers,
+                )
             )
-        )
+    observe("verify.sim", time.perf_counter() - start)
+    return out
 
 
 def exact_verification(

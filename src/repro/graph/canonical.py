@@ -32,6 +32,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.config import canonical_cache_size
 from repro.exceptions import GraphError
 from repro.graph.labeled_graph import Graph, NodeId, edge_key
+from repro.obs.recorder import RECORDER
 
 # A code tuple: (i, j, l_i, l_ij, l_j).  Edge label ``None`` is normalised to
 # "" so that tuples are totally ordered.
@@ -219,6 +220,7 @@ def canonical_code(g: Graph) -> CanonicalCode:
         g._inv_version == g.version else None
     if cached is not None:
         _stats["graph_hits"] += 1
+        RECORDER.transition("canonical.cache", "graph_hit")
         return cached
     max_size = canonical_cache_size()
     if max_size == 0:
@@ -229,9 +231,11 @@ def canonical_code(g: Graph) -> CanonicalCode:
     code = _lru.get(key)
     if code is not None:
         _stats["lru_hits"] += 1
+        RECORDER.transition("canonical.cache", "lru_hit")
         _lru.move_to_end(key)
     else:
         _stats["misses"] += 1
+        RECORDER.transition("canonical.cache", "miss")
         code = _compute_canonical_code(g)
         _lru[key] = code
         while len(_lru) > max_size:

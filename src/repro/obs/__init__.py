@@ -11,15 +11,23 @@ millisecond of a formulation session goes* without changing any answer:
 * **metrics** (:mod:`repro.obs.metrics`) — counters/gauges for cache
   hits/misses (canonical LRU, A2F/A2I posting lists), bitset-vs-frozenset
   path taken, and verification-pool task counts and fallbacks;
+* **histograms** (:mod:`repro.obs.histogram`) — always-on latency
+  distributions (log-scale buckets, exact-rank p50/p90/p99) per engine
+  action and per instrumented site, alive even with tracing off;
+* **flight recorder** (:mod:`repro.obs.recorder`) — an always-on bounded
+  ring of structured events (action boundaries, cache transitions, pool
+  runs/fallbacks, exceptions), dumpable as a post-mortem bundle;
 * **SRT ledger** (:mod:`repro.obs.srt`) — the per-action decomposition into
   *hidden-in-GUI-latency* vs *residual-at-Run* work;
-* **exporters** (:mod:`repro.obs.export`) — JSON and human-readable tables,
-  consumed by the ``python -m repro trace`` CLI.
+* **exporters** (:mod:`repro.obs.export`) — JSON (schema-versioned
+  envelopes) and human-readable tables, consumed by the ``python -m repro
+  trace`` and ``python -m repro postmortem`` CLIs.
 
-Tracing is **off by default** and controlled by ``REPRO_TRACE`` (see
-``docs/CONFIGURATION.md``); when off, every instrumentation site costs one
-attribute load and a branch (bounded by ``benchmarks/bench_obs_overhead.py``).
-Programmatic use needs no environment variable:
+Tracing is **off by default** and controlled by ``REPRO_TRACE``; histograms
+and the flight recorder are **on by default** (``REPRO_RECORDER=0`` turns
+the recorder off) — see ``docs/CONFIGURATION.md``.  The combined always-on
+cost is bounded by ``benchmarks/bench_obs_overhead.py``.  Programmatic use
+needs no environment variable:
 
 >>> from repro import obs
 >>> with obs.trace() as tracer:
@@ -33,16 +41,29 @@ session
 
 Instrumented modules never *require* tracing: with the tracer disabled the
 engine behaves byte-for-byte identically (pinned by
-``tests/obs/test_trace_noop_equivalence.py`` via the differential oracle).
+``tests/obs/test_trace_noop_equivalence.py`` via the differential oracle,
+and likewise for the recorder by ``tests/obs/test_recorder.py``).
 """
 
 from repro.obs.export import (
+    SCHEMA_VERSION,
+    envelope,
+    open_envelope,
+    render_histograms,
     render_ledger,
     render_metrics,
     render_span_tree,
     report_to_dict,
 )
+from repro.obs.histogram import (
+    HISTOGRAMS,
+    Histogram,
+    histogram_summaries,
+    observe,
+    reset_histograms,
+)
 from repro.obs.metrics import METRICS, Metrics, count, full_snapshot, gauge
+from repro.obs.recorder import RECORDER, FlightRecorder, render_postmortem
 from repro.obs.srt import (
     LedgerEntry,
     SrtLedger,
@@ -72,12 +93,24 @@ __all__ = [
     "count",
     "gauge",
     "full_snapshot",
+    "HISTOGRAMS",
+    "Histogram",
+    "observe",
+    "histogram_summaries",
+    "reset_histograms",
+    "RECORDER",
+    "FlightRecorder",
+    "render_postmortem",
     "LedgerEntry",
     "SrtLedger",
     "build_ledger",
     "events_from_reports",
+    "SCHEMA_VERSION",
+    "envelope",
+    "open_envelope",
     "render_span_tree",
     "render_metrics",
+    "render_histograms",
     "render_ledger",
     "report_to_dict",
 ]

@@ -17,6 +17,60 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from repro.obs.srt import SrtLedger
 from repro.obs.tracer import Span
 
+#: Current version of every JSON artifact ``repro.obs`` writes (trace
+#: reports, post-mortem bundles, perf trajectories).  Version 1 is the
+#: pre-envelope era: payloads with no ``"schema"`` key at all.
+SCHEMA_VERSION = 2
+
+#: Artifact kinds the loaders accept.
+ENVELOPE_KINDS = ("trace-report", "postmortem", "trajectory")
+
+
+def envelope(kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap ``payload`` in the schema-versioned envelope.
+
+    The envelope is flat — ``{"schema": 2, "kind": ..., **payload}`` — so
+    existing consumers keep indexing the payload keys directly while loaders
+    gain a version to dispatch on as the formats evolve.
+    """
+    if kind not in ENVELOPE_KINDS:
+        raise ValueError(f"unknown artifact kind {kind!r}")
+    out: Dict[str, Any] = {"schema": SCHEMA_VERSION, "kind": kind}
+    out.update(payload)
+    return out
+
+
+def open_envelope(
+    data: Dict[str, Any], expect_kind: Optional[str] = None
+) -> Dict[str, Any]:
+    """Validate a loaded artifact and return it (round-trip of `envelope`).
+
+    Artifacts written before versioning (no ``"schema"`` key) are accepted as
+    version 1 and stamped accordingly; future major versions are rejected
+    loudly rather than misread silently.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("artifact must be a JSON object")
+    version = data.get("schema", 1)
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"bad schema version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"artifact schema {version} is newer than supported "
+            f"({SCHEMA_VERSION}); upgrade this checkout to read it"
+        )
+    out = dict(data)
+    out["schema"] = version
+    if expect_kind is not None:
+        kind = out.get("kind")
+        # Version-1 artifacts predate the kind tag; trust the caller then.
+        if version >= 2 and kind != expect_kind:
+            raise ValueError(
+                f"expected a {expect_kind!r} artifact, got {kind!r}"
+            )
+        out.setdefault("kind", expect_kind)
+    return out
+
 
 def _fmt_ms(seconds: float) -> str:
     return f"{1000 * seconds:9.2f} ms"
@@ -92,6 +146,32 @@ def render_metrics(snapshot: Dict[str, Dict[str, Any]]) -> str:
     for name in sorted(gauges):
         rows.append(f"{name + ' (gauge)':<{width}}{gauges[name]}")
     return "\n".join(rows)
+
+
+def render_histograms(summaries: Dict[str, Dict[str, Any]]) -> str:
+    """Histogram summaries as one aligned table (count, percentiles, max).
+
+    ``summaries`` is :func:`repro.obs.histogram.histogram_summaries` output
+    (or the ``"histograms"`` section of a metrics snapshot).
+    """
+    if not summaries:
+        return "(no latency observations recorded)"
+    width = 2 + max(len(name) for name in summaries)
+    header = (
+        f"{'site':<{width}}{'count':>8}{'p50':>12}{'p90':>12}"
+        f"{'p99':>12}{'max':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(summaries):
+        s = summaries[name]
+        lines.append(
+            f"{name:<{width}}{s['count']:>8}"
+            f"{1000 * s['p50_s']:>9.2f} ms"
+            f"{1000 * s['p90_s']:>9.2f} ms"
+            f"{1000 * s['p99_s']:>9.2f} ms"
+            f"{1000 * s['max_s']:>9.2f} ms"
+        )
+    return "\n".join(lines)
 
 
 def render_ledger(ledger: SrtLedger) -> str:

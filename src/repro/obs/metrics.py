@@ -84,20 +84,43 @@ def gauge(name: str, value: Number) -> None:
         METRICS.set_gauge(name, value)
 
 
+#: The canonical-cache bridge keys ``full_snapshot`` always reports —
+#: consumers (exporters, the trace CLI, dashboards) index them
+#: unconditionally, so the section must stay well-formed even when the LRU
+#: tier is disabled (``REPRO_CANONICAL_CACHE=0``) or the stats source
+#: changes shape.
+_CANONICAL_COUNTER_KEYS = ("graph_hits", "lru_hits", "misses")
+
+
 def full_snapshot() -> Dict[str, Dict[str, Any]]:
-    """The metrics snapshot with the canonical-code cache stats merged in.
+    """The metrics snapshot with canonical-cache stats and histograms merged.
 
     The canonical module's counters predate ``repro.obs`` and record
     unconditionally (they cost nothing extra); they appear here under
     ``canonical.*``: ``graph_hits`` (per-graph invariant-store hits),
     ``lru_hits`` (process-wide structural LRU hits), ``misses`` (full
-    recomputations) and ``size`` (current LRU occupancy, a gauge).
+    recomputations) and ``size`` (current LRU occupancy, a gauge).  With the
+    LRU tier disabled (``REPRO_CANONICAL_CACHE=0``) the section is still
+    emitted, zero-filled for whatever the stats source does not report — the
+    shape of the snapshot is part of the observable API.
+
+    The ``"histograms"`` section carries the latency-distribution summaries
+    of :mod:`repro.obs.histogram` (always on, independent of the tracing
+    switch).
     """
     from repro.graph.canonical import cache_stats
+    from repro.obs.histogram import histogram_summaries
 
-    out = METRICS.snapshot()
+    out: Dict[str, Dict[str, Any]] = METRICS.snapshot()
     stats = cache_stats()
-    for key in ("graph_hits", "lru_hits", "misses"):
-        out["counters"][f"canonical.{key}"] = stats[key]
-    out["gauges"]["canonical.lru_size"] = stats["size"]
+    if not isinstance(stats, dict):  # defensive: never mis-shape the bridge
+        stats = {}
+    for key in _CANONICAL_COUNTER_KEYS:
+        value = stats.get(key, 0)
+        out["counters"][f"canonical.{key}"] = value if \
+            isinstance(value, (int, float)) else 0
+    size = stats.get("size", 0)
+    out["gauges"]["canonical.lru_size"] = size if \
+        isinstance(size, (int, float)) else 0
+    out["histograms"] = histogram_summaries()
     return out

@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.config import trace_enabled
+from repro.obs.recorder import RECORDER as _RECORDER
 
 
 class Span:
@@ -158,6 +159,21 @@ class Tracer:
         self._stack.clear()
         self.roots.clear()
 
+    def unwind(self, depth: int) -> None:
+        """Close and pop every open span above ``depth`` (exception cleanup).
+
+        When a traced block raises past a span that was entered but never
+        exited (a hand-entered handle, an abandoned generator), the open
+        span would otherwise survive on the stack and silently reparent all
+        later spans.  :func:`trace` calls this on the way out so the stack
+        is always restored to its entry depth.
+        """
+        now = time.perf_counter()
+        while len(self._stack) > depth:
+            abandoned = self._stack.pop()
+            if abandoned.end_s is None:
+                abandoned.end_s = now
+
     # ------------------------------------------------------------------
     # span lifecycle (called by _SpanHandle)
     # ------------------------------------------------------------------
@@ -220,13 +236,26 @@ def add_attrs(**attrs: Any) -> None:
 
 
 def sync_env() -> bool:
-    """Shorthand for ``TRACER.sync_env()`` (used at engine action entry)."""
+    """Refresh the observability switches from the environment.
+
+    Called at engine action entry: re-reads ``REPRO_TRACE`` for the tracer
+    and ``REPRO_RECORDER``/``REPRO_RECORDER_SIZE`` for the flight recorder,
+    so flipping either knob mid-process takes effect at the next action.
+    Returns the tracer's enabled state (the historical contract).
+    """
+    _RECORDER.sync_env()
     return TRACER.sync_env()
 
 
 @contextmanager
 def trace(reset: bool = True):
     """Force-enable tracing for a block and yield the tracer.
+
+    Exception-safe: if the block raises, the tracer's prior enabled/override
+    state is restored and any span left open inside the block is closed and
+    popped (``Tracer.unwind``), so a failing traced block can never corrupt
+    the next one.  With ``reset=True`` (the default) the span forest, the
+    metrics registry and the latency histograms all start empty.
 
     >>> from repro.obs import span, trace
     >>> with trace() as tracer:
@@ -235,14 +264,18 @@ def trace(reset: bool = True):
     >>> tracer.span_count()
     1
     """
+    from repro.obs.histogram import reset_histograms
     from repro.obs.metrics import METRICS
 
     previous = TRACER._override
     if reset:
         TRACER.reset()
         METRICS.reset()
+        reset_histograms()
+    depth = len(TRACER._stack)
     TRACER.force(True)
     try:
         yield TRACER
     finally:
         TRACER.force(previous)
+        TRACER.unwind(depth)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.obs.recorder import RECORDER
 from repro.oracle.corpus import DEFAULT_SPEC, CorpusSpec, corpus_for
 from repro.oracle.diff import Divergence, first_divergence
 from repro.oracle.fuzzer import generate_trace
@@ -39,6 +40,9 @@ class SessionResult:
     replays: int = 0
     shrunk: Optional[SessionTrace] = None
     reproducer: Optional[str] = None
+    #: Flight-recorder post-mortem frozen at the moment the first divergence
+    #: was detected (``None`` for clean sessions or a disabled recorder).
+    flight_recording: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -72,6 +76,15 @@ def check_session(
         result.divergences.extend(naive_baseline_check(reference))
     if fresh:
         result.divergences.extend(fresh_replay_check(reference))
+    if result.divergences and RECORDER.enabled:
+        # Freeze the event ring the moment the verdict turns: the bundle
+        # rides in the sweep manifest so a CI divergence arrives with its
+        # own post-mortem attached.
+        result.flight_recording = RECORDER.dump(
+            reason="oracle-divergence",
+            seed=trace.seed,
+            divergences=[d.describe() for d in result.divergences],
+        )
     return result
 
 
@@ -108,6 +121,7 @@ class SweepReport:
                 {
                     "seed": r.trace.seed,
                     "divergences": [d.describe() for d in r.divergences],
+                    "flight_recording": r.flight_recording,
                 }
                 for r in self.failures
             ],

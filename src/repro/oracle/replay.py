@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.prague import PragueEngine
 from repro.graph import canonical
+from repro.obs.recorder import RECORDER
 from repro.oracle.corpus import OracleCorpus, corpus_for
 from repro.oracle.trace import SessionTrace, apply_action, observe_step
 
@@ -108,6 +109,10 @@ def replay_trace(
                 result = apply_action(engine, action)
             except Exception as exc:  # recorded, not raised — see module doc
                 error = exc
+                RECORDER.record_exception(
+                    "replay.exception", exc,
+                    config=config.name, step=len(session.observations),
+                )
             session.observations.append(
                 observe_step(engine, action, result, error)
             )

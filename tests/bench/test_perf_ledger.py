@@ -1,0 +1,136 @@
+"""The perf-regression ledger: normalization, the gate, and the CLI exit codes.
+
+The trajectory is only useful if the ``--check`` gate actually trips, so the
+CLI tests monkeypatch :func:`repro.bench.ledger.run_perf_suite` with
+synthetic metrics — a real run is too slow and too noisy for unit tests —
+and assert the exit codes the CI workflow relies on: 0 clean, 1 on a >20 %
+regression, 2 when there is no baseline to compare against.
+"""
+
+import pytest
+
+from repro.bench import ledger
+from repro.cli import main
+
+FAST = {"suite.hot_s": 0.010, "suite.tiny_s": 0.0001}
+SLOW = {"suite.hot_s": 0.015, "suite.tiny_s": 0.0002}  # +50 % and +100 %
+
+
+def test_make_record_normalizes_by_calibration():
+    record = ledger.make_record(FAST, calibration_s=0.005, label="x")
+    assert record["label"] == "x"
+    assert record["metrics"] == FAST
+    assert record["normalized"]["suite.hot_s"] == pytest.approx(2.0)
+
+
+def test_compare_flags_regressions_above_threshold():
+    base = ledger.make_record(FAST, calibration_s=0.005)
+    cand = ledger.make_record(SLOW, calibration_s=0.005)
+    rows = {r["metric"]: r for r in ledger.compare_records(base, cand)}
+    hot = rows["suite.hot_s"]
+    assert hot["change_pct"] == pytest.approx(50.0)
+    assert hot["regression"]
+
+
+def test_noise_floor_exempts_sub_millisecond_metrics():
+    base = ledger.make_record(FAST, calibration_s=0.005)
+    cand = ledger.make_record(SLOW, calibration_s=0.005)
+    rows = {r["metric"]: r for r in ledger.compare_records(base, cand)}
+    tiny = rows["suite.tiny_s"]
+    assert tiny["change_pct"] == pytest.approx(100.0)
+    assert not tiny["regression"]  # 0.1 ms → 0.2 ms is jitter, not a signal
+
+
+def test_compare_tolerates_improvements_and_small_drifts():
+    base = ledger.make_record(FAST, calibration_s=0.005)
+    drift = {"suite.hot_s": 0.011, "suite.tiny_s": 0.00005}  # +10 %, faster
+    cand = ledger.make_record(drift, calibration_s=0.005)
+    assert not any(r["regression"]
+                   for r in ledger.compare_records(base, cand))
+
+
+def test_normalization_cancels_machine_speed():
+    """The same workload on a 2x-slower machine must not trip the gate."""
+    base = ledger.make_record(FAST, calibration_s=0.005)
+    slower_machine = {name: 2 * value for name, value in FAST.items()}
+    cand = ledger.make_record(slower_machine, calibration_s=0.010)
+    assert not any(r["regression"]
+                   for r in ledger.compare_records(base, cand))
+
+
+def test_trajectory_append_round_trip(tmp_path):
+    path = tmp_path / "trajectory.json"
+    assert ledger.load_trajectory(path) == []
+    ledger.append_record(path, ledger.make_record(FAST, 0.005, label="a"))
+    records = ledger.append_record(
+        path, ledger.make_record(SLOW, 0.005, label="b")
+    )
+    assert [r["label"] for r in records] == ["a", "b"]
+    assert [r["label"] for r in ledger.load_trajectory(path)] == ["a", "b"]
+
+
+def test_trajectory_rejects_non_list_records(tmp_path):
+    path = tmp_path / "trajectory.json"
+    path.write_text('{"schema": 2, "kind": "trajectory", "records": {}}')
+    with pytest.raises(ValueError, match="must be a list"):
+        ledger.load_trajectory(path)
+
+
+# ----------------------------------------------------------------------
+# the CLI gate
+# ----------------------------------------------------------------------
+def _patch_suite(monkeypatch, metrics, calibration=0.005):
+    monkeypatch.setattr(ledger, "run_perf_suite", lambda seed=2012: metrics)
+    monkeypatch.setattr(ledger, "calibrate", lambda repeats=5: calibration)
+
+
+def test_cli_perf_appends_then_check_passes(tmp_path, monkeypatch, capsys):
+    path = tmp_path / "trajectory.json"
+    _patch_suite(monkeypatch, FAST)
+    assert main(["perf", "--label", "seed", "--trajectory", str(path)]) == 0
+    assert main(["perf", "--check", "--trajectory", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "perf --check OK" in out
+    assert [r["label"] for r in ledger.load_trajectory(path)] == ["seed"]
+
+
+def test_cli_perf_check_fails_on_synthetic_regression(
+    tmp_path, monkeypatch, capsys
+):
+    path = tmp_path / "trajectory.json"
+    _patch_suite(monkeypatch, FAST)
+    assert main(["perf", "--trajectory", str(path)]) == 0
+    _patch_suite(monkeypatch, SLOW)  # the suite got >20 % slower
+    assert main(["perf", "--check", "--trajectory", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "perf regression: suite.hot_s" in err
+    # --check must not have polluted the trajectory with the bad record.
+    assert len(ledger.load_trajectory(path)) == 1
+
+
+def test_cli_perf_check_without_baseline_exits_two(tmp_path, monkeypatch):
+    _patch_suite(monkeypatch, FAST)
+    missing = tmp_path / "missing.json"
+    assert main(["perf", "--check", "--trajectory", str(missing)]) == 2
+    assert not missing.exists()
+
+
+def test_cli_perf_threshold_override(tmp_path, monkeypatch):
+    path = tmp_path / "trajectory.json"
+    _patch_suite(monkeypatch, FAST)
+    assert main(["perf", "--trajectory", str(path)]) == 0
+    _patch_suite(monkeypatch, {"suite.hot_s": 0.011, "suite.tiny_s": 0.0001})
+    assert main(["perf", "--check", "--trajectory", str(path)]) == 0
+    assert main(["perf", "--check", "--threshold", "5",
+                 "--trajectory", str(path)]) == 1
+
+
+def test_checked_in_trajectory_is_valid_and_seeded():
+    """The repo ships its first record; --check must have a baseline."""
+    path = ledger.trajectory_path()
+    records = ledger.load_trajectory(path)
+    assert records, f"{path} must contain the seed record"
+    first = records[0]
+    assert first["calibration_s"] > 0
+    assert set(first["metrics"]) == set(first["normalized"])
+    assert "session.replay_s" in first["metrics"]

@@ -9,6 +9,7 @@ oracle-to-regression-test workflow these came out of).
 """
 
 import random
+import types
 import warnings
 
 import pytest
@@ -215,6 +216,20 @@ class _TickClock:
         return self.now
 
 
+def _patch_engine_clock(monkeypatch, clock):
+    """Tick the clock for the engine's reads only.
+
+    ``repro.core.prague`` resolves ``time.perf_counter`` through its module
+    global, so swapping that one reference isolates the tick accounting from
+    every *other* instrumented module (recorder, histograms, index lookups)
+    that shares the real stdlib ``time``.
+    """
+    monkeypatch.setattr(
+        "repro.core.prague.time",
+        types.SimpleNamespace(perf_counter=clock.perf_counter),
+    )
+
+
 class TestImplicitSimilarityTiming:
     def _dead_edge_engine(self, small_db, small_indexes):
         engine = PragueEngine(small_db, small_indexes, auto_similarity=True)
@@ -240,9 +255,7 @@ class TestImplicitSimilarityTiming:
     ):
         engine = self._dead_edge_engine(small_db, small_indexes)
         clock = _TickClock()
-        monkeypatch.setattr(
-            "repro.core.prague.time.perf_counter", clock.perf_counter
-        )
+        _patch_engine_clock(monkeypatch, clock)
         engine.add_edge("y", "z")
         sim_report = engine.history[-2]
         edge_report = engine.history[-1]
@@ -260,9 +273,7 @@ class TestImplicitSimilarityTiming:
     ):
         engine = self._dead_edge_engine(small_db, small_indexes)
         clock = _TickClock()
-        monkeypatch.setattr(
-            "repro.core.prague.time.perf_counter", clock.perf_counter
-        )
+        _patch_engine_clock(monkeypatch, clock)
         start = clock.now
         engine.add_edge("y", "z")
         elapsed = clock.now - start

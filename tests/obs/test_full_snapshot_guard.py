@@ -1,0 +1,43 @@
+"""``full_snapshot()`` shape guard: the canonical bridge never mis-shapes.
+
+Consumers (the trace CLI, exporters, dashboards) index the ``canonical.*``
+keys unconditionally, so the section must stay well-formed — present and
+numeric — whether the LRU tier is enabled, disabled via
+``REPRO_CANONICAL_CACHE=0``, or the stats source misbehaves entirely.
+"""
+
+import os
+from unittest import mock
+
+from repro.graph import canonical
+from repro.obs.metrics import full_snapshot
+
+BRIDGE_COUNTERS = ("canonical.graph_hits", "canonical.lru_hits",
+                   "canonical.misses")
+
+
+def _assert_well_formed(snapshot):
+    for key in BRIDGE_COUNTERS:
+        assert key in snapshot["counters"], key
+        assert isinstance(snapshot["counters"][key], (int, float)), key
+    assert isinstance(snapshot["gauges"]["canonical.lru_size"], (int, float))
+    assert isinstance(snapshot["histograms"], dict)
+
+
+def test_snapshot_well_formed_with_cache_enabled():
+    _assert_well_formed(full_snapshot())
+
+
+def test_snapshot_well_formed_with_cache_disabled():
+    with mock.patch.dict(os.environ, {"REPRO_CANONICAL_CACHE": "0"}):
+        canonical.clear_cache()
+        _assert_well_formed(full_snapshot())
+    canonical.clear_cache()
+
+
+def test_snapshot_survives_a_misshapen_stats_source():
+    for bad in (None, [], {"size": "huge", "misses": object()}):
+        with mock.patch.object(canonical, "cache_stats", lambda b=bad: b):
+            snapshot = full_snapshot()
+        _assert_well_formed(snapshot)
+        assert snapshot["gauges"]["canonical.lru_size"] == 0

@@ -1,0 +1,86 @@
+"""Schema-versioned envelopes: every JSON artifact declares its format.
+
+Trace reports, post-mortem bundles and perf trajectories all share one flat
+envelope — ``{"schema": 2, "kind": ..., **payload}`` — so loaders can
+dispatch on version as the formats evolve.  These tests pin the round-trip,
+the version-1 (pre-envelope) compatibility path, the loud rejection of
+future versions, and that the CLI writers actually use it.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    ENVELOPE_KINDS,
+    SCHEMA_VERSION,
+    envelope,
+    open_envelope,
+)
+
+
+def test_envelope_is_flat_and_round_trips():
+    payload = {"records": [1, 2], "label": "x"}
+    wrapped = envelope("trajectory", payload)
+    assert wrapped["schema"] == SCHEMA_VERSION
+    assert wrapped["kind"] == "trajectory"
+    assert wrapped["records"] == [1, 2]  # payload keys stay top-level
+    back = open_envelope(json.loads(json.dumps(wrapped)),
+                         expect_kind="trajectory")
+    assert back == wrapped
+
+
+def test_unknown_kind_rejected_at_write_time():
+    with pytest.raises(ValueError, match="unknown artifact kind"):
+        envelope("mystery", {})
+
+
+def test_v1_artifacts_without_schema_key_are_accepted():
+    legacy = {"records": []}
+    out = open_envelope(legacy, expect_kind="trajectory")
+    assert out["schema"] == 1
+    assert out["kind"] == "trajectory"  # stamped from the caller's intent
+
+
+def test_future_schema_versions_are_rejected_loudly():
+    with pytest.raises(ValueError, match="newer than supported"):
+        open_envelope({"schema": SCHEMA_VERSION + 1, "kind": "trajectory"})
+
+
+def test_kind_mismatch_rejected_for_versioned_artifacts():
+    wrapped = envelope("postmortem", {"events": []})
+    with pytest.raises(ValueError, match="expected a 'trajectory'"):
+        open_envelope(wrapped, expect_kind="trajectory")
+
+
+@pytest.mark.parametrize("bad", [[], "x", {"schema": 0}, {"schema": "two"}])
+def test_malformed_artifacts_rejected(bad):
+    with pytest.raises(ValueError):
+        open_envelope(bad)
+
+
+def test_all_writers_share_the_declared_kinds():
+    assert set(ENVELOPE_KINDS) == {"trace-report", "postmortem", "trajectory"}
+
+
+def test_trace_cli_json_carries_the_envelope(tmp_path):
+    from repro.cli import main
+
+    out = tmp_path / "report.json"
+    assert main(["trace", "--seed", "3", "--json", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["kind"] == "trace-report"
+    assert "spans" in payload  # flat: existing consumers keep their keys
+    open_envelope(payload, expect_kind="trace-report")
+
+
+def test_trajectory_file_carries_the_envelope(tmp_path):
+    from repro.bench.ledger import load_trajectory, save_trajectory
+
+    path = tmp_path / "trajectory.json"
+    save_trajectory(path, [{"label": "seed"}])
+    raw = json.loads(path.read_text())
+    assert raw["schema"] == SCHEMA_VERSION
+    assert raw["kind"] == "trajectory"
+    assert load_trajectory(path) == [{"label": "seed"}]
