@@ -12,6 +12,13 @@ The assertion is ``overhead_bound_pct < 5`` — the tentpole acceptance
 criterion — plus a sanity floor that every per-call cost stays in the
 sub-microsecond regime.  The traced/untraced A/B is recorded for scale but
 not asserted (tracing on is opt-in and allowed to cost more).
+
+The same ceiling applies to the *export-on* posture
+(``overhead_bound_export_pct``): with ``REPRO_OBS_EXPORT`` streaming, the
+session's actually-emitted events pay the JSONL-write price and the
+raw-string-cached ``sync_env`` must stay cheap.  Only the default-posture
+per-call costs face the 2 µs no-op ceiling — an emitting ``record`` does
+real I/O and is bounded through the session-level percentage instead.
 """
 
 import pytest
@@ -22,6 +29,11 @@ from repro.bench.obs_overhead import OVERHEAD_CEILING_PCT, run_obs_overhead
 #: A disabled obs call that costs ≥ 2 µs would no longer be "an attribute
 #: load and a branch" — catch gross regressions in the no-op path itself.
 NOOP_CALL_CEILING_NS = 2000.0
+#: ``sync_env`` is not a no-op site: it re-reads four environment knobs
+#: (trace, recorder, recorder size, export target) once per GUI action, and
+#: ``os.environ`` probes alone cost ~1 µs on slow runners.  It gets its own
+#: ceiling; at ~10 calls per session its share of the bound is negligible.
+SYNC_CALL_CEILING_NS = 5000.0
 
 
 @pytest.mark.benchmark(group="obs_overhead")
@@ -41,9 +53,19 @@ def test_obs_overhead(benchmark):
          str(volume["histogram_observations"])],
         ["record() enabled", f"{per_call['record']:.0f} ns",
          str(volume["recorder_calls"])],
+        ["record() exporting",
+         f"{data['noop_per_call_export_ns']['record']:.0f} ns",
+         str(data["volume_per_session"]["exported_events"])],
+        ["sync_env() exporting",
+         f"{data['noop_per_call_export_ns']['sync_env']:.0f} ns",
+         str(volume["env_syncs"])],
         ["bound per session",
          f"{1e6 * data['noop_per_session_s']:.1f} µs",
          f"{data['overhead_bound_pct']:.2f}% of "
+         f"{1e3 * data['untraced_session_s']:.2f} ms"],
+        ["bound, export on",
+         f"{1e6 * data['noop_per_session_export_s']:.1f} µs",
+         f"{data['overhead_bound_export_pct']:.2f}% of "
          f"{1e3 * data['untraced_session_s']:.2f} ms"],
         ["traced / untraced", f"{data['traced_over_untraced']:.2f}x", "-"],
     ]
@@ -64,5 +86,8 @@ def test_obs_overhead(benchmark):
     benchmark(lambda: _replay(trace, corpus))
 
     assert data["overhead_bound_pct"] < OVERHEAD_CEILING_PCT
+    assert data["overhead_bound_export_pct"] < OVERHEAD_CEILING_PCT
     for name, cost_ns in per_call.items():
-        assert cost_ns < NOOP_CALL_CEILING_NS, (name, cost_ns)
+        ceiling = (SYNC_CALL_CEILING_NS if name == "sync_env"
+                   else NOOP_CALL_CEILING_NS)
+        assert cost_ns < ceiling, (name, cost_ns)

@@ -140,6 +140,30 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="prune spans shorter than this many ms")
     tracecmd.add_argument("--json", type=Path, default=None,
                           help="also write the full report as JSON")
+    tracecmd.add_argument(
+        "--diff", type=Path, nargs=2, metavar=("A", "B"), default=None,
+        help="instead of replaying, print per-site percentile and counter "
+             "deltas between two --json trace reports (before -> after)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of an exporting session "
+             "(REPRO_OBS_EXPORT): per-action percentiles, cache hit "
+             "rates, pool utilization, recent events",
+    )
+    top.add_argument(
+        "--dir", type=Path, default=None,
+        help="export directory to tail (default: $REPRO_OBS_EXPORT)",
+    )
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh period in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no screen clear)")
+    top.add_argument("--frames", type=int, default=0,
+                     help="stop after N refreshes (0 = until interrupted)")
+    top.add_argument("--events", type=int, default=8,
+                     help="how many recent events to show")
 
     perf = sub.add_parser(
         "perf",
@@ -375,6 +399,20 @@ def _cmd_trace(args) -> int:
     from repro.oracle.fuzzer import generate_trace
     from repro.oracle.trace import apply_action, load_trace
 
+    if args.diff is not None:
+        path_a, path_b = args.diff
+        reports = [
+            obs.open_envelope(
+                json.loads(path.read_text()), expect_kind="trace-report"
+            )
+            for path in (path_a, path_b)
+        ]
+        diff = obs.diff_trace_reports(*reports)
+        print(obs.render_report_diff(
+            diff, label_a=str(path_a), label_b=str(path_b)
+        ))
+        return 0
+
     if args.trace is not None:
         trace = load_trace(args.trace)
         source = str(args.trace)
@@ -512,6 +550,86 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _read_snapshot_bundle(directory: Path):
+    """The export directory's current ``snapshot.json``, or ``None``.
+
+    Reads are tolerant by design: the exporting session owns the files and
+    rewrites them atomically, but the directory may not exist yet, or the
+    tail may race the very first write — a missing/garbled snapshot is
+    "waiting", never a crash.
+    """
+    import json
+
+    from repro.obs import open_envelope
+
+    path = directory / "snapshot.json"
+    try:
+        return open_envelope(
+            json.loads(path.read_text()), expect_kind="metrics-snapshot"
+        )
+    except (OSError, ValueError):
+        return None
+
+
+def _tail_events(directory: Path, limit: int):
+    """The last ``limit`` parseable events of ``events.jsonl`` (oldest first)."""
+    import json
+
+    path = directory / "events.jsonl"
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, 2)
+            handle.seek(max(0, handle.tell() - 16384))
+            raw_lines = handle.read().decode("utf-8", "replace").splitlines()
+    except OSError:
+        return []
+    events = []
+    for line in raw_lines[-limit - 1:]:  # first line may be a partial read
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events[-limit:]
+
+
+def _cmd_top(args) -> int:
+    """Tail a continuously exporting session as a live terminal view."""
+    import time
+
+    from repro import obs
+    from repro.config import obs_export_dir
+
+    directory = args.dir
+    if directory is None:
+        from_env = obs_export_dir()
+        if from_env is None:
+            print(
+                "repro top: no export directory — pass --dir or set "
+                "REPRO_OBS_EXPORT on the session you want to watch "
+                "(see docs/CONFIGURATION.md)",
+                file=sys.stderr,
+            )
+            return 2
+        directory = Path(from_env)
+    frames = 0
+    try:
+        while True:
+            bundle = _read_snapshot_bundle(directory)
+            events = _tail_events(directory, args.events)
+            frame = obs.render_top(bundle, events, directory=str(directory))
+            if frames and not args.once:
+                print("\x1b[2J\x1b[H", end="")  # clear + home between frames
+            print(frame)
+            frames += 1
+            if args.once or (args.frames and frames >= args.frames):
+                return 0
+            time.sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
 def _cmd_postmortem(args) -> int:
     """Render a flight-recorder post-mortem bundle back into a timeline."""
     import json
@@ -544,6 +662,7 @@ _COMMANDS = {
     "bench-smoke": _cmd_bench_smoke,
     "oracle-smoke": _cmd_oracle_smoke,
     "trace": _cmd_trace,
+    "top": _cmd_top,
     "perf": _cmd_perf,
     "postmortem": _cmd_postmortem,
 }

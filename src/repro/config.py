@@ -93,6 +93,34 @@ def recorder_size() -> int:
     return max(value, 16)
 
 
+def obs_export_dir():
+    """Directory for continuous telemetry export (``REPRO_OBS_EXPORT``).
+
+    When set, the observability layer *streams*: every flight-recorder event
+    is appended to ``events.jsonl`` as it happens, and the full metrics
+    snapshot (counters, gauges, latency histograms) is periodically rewritten
+    as ``metrics.prom`` (Prometheus text format) plus ``snapshot.json``
+    (schema-v2 envelope) — the files ``python -m repro top`` tails.  Unset
+    (the default) means nothing is written; returns ``None`` then.
+    """
+    value = os.environ.get("REPRO_OBS_EXPORT", "").strip()
+    return value or None
+
+
+def obs_export_interval() -> float:
+    """Minimum seconds between metrics-file rewrites
+    (``REPRO_OBS_EXPORT_INTERVAL``, default 1.0, floor 0).
+
+    ``0`` rewrites at every opportunity (each completed engine action) —
+    what tests use; the JSONL event stream is unaffected by this knob.
+    """
+    try:
+        value = float(os.environ.get("REPRO_OBS_EXPORT_INTERVAL", "1.0"))
+    except ValueError:
+        value = 1.0
+    return max(value, 0.0)
+
+
 def postmortem_dir():
     """Directory for automatic post-mortem bundles (``REPRO_POSTMORTEM_DIR``).
 

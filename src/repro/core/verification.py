@@ -22,14 +22,22 @@ corpus-wide label statistics, and large candidate lists are chunked across a
 :func:`repro.config.verification_workers` (``REPRO_WORKERS``; ``1`` = the
 serial path, deterministic and pool-free — what CI pins).  Worker count never
 affects *results*, only wall-clock: every path returns the same id sets.
+
+Telemetry is cross-process: every chunk runs under worker-local observation
+capture (:mod:`repro.obs.snapshot`) and returns its counter/histogram/
+recorder delta alongside its ids, which the parent merges back — so the
+per-candidate ``verify.tested`` counters and ``verify.candidate`` latency
+histograms report identical totals whether the batch ran serially or across
+any pool size (``tests/obs/test_worker_telemetry.py``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import warnings
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.config import verification_workers
 from repro.graph.database import GraphDatabase
@@ -38,6 +46,12 @@ from repro.graph.labeled_graph import Graph
 from repro.obs.histogram import observe
 from repro.obs.metrics import count
 from repro.obs.recorder import RECORDER
+from repro.obs.snapshot import (
+    begin_worker_capture,
+    collect_worker_delta,
+    merge_worker_delta,
+    worker_context,
+)
 from repro.obs.tracer import span
 from repro.spig.manager import SpigManager
 from repro.spig.spig import SpigVertex
@@ -56,20 +70,92 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+def _test_pattern(compiled: CompiledPattern, items) -> List[int]:
+    """Ids among ``items`` whose graph contains the compiled pattern.
+
+    The single shared inner loop of exact verification — the serial path,
+    the pool workers and the pool fallback all run through it, so its
+    instrumentation (one ``verify.candidate`` histogram sample per VF2 test,
+    the ``verify.tested`` counter) is *path-invariant*: totals match across
+    every ``REPRO_WORKERS`` setting by construction.
+    """
+    out: List[int] = []
+    for gid, graph in items:
+        test_start = time.perf_counter()
+        hit = compiled.embeds_in(graph)
+        observe("verify.candidate", time.perf_counter() - test_start)
+        if hit:
+            out.append(gid)
+    count("verify.tested", len(items))
+    return out
+
+
+def _test_fragments(compiled: List[CompiledPattern], items) -> List[int]:
+    """Ids among ``items`` whose graph contains *any* compiled fragment.
+
+    SimVerify's shared inner loop; one ``verify.sim.candidate`` sample and
+    one ``verify.sim.tested`` unit per candidate graph (not per fragment —
+    the ``any`` short-circuit makes fragment counts path-dependent, graph
+    counts are not).
+    """
+    out: List[int] = []
+    for gid, graph in items:
+        test_start = time.perf_counter()
+        hit = any(c.embeds_in(graph) for c in compiled)
+        observe("verify.sim.candidate", time.perf_counter() - test_start)
+        if hit:
+            out.append(gid)
+    count("verify.sim.tested", len(items))
+    return out
+
+
 def _verify_chunk(payload) -> List[int]:
     """Worker: ids of the chunk's graphs that contain the pattern."""
     pattern, items, label_freq = payload
-    compiled = CompiledPattern(pattern, label_freq)
-    return [gid for gid, graph in items if compiled.embeds_in(graph)]
+    return _test_pattern(CompiledPattern(pattern, label_freq), items)
 
 
 def _sim_verify_chunk(payload) -> List[int]:
     """Worker: ids of the chunk's graphs containing *any* of the fragments."""
     fragments, items, label_freq = payload
     compiled = [CompiledPattern(f, label_freq) for f in fragments]
-    return [
-        gid for gid, graph in items if any(c.embeds_in(graph) for c in compiled)
-    ]
+    return _test_fragments(compiled, items)
+
+
+def _obs_chunk(args) -> Tuple[List[int], dict]:
+    """Pool entry point: one chunk under worker-local telemetry capture.
+
+    Receives ``(ctx, worker, payload)``: the parent's observability context
+    is applied, the inherited registries are reset to start a clean delta
+    (:func:`repro.obs.snapshot.begin_worker_capture`), the real worker runs,
+    and the chunk's ids come back *with* the worker's observation delta for
+    the parent to merge.  The ``pool.chunk`` recorder event gives merged
+    timelines a per-chunk anchor (pid, duration, hits).
+    """
+    ctx, worker, payload = args
+    begin_worker_capture(ctx)
+    chunk_start = time.perf_counter()
+    result = worker(payload)
+    seconds = time.perf_counter() - chunk_start
+    observe("verify.chunk", seconds)
+    RECORDER.record(
+        "pool.chunk", pid=os.getpid(), hits=len(result), seconds=seconds,
+    )
+    return result, collect_worker_delta()
+
+
+def _worker_traceback(exc: BaseException) -> Optional[str]:
+    """The worker-side traceback text, when the pool preserved one.
+
+    ``multiprocessing.pool`` re-raises worker exceptions in the parent with
+    ``__cause__`` set to a ``RemoteTraceback`` whose string is the *worker's*
+    formatted traceback.  Parent-side failures (unpicklable payloads, broken
+    pools) have no remote frame — ``None`` then.
+    """
+    cause = getattr(exc, "__cause__", None)
+    if cause is not None and type(cause).__name__ == "RemoteTraceback":
+        return str(cause)
+    return None
 
 
 def _run_batch(
@@ -85,6 +171,11 @@ def _run_batch(
     path, not abort it: the answer is computable without a pool, so compute
     it.  The fallback executes the same worker on the same payloads, hence
     returns the identical id list.
+
+    On the pool path every chunk's observation delta is merged back here,
+    so nothing a worker recorded is lost (see :mod:`repro.obs.snapshot`);
+    on the fallback path the worker runs in-process and its observations
+    land in the parent registries directly.
     """
     chunk_size = max(1, -(-len(ids) // (workers * 4)))  # ~4 chunks per worker
     payloads = [make_payload(chunk) for chunk in _chunks(ids, chunk_size)]
@@ -94,15 +185,27 @@ def _run_batch(
         "pool.run", chunks=len(payloads), workers=workers,
         candidates=len(ids),
     )
+    ctx = worker_context()
     try:
         with _pool_context().Pool(workers) as pool:
-            parts = pool.map(worker, payloads)
+            outputs = pool.map(
+                _obs_chunk, [(ctx, worker, payload) for payload in payloads]
+            )
+        parts = []
+        for part, delta in outputs:
+            parts.append(part)
+            merge_worker_delta(delta)
     except Exception as exc:  # pickling/OS/pool-management failures
         count("verify.pool.fallbacks")
-        RECORDER.record_exception(
-            "pool.fallback", exc, chunks=len(payloads), workers=workers
+        worker_tb = _worker_traceback(exc)
+        provenance = (
+            {"worker_traceback": worker_tb} if worker_tb is not None else {}
         )
-        RECORDER.dump_to_dir("pool-fallback")
+        RECORDER.record_exception(
+            "pool.fallback", exc, chunks=len(payloads), workers=workers,
+            **provenance,
+        )
+        RECORDER.dump_to_dir("pool-fallback", **provenance)
         warnings.warn(
             f"verification pool failed ({type(exc).__name__}: {exc}); "
             "falling back to the serial path",
@@ -145,7 +248,7 @@ def verify_batch(
         if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
             count("verify.serial")
             compiled = compile_pattern(pattern, label_freq)
-            out = [gid for gid in ids if compiled.embeds_in(db[gid])]
+            out = _test_pattern(compiled, [(gid, db[gid]) for gid in ids])
         else:
             out = _run_batch(
                 _verify_chunk,
@@ -186,10 +289,9 @@ def sim_verify_scan(
         if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
             count("verify.serial")
             compiled = [CompiledPattern(f, label_freq) for f in fragments]
-            out = {
-                gid for gid in ids
-                if any(c.embeds_in(db[gid]) for c in compiled)
-            }
+            out = set(
+                _test_fragments(compiled, [(gid, db[gid]) for gid in ids])
+            )
         else:
             out = set(
                 _run_batch(

@@ -20,8 +20,18 @@ millisecond of a formulation session goes* without changing any answer:
 * **SRT ledger** (:mod:`repro.obs.srt`) — the per-action decomposition into
   *hidden-in-GUI-latency* vs *residual-at-Run* work;
 * **exporters** (:mod:`repro.obs.export`) — JSON (schema-versioned
-  envelopes) and human-readable tables, consumed by the ``python -m repro
-  trace`` and ``python -m repro postmortem`` CLIs.
+  envelopes), Prometheus text format and human-readable tables, consumed by
+  the ``python -m repro trace``, ``postmortem`` and ``top`` CLIs;
+* **continuous export** (:mod:`repro.obs.exporter`) — with
+  ``REPRO_OBS_EXPORT`` set, events stream to ``events.jsonl`` and the
+  metrics snapshot is periodically rewritten (``metrics.prom`` +
+  ``snapshot.json``), so a live session can be watched with
+  ``python -m repro top``;
+* **cross-process merge** (:mod:`repro.obs.snapshot`) — verification-pool
+  workers capture counter/histogram/recorder deltas locally and the parent
+  merges them back (exact bucket-wise histogram sums, per-worker provenance
+  labels, timestamp-interleaved events), so ``full_snapshot()`` accounts
+  for every observation at any ``REPRO_WORKERS`` setting.
 
 Tracing is **off by default** and controlled by ``REPRO_TRACE``; histograms
 and the flight recorder are **on by default** (``REPRO_RECORDER=0`` turns
@@ -47,23 +57,36 @@ and likewise for the recorder by ``tests/obs/test_recorder.py``).
 
 from repro.obs.export import (
     SCHEMA_VERSION,
+    diff_trace_reports,
     envelope,
     open_envelope,
     render_histograms,
     render_ledger,
     render_metrics,
+    render_prometheus,
+    render_report_diff,
     render_span_tree,
+    render_top,
     report_to_dict,
 )
+from repro.obs.exporter import EXPORTER, ContinuousExporter
 from repro.obs.histogram import (
     HISTOGRAMS,
     Histogram,
     histogram_summaries,
+    merge_histograms,
     observe,
     reset_histograms,
+    snapshot_histograms,
 )
 from repro.obs.metrics import METRICS, Metrics, count, full_snapshot, gauge
 from repro.obs.recorder import RECORDER, FlightRecorder, render_postmortem
+from repro.obs.snapshot import (
+    begin_worker_capture,
+    collect_worker_delta,
+    merge_worker_delta,
+    worker_context,
+)
 from repro.obs.srt import (
     LedgerEntry,
     SrtLedger,
@@ -97,10 +120,18 @@ __all__ = [
     "Histogram",
     "observe",
     "histogram_summaries",
+    "snapshot_histograms",
+    "merge_histograms",
     "reset_histograms",
     "RECORDER",
     "FlightRecorder",
     "render_postmortem",
+    "EXPORTER",
+    "ContinuousExporter",
+    "worker_context",
+    "begin_worker_capture",
+    "collect_worker_delta",
+    "merge_worker_delta",
     "LedgerEntry",
     "SrtLedger",
     "build_ledger",
@@ -111,6 +142,10 @@ __all__ = [
     "render_span_tree",
     "render_metrics",
     "render_histograms",
+    "render_prometheus",
+    "render_top",
     "render_ledger",
     "report_to_dict",
+    "diff_trace_reports",
+    "render_report_diff",
 ]

@@ -22,8 +22,14 @@ from repro.obs.tracer import Span
 #: pre-envelope era: payloads with no ``"schema"`` key at all.
 SCHEMA_VERSION = 2
 
-#: Artifact kinds the loaders accept.
-ENVELOPE_KINDS = ("trace-report", "postmortem", "trajectory")
+#: Artifact kinds the loaders accept.  ``obs-event`` (one JSONL line of a
+#: continuous export) and ``metrics-snapshot`` (the periodically rewritten
+#: snapshot ``python -m repro top`` tails) joined in the cross-process
+#: telemetry PR; earlier readers reject them loudly by kind, not silently.
+ENVELOPE_KINDS = (
+    "trace-report", "postmortem", "trajectory",
+    "obs-event", "metrics-snapshot",
+)
 
 
 def envelope(kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -171,6 +177,231 @@ def render_histograms(summaries: Dict[str, Dict[str, Any]]) -> str:
             f"{1000 * s['p99_s']:>9.2f} ms"
             f"{1000 * s['max_s']:>9.2f} ms"
         )
+    return "\n".join(lines)
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """A metrics snapshot in Prometheus text exposition format.
+
+    Three families carry everything: ``repro_counter{name=...}``,
+    ``repro_gauge{name=...}`` and the summary-typed
+    ``repro_latency_seconds{site=...,quantile=...}`` (plus the conventional
+    ``_sum``/``_count`` series) for the latency histograms.  Dotted obs
+    names ride in labels rather than being mangled into metric names, so
+    the vocabulary documented in ``docs/PERFORMANCE.md`` survives scraping.
+    """
+    lines: List[str] = [
+        "# HELP repro_counter repro.obs counters (dotted name in the label)",
+        "# TYPE repro_counter counter",
+    ]
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        lines.append(f'repro_counter{{name="{_prom_escape(name)}"}} {value}')
+    lines += [
+        "# HELP repro_gauge repro.obs gauges (dotted name in the label)",
+        "# TYPE repro_gauge gauge",
+    ]
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        lines.append(f'repro_gauge{{name="{_prom_escape(name)}"}} {value}')
+    lines += [
+        "# HELP repro_latency_seconds per-site latency distributions",
+        "# TYPE repro_latency_seconds summary",
+    ]
+    for site, s in sorted(snapshot.get("histograms", {}).items()):
+        label = _prom_escape(site)
+        for p in (50, 90, 99):
+            lines.append(
+                f'repro_latency_seconds{{site="{label}",'
+                f'quantile="0.{p}"}} {s[f"p{p}_s"]}'
+            )
+        lines.append(f'repro_latency_seconds_sum{{site="{label}"}} '
+                     f'{s["sum_s"]}')
+        lines.append(f'repro_latency_seconds_count{{site="{label}"}} '
+                     f'{s["count"]}')
+    return "\n".join(lines)
+
+
+def _hit_rates(counters: Dict[str, Any]) -> List[str]:
+    """``name: hits/total (rate)`` lines for every ``*.hit``/``*.miss`` pair
+    plus the canonical-cache bridge."""
+    lines: List[str] = []
+    graph_hits = counters.get("canonical.graph_hits", 0)
+    lru_hits = counters.get("canonical.lru_hits", 0)
+    misses = counters.get("canonical.misses", 0)
+    total = graph_hits + lru_hits + misses
+    if total:
+        lines.append(
+            f"  canonical cache     {graph_hits + lru_hits}/{total} hits "
+            f"({100 * (graph_hits + lru_hits) / total:.1f}%, "
+            f"{lru_hits} via LRU)"
+        )
+    prefixes = sorted(
+        name[: -len(".hit")] for name in counters if name.endswith(".hit")
+    )
+    for prefix in prefixes:
+        hits = counters.get(f"{prefix}.hit", 0)
+        total = hits + counters.get(f"{prefix}.miss", 0)
+        if total:
+            lines.append(
+                f"  {prefix:<19} {hits}/{total} hits "
+                f"({100 * hits / total:.1f}%)"
+            )
+    return lines
+
+
+def render_top(
+    bundle: Optional[Dict[str, Any]],
+    events: Sequence[Dict[str, Any]] = (),
+    directory: str = "",
+) -> str:
+    """One refresh of the ``python -m repro top`` live view.
+
+    ``bundle`` is a loaded ``metrics-snapshot`` envelope (or ``None`` while
+    the exporting session has not written one yet); ``events`` is the tail
+    of ``events.jsonl``, newest last.
+    """
+    if bundle is None:
+        return (
+            f"repro top — waiting for {directory or 'the export directory'}"
+            f"/snapshot.json (is a session exporting?)"
+        )
+    metrics = bundle.get("metrics", {})
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    lines = [
+        f"repro top — pid {bundle.get('pid', '?')}, "
+        f"snapshot #{bundle.get('sequence', '?')}, "
+        f"{bundle.get('events_emitted', 0)} events streamed"
+    ]
+    actions = {n: s for n, s in histograms.items() if n.startswith("action.")}
+    sites = {n: s for n, s in histograms.items() if not n.startswith("action.")}
+    lines += ["", "actions:", render_histograms(actions)]
+    if sites:
+        lines += ["", "instrumented sites:", render_histograms(sites)]
+    rates = _hit_rates(counters)
+    if rates:
+        lines += ["", "cache hit rates:"] + rates
+    runs = counters.get("verify.pool.runs", 0)
+    chunk_hist = histograms.get("verify.chunk", {})
+    if runs or chunk_hist:
+        chunks = counters.get("verify.pool.chunks", 0) or \
+            chunk_hist.get("count", 0)
+        lines += ["", "verification pool:"]
+        lines.append(
+            f"  runs {runs}  chunks {chunks}  "
+            f"fallbacks {counters.get('verify.pool.fallbacks', 0)}  "
+            f"serial scans {counters.get('verify.serial', 0)}"
+        )
+        if chunk_hist:
+            busy = chunk_hist.get("sum_s", 0.0)
+            lines.append(
+                f"  worker busy time {1000 * busy:.2f} ms across "
+                f"{chunk_hist.get('count', 0)} chunks "
+                f"(p99 {1000 * chunk_hist.get('p99_s', 0.0):.2f} ms)"
+            )
+    if events:
+        lines += ["", f"recent events (last {len(events)}):"]
+        for event in events:
+            skip = {"schema", "kind", "event", "seq", "t_s", "traceback"}
+            fields = " ".join(
+                f"{k}={event[k]}" for k in event if k not in skip
+            )
+            lines.append(
+                f"  #{event.get('seq', '?'):>5}  "
+                f"{str(event.get('event', event.get('kind', '?'))):<18}"
+                f"{fields}"
+            )
+    return "\n".join(lines)
+
+
+def diff_trace_reports(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Structured deltas between two ``trace-report`` artifacts (A → B).
+
+    The before/after companion to ``python -m repro trace --json``: sites
+    are matched by name, percentiles compared pairwise, counters
+    subtracted.  Returns ``{"histograms": {...}, "counters": {...},
+    "ledger": {...}}`` — rendering is :func:`render_report_diff`'s job.
+    """
+    out: Dict[str, Any] = {"histograms": {}, "counters": {}, "ledger": {}}
+    hists_a = a.get("metrics", {}).get("histograms", {})
+    hists_b = b.get("metrics", {}).get("histograms", {})
+    for site in sorted(set(hists_a) | set(hists_b)):
+        sa, sb = hists_a.get(site, {}), hists_b.get(site, {})
+        entry: Dict[str, Any] = {
+            "count_a": sa.get("count", 0),
+            "count_b": sb.get("count", 0),
+        }
+        for p in (50, 90, 99):
+            va = sa.get(f"p{p}_s", 0.0)
+            vb = sb.get(f"p{p}_s", 0.0)
+            entry[f"p{p}_a_s"] = va
+            entry[f"p{p}_b_s"] = vb
+            entry[f"p{p}_delta_s"] = vb - va
+            entry[f"p{p}_pct"] = 100 * (vb - va) / va if va else None
+        out["histograms"][site] = entry
+    counters_a = a.get("metrics", {}).get("counters", {})
+    counters_b = b.get("metrics", {}).get("counters", {})
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name, 0), counters_b.get(name, 0)
+        if va != vb:
+            out["counters"][name] = {"a": va, "b": vb, "delta": vb - va}
+    ledger_a, ledger_b = a.get("ledger"), b.get("ledger")
+    if ledger_a and ledger_b:
+        for key in ("total_processing", "srt_seconds", "hidden_seconds"):
+            va, vb = ledger_a.get(key, 0.0), ledger_b.get(key, 0.0)
+            out["ledger"][key] = {"a": va, "b": vb, "delta": vb - va}
+    return out
+
+
+def render_report_diff(
+    diff: Dict[str, Any], label_a: str = "A", label_b: str = "B"
+) -> str:
+    """A :func:`diff_trace_reports` result as aligned tables."""
+    lines: List[str] = [f"trace diff: {label_a} -> {label_b}"]
+    histograms = diff.get("histograms", {})
+    if histograms:
+        width = 2 + max(len(site) for site in histograms)
+        header = (
+            f"{'site':<{width}}{'n: A->B':>12}"
+            f"{'p50 A->B':>20}{'p90 A->B':>20}{'p99 A->B':>20}"
+        )
+        lines += ["", header, "-" * len(header)]
+        for site in sorted(histograms):
+            e = histograms[site]
+            cells = [f"{site:<{width}}"
+                     f"{str(e['count_a']) + '->' + str(e['count_b']):>12}"]
+            for p in (50, 90, 99):
+                pct = e[f"p{p}_pct"]
+                pct_text = f"{pct:+.0f}%" if pct is not None else "new"
+                cells.append(
+                    f"{1000 * e[f'p{p}_a_s']:>7.2f}->"
+                    f"{1000 * e[f'p{p}_b_s']:<7.2f}{pct_text:>5}"
+                )
+            lines.append("".join(cells))
+    counters = diff.get("counters", {})
+    if counters:
+        lines += ["", "counters that changed:"]
+        width = 2 + max(len(name) for name in counters)
+        for name in sorted(counters):
+            e = counters[name]
+            lines.append(
+                f"  {name:<{width}}{e['a']} -> {e['b']}  ({e['delta']:+g})"
+            )
+    else:
+        lines += ["", "counters: no differences"]
+    ledger = diff.get("ledger", {})
+    if ledger:
+        lines += ["", "SRT ledger:"]
+        for key, e in ledger.items():
+            lines.append(
+                f"  {key:<18}{1000 * e['a']:9.2f} ms -> "
+                f"{1000 * e['b']:9.2f} ms  ({1000 * e['delta']:+.2f} ms)"
+            )
     return "\n".join(lines)
 
 

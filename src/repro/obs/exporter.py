@@ -1,0 +1,203 @@
+"""Continuous telemetry export — stream a session instead of autopsying it.
+
+Spans, histograms and the flight recorder all answer questions *after* the
+fact; a long-running session serving real traffic needs to be watchable
+*while it runs*.  When ``REPRO_OBS_EXPORT`` names a directory, the exporter
+keeps three files there live:
+
+* ``events.jsonl`` — every flight-recorder event, appended the moment it is
+  recorded (one schema-v2 ``obs-event`` envelope per line).  Worker events
+  merged back from the verification pool stream too, ``src``-labelled;
+* ``metrics.prom`` — the full metrics snapshot (counters, gauges, latency
+  histograms) in Prometheus text exposition format, rewritten at most once
+  per ``REPRO_OBS_EXPORT_INTERVAL`` seconds;
+* ``snapshot.json`` — the same snapshot as a schema-v2 ``metrics-snapshot``
+  envelope with pid/timestamp/sequence metadata, the machine-readable twin
+  ``python -m repro top`` tails.
+
+Both metric files are written atomically (temp file + ``os.replace``) so a
+tailing reader never sees a half-written snapshot.
+
+The exporter re-reads its environment through :meth:`ContinuousExporter.
+sync_env`, which — like the flight recorder's capacity knob — caches the
+*raw* environment strings and only re-parses on change: ``sync_env`` runs at
+every GUI action, and the default (export off) posture must stay within the
+obs-overhead budget (``benchmarks/bench_obs_overhead.py`` measures the
+export-on posture too).
+
+Verification-pool workers inherit the parent's exporter state on fork;
+:func:`repro.obs.snapshot.begin_worker_capture` calls :meth:`suspend` so a
+worker never appends to the parent's files — its events arrive in the
+stream only via the parent-side merge, timestamp-interleaved and labelled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO
+
+from repro.config import obs_export_dir, obs_export_interval
+
+
+class ContinuousExporter:
+    """Process-wide streaming exporter (single-threaded, like the tracer)."""
+
+    def __init__(self) -> None:
+        self._dir_raw: Optional[str] = os.environ.get("REPRO_OBS_EXPORT")
+        self._interval_raw: Optional[str] = os.environ.get(
+            "REPRO_OBS_EXPORT_INTERVAL"
+        )
+        self._directory: Optional[Path] = None
+        self._interval: float = obs_export_interval()
+        self._events_file: Optional[TextIO] = None
+        self._last_write: float = 0.0
+        self._suspended: bool = False  # set in pool workers, never cleared
+        #: Lifetime accounting, reported in every snapshot.json.
+        self.events_emitted: int = 0
+        self.snapshots_written: int = 0
+        self.active: bool = False
+        self._configure(self._dir_raw)
+
+    # ------------------------------------------------------------------
+    # switching
+    # ------------------------------------------------------------------
+    def sync_env(self) -> bool:
+        """Refresh the export target from the environment (per action).
+
+        Raw-string cached: the common case (knob unchanged, usually unset)
+        costs one ``environ`` probe and one comparison — no parsing, no
+        path handling.  Only an actual change pays :meth:`_configure`.  The
+        interval knob is probed only while exporting (or on reconfigure):
+        with export off it cannot matter, and ``sync_env`` runs on every
+        GUI action, so the off posture must stay within the obs-overhead
+        per-call budget.
+        """
+        raw = os.environ.get("REPRO_OBS_EXPORT")
+        if raw != self._dir_raw:
+            self._dir_raw = raw
+            self._configure(raw)
+            self._interval_raw = os.environ.get("REPRO_OBS_EXPORT_INTERVAL")
+            self._interval = obs_export_interval()
+        elif self.active:
+            interval_raw = os.environ.get("REPRO_OBS_EXPORT_INTERVAL")
+            if interval_raw != self._interval_raw:
+                self._interval_raw = interval_raw
+                self._interval = obs_export_interval()
+        return self.active
+
+    def _configure(self, raw: Optional[str]) -> None:
+        if self._events_file is not None:
+            try:
+                self._events_file.close()
+            except OSError:  # pragma: no cover - close failures are benign
+                pass
+            self._events_file = None
+        value = (raw or "").strip()
+        if not value or self._suspended:
+            self._directory = None
+            self.active = False
+            return
+        self._directory = Path(value)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self.active = True
+        self._last_write = 0.0  # first tick writes immediately
+
+    def suspend(self) -> None:
+        """Permanently deactivate in this process (called in pool workers).
+
+        A forked worker shares the parent's open JSONL handle; writing from
+        both would interleave garbage.  Worker telemetry instead rides the
+        delta merge (:mod:`repro.obs.snapshot`) back into the parent's
+        stream.
+        """
+        self._suspended = True
+        self._directory = None
+        self.active = False
+        self._events_file = None  # never close: the fd belongs to the parent
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append one event to ``events.jsonl`` (no-op while inactive).
+
+        Each line is a flat schema-v2 ``obs-event`` envelope around the
+        flight-recorder event dict.  The file is line-buffered so a tailing
+        ``repro top`` sees events promptly without per-event ``fsync`` cost.
+        """
+        if not self.active:
+            return
+        if self._events_file is None:
+            self._events_file = open(
+                self._directory / "events.jsonl", "a",
+                buffering=1, encoding="utf-8",
+            )
+        from repro.obs.export import envelope
+
+        payload = dict(event)
+        # The recorder's event kind would clobber the envelope's artifact
+        # kind — it rides as "event" instead.
+        payload["event"] = payload.pop("kind", "?")
+        line = json.dumps(
+            envelope("obs-event", payload), separators=(",", ":"), default=str
+        )
+        try:
+            self._events_file.write(line + "\n")
+        except (OSError, ValueError):  # target vanished mid-session: drop
+            self.active = False
+            return
+        self.events_emitted += 1
+
+    def tick(self, force: bool = False) -> Optional[Path]:
+        """Rewrite ``metrics.prom`` + ``snapshot.json`` if the interval is up.
+
+        Called after every completed engine action (and from ``sync_env``'s
+        caller once per action start); the interval knob bounds the file I/O
+        no matter how chatty the session is.  Returns the snapshot path when
+        a write happened.
+        """
+        if not self.active:
+            return None
+        now = time.monotonic()
+        if not force and self._last_write and \
+                now - self._last_write < self._interval:
+            return None
+        self._last_write = now
+        from repro.obs.export import envelope, render_prometheus
+        from repro.obs.metrics import full_snapshot
+
+        snapshot = full_snapshot()
+        payload = envelope("metrics-snapshot", {
+            "written_at": time.time(),
+            "pid": os.getpid(),
+            "sequence": self.snapshots_written + 1,
+            "events_emitted": self.events_emitted,
+            "metrics": snapshot,
+        })
+        try:
+            self._atomic_write(
+                "metrics.prom", render_prometheus(snapshot) + "\n"
+            )
+            path = self._atomic_write(
+                "snapshot.json",
+                json.dumps(payload, indent=2, default=str) + "\n",
+            )
+        except OSError:  # export target vanished: deactivate quietly
+            self.active = False
+            return None
+        self.snapshots_written += 1
+        return path
+
+    def _atomic_write(self, name: str, text: str) -> Path:
+        path = self._directory / name
+        tmp = self._directory / f".{name}.tmp"
+        tmp.write_text(text)
+        os.replace(tmp, path)
+        return path
+
+
+#: The process-wide exporter; inert until ``REPRO_OBS_EXPORT`` is set.
+EXPORTER = ContinuousExporter()

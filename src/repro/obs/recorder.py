@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Union
 
 from repro.config import recorder_enabled, recorder_size
+from repro.obs.exporter import EXPORTER as _EXPORTER
 
 
 class FlightRecorder:
@@ -108,6 +109,10 @@ class FlightRecorder:
         }
         event.update(fields)
         self._events.append(event)
+        if _EXPORTER.active:
+            _EXPORTER.emit(event)
+            if kind == "action.end":
+                _EXPORTER.tick()
 
     def transition(self, name: str, state: str) -> None:
         """Record ``name``'s state only when it *changes* (streak compression).
@@ -124,14 +129,55 @@ class FlightRecorder:
             return
         self._last_state[name] = state
         self._seq += 1
-        self._events.append({
+        event = {
             "seq": self._seq,
             "t_s": time.perf_counter(),
             "kind": "transition",
             "name": name,
             "from": previous,
             "to": state,
-        })
+        }
+        self._events.append(event)
+        if _EXPORTER.active:
+            _EXPORTER.emit(event)
+
+    def merge(self, events: List[Dict[str, Any]],
+              source: Optional[str] = None) -> None:
+        """Interleave another process's event snapshot into this ring.
+
+        Events arrive from a verification worker's delta
+        (:mod:`repro.obs.snapshot`): each is tagged with its ``source``
+        provenance label (``src`` field) and slotted into the ring by its
+        ``t_s`` timestamp — ``perf_counter`` is CLOCK_MONOTONIC, shared
+        across forked processes, so parent and worker timelines are directly
+        comparable.  Sequence numbers are reassigned over the merged order
+        (they are per-ring, not global), and the ring bound still holds:
+        oldest merged events fall off first.  Merged events also stream to
+        the continuous exporter, so a tailing ``repro top`` sees worker
+        activity as soon as the pool returns.
+        """
+        if not self.enabled or not events:
+            return
+        incoming: List[Dict[str, Any]] = []
+        for event in events:
+            event = dict(event)
+            if source is not None:
+                event.setdefault("src", source)
+            incoming.append(event)
+        combined = sorted(
+            list(self._events) + incoming,
+            key=lambda e: e.get("t_s", 0.0),
+        )
+        self._seq += len(incoming)
+        retained = combined[-self._size:]
+        for seq, event in enumerate(
+            retained, start=self._seq - len(retained) + 1
+        ):
+            event["seq"] = seq
+        self._events = deque(retained, maxlen=self._size)
+        if _EXPORTER.active:
+            for event in incoming:
+                _EXPORTER.emit(event)
 
     def record_exception(self, kind: str, exc: BaseException,
                          **fields: Any) -> None:

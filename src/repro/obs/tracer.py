@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.config import trace_enabled
+from repro.obs.exporter import EXPORTER as _EXPORTER
 from repro.obs.recorder import RECORDER as _RECORDER
 
 
@@ -238,12 +239,18 @@ def add_attrs(**attrs: Any) -> None:
 def sync_env() -> bool:
     """Refresh the observability switches from the environment.
 
-    Called at engine action entry: re-reads ``REPRO_TRACE`` for the tracer
-    and ``REPRO_RECORDER``/``REPRO_RECORDER_SIZE`` for the flight recorder,
-    so flipping either knob mid-process takes effect at the next action.
-    Returns the tracer's enabled state (the historical contract).
+    Called at engine action entry: re-reads ``REPRO_TRACE`` for the tracer,
+    ``REPRO_RECORDER``/``REPRO_RECORDER_SIZE`` for the flight recorder and
+    ``REPRO_OBS_EXPORT``/``REPRO_OBS_EXPORT_INTERVAL`` for the continuous
+    exporter, so flipping any knob mid-process takes effect at the next
+    action.  All three cache the raw environment strings, so the per-action
+    cost with everything at its default is a handful of ``environ`` probes
+    (bounded by ``benchmarks/bench_obs_overhead.py``).  Returns the tracer's
+    enabled state (the historical contract).
     """
     _RECORDER.sync_env()
+    if _EXPORTER.sync_env():
+        _EXPORTER.tick()
     return TRACER.sync_env()
 
 

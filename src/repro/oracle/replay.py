@@ -63,11 +63,19 @@ CONFIG_MATRIX: Tuple[OracleConfig, ...] = tuple(
 )
 
 
+#: Knobs every matrix cell pins *off* regardless of the ambient environment:
+#: a replay sweep must never stream telemetry into a live session's export
+#: directory (interleaved JSONL from dozens of replays would poison it), and
+#: the extra file I/O would skew the step timings the oracles compare.
+_ISOLATED_ENV = {"REPRO_OBS_EXPORT": ""}
+
+
 @contextmanager
 def applied(config: OracleConfig):
     """Temporarily install ``config``'s environment (and isolate the LRU)."""
-    saved = {key: os.environ.get(key) for key in config.env()}
-    os.environ.update(config.env())
+    patch = {**config.env(), **_ISOLATED_ENV}
+    saved = {key: os.environ.get(key) for key in patch}
+    os.environ.update(patch)
     canonical.clear_cache()  # no memo carry-over between replays
     try:
         yield

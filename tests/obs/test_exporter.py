@@ -1,0 +1,169 @@
+"""The continuous exporter: live files, cached knob parsing, worker safety.
+
+``REPRO_OBS_EXPORT`` turns a session into a streamed one: every recorder
+event appends to ``events.jsonl`` and the metrics snapshot lands in
+``metrics.prom``/``snapshot.json`` at most once per interval.  These tests
+pin the file formats (schema-v2 envelopes, Prometheus text exposition), the
+raw-string caching of ``sync_env`` (the satellite bugfix — export off must
+cost two env probes, not a parse), and worker suspension.
+"""
+
+import json
+import os
+from unittest import mock
+
+import pytest
+
+from repro import obs
+from repro.obs.exporter import EXPORTER, ContinuousExporter
+
+
+@pytest.fixture
+def exporter(tmp_path):
+    """A fresh (non-singleton) exporter pointed at a temp directory."""
+    with mock.patch.dict(os.environ, {
+        "REPRO_OBS_EXPORT": str(tmp_path),
+        "REPRO_OBS_EXPORT_INTERVAL": "0",
+    }):
+        yield ContinuousExporter(), tmp_path
+
+
+class TestStreaming:
+    def test_events_stream_as_enveloped_jsonl(self, exporter):
+        exp, directory = exporter
+        assert exp.active
+        exp.emit({"seq": 1, "t_s": 0.25, "kind": "action.start", "op": "new"})
+        exp.emit({"seq": 2, "t_s": 0.50, "kind": "action.end", "op": "new"})
+        lines = (directory / "events.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["schema"] == 2
+        assert first["kind"] == "obs-event"  # envelope kind survives
+        assert first["event"] == "action.start"  # the recorder kind rides here
+        assert first["op"] == "new"
+        assert exp.events_emitted == 2
+
+    def test_tick_writes_prometheus_and_snapshot_atomically(self, exporter):
+        exp, directory = exporter
+        path = exp.tick(force=True)
+        assert path == directory / "snapshot.json"
+        snap = json.loads(path.read_text())
+        assert snap["schema"] == 2
+        assert snap["kind"] == "metrics-snapshot"
+        assert snap["pid"] == os.getpid()
+        assert snap["sequence"] == 1
+        assert {"counters", "gauges", "histograms"} <= set(snap["metrics"])
+        prom = (directory / "metrics.prom").read_text()
+        assert "# TYPE repro_counter counter" in prom
+        assert "# TYPE repro_latency_seconds summary" in prom
+        assert not list(directory.glob(".*.tmp"))  # no temp litter
+
+    def test_interval_gates_snapshot_rewrites(self, tmp_path):
+        with mock.patch.dict(os.environ, {
+            "REPRO_OBS_EXPORT": str(tmp_path),
+            "REPRO_OBS_EXPORT_INTERVAL": "3600",
+        }):
+            exp = ContinuousExporter()
+        assert exp.tick() is not None  # first tick always writes
+        assert exp.tick() is None      # next one waits for the interval
+        assert exp.tick(force=True) is not None
+        assert exp.snapshots_written == 2
+
+    def test_inactive_without_the_knob(self):
+        with mock.patch.dict(os.environ, {"REPRO_OBS_EXPORT": ""}):
+            exp = ContinuousExporter()
+        assert not exp.active
+        assert exp.tick(force=True) is None
+        exp.emit({"kind": "x"})  # must not raise, must not open files
+        assert exp.events_emitted == 0
+
+
+class TestSyncEnvCaching:
+    def test_unchanged_env_never_reparses(self, exporter):
+        exp, _ = exporter
+        with mock.patch.object(
+            exp, "_configure", wraps=exp._configure
+        ) as configure:
+            for _ in range(5):
+                assert exp.sync_env() is True
+        configure.assert_not_called()
+
+    def test_changed_dir_reconfigures_once(self, exporter, tmp_path):
+        exp, _ = exporter
+        other = tmp_path / "elsewhere"
+        os.environ["REPRO_OBS_EXPORT"] = str(other)
+        assert exp.sync_env() is True
+        assert other.is_dir()  # reconfigure created the new target
+        with mock.patch.object(
+            exp, "_configure", wraps=exp._configure
+        ) as configure:
+            exp.sync_env()
+        configure.assert_not_called()
+
+    def test_clearing_the_knob_deactivates(self, exporter):
+        exp, _ = exporter
+        exp.emit({"seq": 1, "t_s": 0.0, "kind": "x"})
+        os.environ["REPRO_OBS_EXPORT"] = ""
+        assert exp.sync_env() is False
+        assert not exp.active
+
+    def test_interval_reparses_only_on_change(self, exporter):
+        exp, _ = exporter
+        assert exp._interval == 0.0
+        os.environ["REPRO_OBS_EXPORT_INTERVAL"] = "2.5"
+        exp.sync_env()
+        assert exp._interval == 2.5
+
+
+class TestWorkerSuspension:
+    def test_suspend_is_permanent_and_quiet(self, exporter):
+        exp, directory = exporter
+        exp.suspend()
+        assert not exp.active
+        exp.emit({"seq": 1, "t_s": 0.0, "kind": "x"})
+        assert not (directory / "events.jsonl").exists()
+        # even a sync_env that re-reads an exporting env stays suspended
+        assert exp.sync_env() is False
+        os.environ["REPRO_OBS_EXPORT"] = str(directory / "sub")
+        assert exp.sync_env() is False
+
+    def test_suspend_does_not_close_the_parents_handle(self, exporter):
+        exp, directory = exporter
+        exp.emit({"seq": 1, "t_s": 0.0, "kind": "x"})
+        handle = exp._events_file
+        assert handle is not None
+        exp.suspend()
+        assert not handle.closed  # the fd belongs to the parent on fork
+
+
+class TestGlobalWiring:
+    def test_session_streams_through_the_singleton(self, tmp_path):
+        """End-to-end: a traced CLI session with the knob set leaves all
+        three export files behind, and replays (the oracle isolation patch)
+        never pollute the stream."""
+        from repro.cli import main
+
+        with mock.patch.dict(os.environ, {
+            "REPRO_OBS_EXPORT": str(tmp_path),
+            "REPRO_OBS_EXPORT_INTERVAL": "0",
+        }):
+            assert main(["trace", "--seed", "1"]) == 0
+        # restore the singleton to the (knob-less) ambient environment
+        assert obs.sync_env() is not None
+        assert not EXPORTER.active
+        assert (tmp_path / "events.jsonl").stat().st_size > 0
+        assert (tmp_path / "metrics.prom").stat().st_size > 0
+        snap = json.loads((tmp_path / "snapshot.json").read_text())
+        assert snap["kind"] == "metrics-snapshot"
+        for line in (tmp_path / "events.jsonl").read_text().splitlines():
+            assert json.loads(line)["kind"] == "obs-event"
+
+    def test_oracle_replays_are_isolated_from_export(self, tmp_path):
+        from repro.oracle.replay import REFERENCE_CONFIG, applied
+
+        with mock.patch.dict(os.environ, {
+            "REPRO_OBS_EXPORT": str(tmp_path),
+        }):
+            with applied(REFERENCE_CONFIG):
+                assert os.environ["REPRO_OBS_EXPORT"] == ""
+            assert os.environ["REPRO_OBS_EXPORT"] == str(tmp_path)

@@ -60,7 +60,10 @@ def test_malformed_artifacts_rejected(bad):
 
 
 def test_all_writers_share_the_declared_kinds():
-    assert set(ENVELOPE_KINDS) == {"trace-report", "postmortem", "trajectory"}
+    assert set(ENVELOPE_KINDS) == {
+        "trace-report", "postmortem", "trajectory",
+        "obs-event", "metrics-snapshot",
+    }
 
 
 def test_trace_cli_json_carries_the_envelope(tmp_path):

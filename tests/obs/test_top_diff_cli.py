@@ -1,0 +1,134 @@
+"""The live-monitor CLIs: ``repro top`` and ``repro trace --diff``.
+
+``top`` renders the exporter's snapshot/event files into a terminal view;
+``trace --diff`` compares two saved trace reports site-by-site.  Both are
+read-only consumers of artifacts other commands produce, so the tests drive
+them end-to-end: export a real session, render it; save two reports, diff
+them.
+"""
+
+import json
+import os
+from unittest import mock
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.export import diff_trace_reports, render_top
+
+
+@pytest.fixture
+def export_dir(tmp_path):
+    """A directory populated by one real exporting session."""
+    directory = tmp_path / "export"
+    with mock.patch.dict(os.environ, {
+        "REPRO_OBS_EXPORT": str(directory),
+        "REPRO_OBS_EXPORT_INTERVAL": "0",
+    }):
+        assert main(["trace", "--seed", "1"]) == 0
+    obs.sync_env()
+    return directory
+
+
+@pytest.fixture
+def two_reports(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    assert main(["trace", "--seed", "1", "--json", str(a)]) == 0
+    assert main(["trace", "--seed", "2", "--json", str(b)]) == 0
+    return a, b
+
+
+class TestTopCli:
+    def test_renders_a_live_export_directory(self, export_dir, capsys):
+        assert main(["top", "--dir", str(export_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert f"pid {os.getpid()}" in out
+        assert "actions:" in out
+        assert "action.new" in out
+        assert "cache hit rates:" in out
+        assert "canonical cache" in out
+        assert "recent events" in out
+
+    def test_waits_politely_on_an_empty_directory(self, tmp_path, capsys):
+        assert main(["top", "--dir", str(tmp_path), "--once"]) == 0
+        assert "waiting" in capsys.readouterr().out
+
+    def test_requires_a_directory_from_flag_or_env(self, capsys):
+        with mock.patch.dict(os.environ, {"REPRO_OBS_EXPORT": ""}):
+            assert main(["top", "--once"]) == 2
+        assert "REPRO_OBS_EXPORT" in capsys.readouterr().err
+
+    def test_env_knob_supplies_the_directory(self, export_dir, capsys):
+        with mock.patch.dict(
+            os.environ, {"REPRO_OBS_EXPORT": str(export_dir)}
+        ):
+            assert main(["top", "--once"]) == 0
+        assert "repro top" in capsys.readouterr().out
+
+    def test_frames_limit_bounds_the_loop(self, export_dir, capsys):
+        assert main([
+            "top", "--dir", str(export_dir),
+            "--frames", "2", "--interval", "0",
+        ]) == 0
+        assert capsys.readouterr().out.count("repro top") == 2
+
+    def test_render_top_tolerates_missing_sections(self):
+        out = render_top(None, [], directory="/nowhere")
+        assert "waiting" in out
+
+
+class TestTraceDiffCli:
+    def test_diff_renders_per_site_and_counter_deltas(self, two_reports,
+                                                      capsys):
+        a, b = two_reports
+        assert main(["trace", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff:" in out
+        assert str(a) in out and str(b) in out
+        assert "action.new" in out
+        assert "p50" in out and "p99" in out
+        assert "counters that changed:" in out
+        assert "SRT ledger:" in out
+
+    def test_diff_is_covered_structurally(self, two_reports):
+        a, b = two_reports
+        report_a = json.loads(a.read_text())
+        report_b = json.loads(b.read_text())
+        diff = diff_trace_reports(report_a, report_b)
+        sites = diff["histograms"]
+        assert sites  # both sessions always time their actions
+        row = sites["action.new"]
+        assert row["count_a"] >= 1 and row["count_b"] >= 1
+        for p in (50, 90, 99):
+            assert f"p{p}_a_s" in row and f"p{p}_b_s" in row
+            assert f"p{p}_delta_s" in row
+        assert "counters" in diff and "ledger" in diff
+
+    def test_diff_of_a_report_with_itself_is_quiet(self, two_reports,
+                                                   capsys):
+        a, _ = two_reports
+        assert main(["trace", "--diff", str(a), str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "counters that changed:" not in out  # nothing changed
+        assert "counters: no differences" in out
+
+    def test_new_sites_marked_new_not_divided_by_zero(self, two_reports):
+        a, b = two_reports
+        report_a = json.loads(a.read_text())
+        report_b = json.loads(b.read_text())
+        # seed 2 runs a simquery; seed 1 does not — a genuinely new site
+        diff = diff_trace_reports(report_a, report_b)
+        new_rows = [
+            r for r in diff["histograms"].values() if r["count_a"] == 0
+        ]
+        assert new_rows
+        assert all(r["p50_pct"] is None for r in new_rows)
+
+    def test_diff_rejects_non_report_artifacts(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": 2, "kind": "trajectory"}))
+        with pytest.raises(ValueError):
+            main(["trace", "--diff", str(bogus), str(bogus)])
