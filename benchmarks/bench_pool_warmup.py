@@ -1,0 +1,58 @@
+"""Warm-pool dispatch benchmark — the cold start leaves the SRT budget.
+
+Not a paper figure: this suite guards the warm verification pool and the
+shared-memory arena (:mod:`repro.core.pool`, :mod:`repro.index.arena`)
+against regression.  One full-corpus ``verify_batch`` is dispatched under
+three configurations on identical inputs — serial, cold pool (a fresh
+``Pool`` per dispatch, the pre-warm-pool behaviour) and warm pool (reused
+arena-attached workers) — with identical answers asserted, and the floor
+enforced:
+
+* warm-pool dispatch ≥ 2× faster than cold-pool dispatch.
+
+``python -m repro bench-smoke`` runs the same code at toy scale for CI.
+"""
+
+import pytest
+
+from repro.bench import emit, format_table
+from repro.bench.harness import aids_db
+from repro.bench.pool_warmup import run_pool_warmup
+
+WARM_OVER_COLD_FLOOR = 2.0
+
+
+@pytest.mark.benchmark(group="pool_warmup")
+def test_pool_warmup(benchmark):
+    db = aids_db()
+    data = run_pool_warmup(db, smoke=False)
+
+    rows = [
+        ["serial (workers=1)", f"{data['serial_s'] * 1000:.2f}", "—"],
+        ["cold pool (spawn per dispatch)", f"{data['cold_s'] * 1000:.2f}",
+         "1.00x"],
+        ["warm pool (reused workers)", f"{data['warm_s'] * 1000:.2f}",
+         f"{data['warm_speedup']:.2f}x"],
+    ]
+    table = format_table(
+        f"Pool dispatch: |D|={data['corpus']}, workers={data['workers']} "
+        f"(one-time warm spawn {data['spawn_s'] * 1000:.2f} ms)",
+        ["configuration", "dispatch (ms)", "vs cold"],
+        rows,
+    )
+    emit("pool_warmup", table, data)
+
+    # Benchmarked op: one warm-pool dispatch (the steady-state Run action).
+    from repro.core import pool as pool_mod
+    from repro.core.verification import verify_batch
+    from repro.bench.pool_warmup import _env, _sample_query
+    import random
+
+    query = _sample_query(db, random.Random(7), edges=4)
+    ids = list(db.ids())
+    with _env(REPRO_POOL_MIN_CANDIDATES="1", REPRO_POOL_WARM="1"):
+        verify_batch(query, ids, db, workers=4)  # spawn outside the timer
+        benchmark(lambda: verify_batch(query, ids, db, workers=4))
+        pool_mod.shutdown()
+
+    assert data["warm_speedup"] >= WARM_OVER_COLD_FLOOR

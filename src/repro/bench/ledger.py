@@ -77,10 +77,13 @@ def run_perf_suite(seed: int = 2012) -> Dict[str, float]:
       observability primitives (disabled span/count, sync, enabled
       histogram/recorder), i.e. the cost bounded by
       ``bench_obs_overhead``;
+    * ``pool.*`` — smoke-scale warm-pool vs cold-pool dispatch times over
+      the same corpus (the cost bounded by ``bench_pool_warmup``);
     * ``session.*`` — one fuzzed formulation session replayed end to end
       under the default posture, plus its SRT fold (the Figure 9 smoke).
     """
     from repro.bench.micro import run_micro_hotpaths
+    from repro.bench.pool_warmup import run_pool_warmup
     from repro.bench.obs_overhead import NOOP_LOOP, _noop_costs, _replay
     from repro.datasets.aids import generate_aids_like
     from repro.graph import canonical
@@ -101,6 +104,10 @@ def run_perf_suite(seed: int = 2012) -> Dict[str, float]:
     probe_loop = NOOP_LOOP // 10  # reduced: this is a tripwire, not the bench
     costs = _noop_costs(loop=probe_loop)
     metrics["obs.probe_loop_s"] = probe_loop * sum(costs.values())
+
+    warmup = run_pool_warmup(db, smoke=True, seed=seed)
+    metrics["pool.cold_dispatch_s"] = float(warmup["cold_s"])
+    metrics["pool.warm_dispatch_s"] = float(warmup["warm_s"])
 
     trace = generate_trace(seed=seed)
     corpus = corpus_for(trace.spec)

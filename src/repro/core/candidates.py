@@ -45,6 +45,16 @@ def iter_ids(mask: Bits) -> Iterator[int]:
         mask ^= low
 
 
+def mask_to_bytes(mask: Bits) -> bytes:
+    """Serialize a bitmask to little-endian bytes (the arena wire format)."""
+    return mask.to_bytes(max(1, (mask.bit_length() + 7) // 8), "little")
+
+
+def mask_from_bytes(data: bytes) -> Bits:
+    """Inverse of :func:`mask_to_bytes`."""
+    return int.from_bytes(data, "little")
+
+
 def count(mask: Bits) -> int:
     """Population count — ``len()`` of the candidate set."""
     return mask.bit_count()

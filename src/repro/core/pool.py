@@ -1,0 +1,295 @@
+"""The persistent verification pool and the process-wide arena registry.
+
+Before this module existed every ``_run_batch`` call built a fresh
+``multiprocessing.Pool`` — fork/spawn startup on *every* Run action — and
+pickled the candidate graphs into each chunk payload.  Both costs land
+squarely inside the SRT budget the paper optimizes, so this module keeps the
+machinery warm instead:
+
+* :func:`arena_for` maintains one shared-memory
+  :class:`~repro.index.arena.IndexArena` per live database, keyed by the
+  database object and invalidated whenever ``len(db)`` changes (``db.add()``
+  only ever appends).  Engines register their indexes via
+  :func:`register_index_plane` so the published arena also carries the
+  A2F/A2I lookup tables — the shared, immutable half of the engine state.
+* :class:`WarmPool` is the long-lived pool: lazily spawned on the first
+  parallel batch, reused while the worker count and arena version stay put,
+  expired after :func:`repro.config.pool_idle_ttl` idle seconds, torn down
+  and respawned automatically after a broken-pool failure, and shut down for
+  good at interpreter exit (so no orphaned processes or shared-memory
+  segments survive pytest).
+* :func:`resolve_items` is the payload boundary: pooled chunks reference
+  candidates as ``("arena", version, ids)`` and workers materialize them
+  from the arena they attached at spawn (decoded graphs are memoised per
+  worker, so a graph crosses the pickle boundary zero times).
+
+Everything here is wall-clock machinery only: any failure degrades to the
+serial in-process path with identical answers
+(:mod:`repro.core.verification`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import arena_enabled, pool_idle_ttl, pool_warm
+from repro.obs.metrics import count, gauge
+from repro.obs.recorder import RECORDER
+
+#: Payload tag for arena-resident chunks (see :func:`resolve_items`).
+ARENA_REF = "arena"
+
+
+def _pool_context():
+    """Prefer fork (cheap, COW share of the parent); fall back otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+# ----------------------------------------------------------------------
+# arena registry (parent side)
+# ----------------------------------------------------------------------
+#: id(db) -> (db weakref, db length at build, arena) — the length pins the
+#: invalidation: ``db.add()`` appends, so a length change means new content.
+_ARENAS: Dict[int, Tuple[Any, int, Any]] = {}
+#: arena version -> arena, for parent-side payload resolution (fallbacks).
+_BY_VERSION: Dict[str, Any] = {}
+#: id(db) -> ActionAwareIndexes to embed in that database's arena.
+_INDEX_PLANES: Dict[int, Any] = {}
+
+
+def register_index_plane(db, indexes) -> None:
+    """Declare ``indexes`` as the index plane for ``db``'s arena.
+
+    Cheap (a dict write); the arena itself is built lazily on the first
+    pooled batch.  Engines call this at construction so the published arena
+    carries the A2F/A2I lookup tables alongside the graphs.
+    """
+    _INDEX_PLANES[id(db)] = indexes
+
+
+def _drop_arena(key: int) -> None:
+    entry = _ARENAS.pop(key, None)
+    _INDEX_PLANES.pop(key, None)
+    if entry is not None:
+        _, _, arena = entry
+        _BY_VERSION.pop(arena.version, None)
+        arena.dispose()
+
+
+def arena_for(db) -> Optional[Any]:
+    """The published shared-memory arena for ``db`` (built on first use).
+
+    Returns ``None`` when the arena is disabled (``REPRO_ARENA=0``) or
+    shared memory is unavailable — callers then pickle candidates by value.
+    A stale entry (the database grew) is disposed and rebuilt, which also
+    forces the warm pool to respawn against the new version.
+    """
+    if not arena_enabled():
+        return None
+    key = id(db)
+    entry = _ARENAS.get(key)
+    if entry is not None:
+        ref, length, arena = entry
+        if ref() is db and length == len(db):
+            return arena
+        _drop_arena(key)
+        count("arena.invalidations")
+        RECORDER.record("arena.invalidate", db_size=len(db))
+    from repro.index.arena import IndexArena
+
+    start = time.perf_counter()
+    arena = IndexArena.build(db, indexes=_INDEX_PLANES.get(key))
+    if arena.publish() is None:  # no shared memory on this platform
+        arena.dispose()
+        return None
+    _ARENAS[key] = (weakref.ref(db, lambda _r, k=key: _drop_arena(k)),
+                    len(db), arena)
+    _BY_VERSION[arena.version] = arena
+    count("arena.builds")
+    gauge("arena.bytes", arena.nbytes)
+    RECORDER.record(
+        "arena.build", version=arena.version, bytes=arena.nbytes,
+        graphs=arena.db_size, seconds=time.perf_counter() - start,
+    )
+    return arena
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+_WORKER_ARENA = None
+
+
+def _attach_worker_arena(name: Optional[str], version: Optional[str]) -> None:
+    """Pool initializer: attach the published arena once per worker.
+
+    Must never raise — a failing ``Pool`` initializer makes the pool respawn
+    workers in a loop.  On any failure the worker simply has no arena and
+    the first arena-referencing chunk raises, which the parent turns into a
+    serial fallback.
+    """
+    global _WORKER_ARENA
+    if name is None:
+        _WORKER_ARENA = None
+        return
+    try:
+        from repro.index.arena import IndexArena
+
+        _WORKER_ARENA = IndexArena.attach(name, expected_version=version)
+    except Exception:
+        _WORKER_ARENA = None
+
+
+def resolve_items(items) -> Sequence[Tuple[int, Any]]:
+    """Materialize a chunk payload's ``(gid, graph)`` pairs.
+
+    Inline payloads (a list of pairs) pass through.  Arena references —
+    ``(ARENA_REF, version, ids)`` tuples — resolve against the worker's
+    attached arena, or against the parent-side registry when the chunk runs
+    in-process (the serial fallback path).
+    """
+    if not (isinstance(items, tuple) and len(items) == 3
+            and items[0] == ARENA_REF):
+        return items
+    _, version, ids = items
+    if _WORKER_ARENA is not None and _WORKER_ARENA.version == version:
+        return _WORKER_ARENA.items(ids)
+    arena = _BY_VERSION.get(version)
+    if arena is None:
+        raise RuntimeError(
+            f"no arena attached for version {version!r} "
+            "(worker initializer failed?)"
+        )
+    return arena.items(ids)
+
+
+# ----------------------------------------------------------------------
+# the warm pool
+# ----------------------------------------------------------------------
+class WarmPool:
+    """One long-lived verification pool per process.
+
+    The pool is (re)spawned whenever the requested worker count or the arena
+    version changes, after an idle TTL, or after a dispatch failure; between
+    those events every batch reuses the running workers, which is where the
+    cold-start milliseconds of each Run action go to die.
+    """
+
+    def __init__(self) -> None:
+        self._pool = None
+        self._key: Optional[Tuple[int, Optional[str]]] = None
+        self._last_used = 0.0
+        self._respawn_pending = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self, workers: int, arena) -> None:
+        name = version = None
+        if arena is not None:
+            name = arena.publish()
+            version = arena.version
+        ctx = _pool_context()
+        self._pool = ctx.Pool(
+            workers,
+            initializer=_attach_worker_arena,
+            initargs=(name, version),
+        )
+        self._key = (workers, version)
+        self._last_used = time.monotonic()
+        if self._respawn_pending:
+            self._respawn_pending = False
+            count("verify.pool.respawns")
+        count("verify.pool.spawns")
+        gauge("pool.workers", workers)
+        RECORDER.record(
+            "pool.spawn", workers=workers,
+            arena=version if version is not None else "off",
+        )
+
+    def _discard(self, reason: str) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool, self._key = self._pool, None, None
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+        RECORDER.record("pool.discard", reason=reason)
+
+    def shutdown(self) -> None:
+        """Explicitly stop the warm workers (idempotent)."""
+        self._discard("shutdown")
+
+    # -- dispatch ------------------------------------------------------
+    def _ensure(self, workers: int, arena):
+        version = arena.version if arena is not None else None
+        if self._pool is not None:
+            ttl = pool_idle_ttl()
+            if self._key != (workers, version):
+                self._discard("reconfigured")
+                self._respawn_pending = True
+            elif ttl and time.monotonic() - self._last_used > ttl:
+                count("verify.pool.expired")
+                self._discard("idle-ttl")
+                self._respawn_pending = True
+        if self._pool is None:
+            self._spawn(workers, arena)
+        else:
+            count("verify.pool.reuses")
+            RECORDER.transition("pool.dispatch", "reuse")
+        return self._pool
+
+    def map(self, func, payloads: List, workers: int, arena=None) -> List:
+        """Run ``func`` over ``payloads`` on the warm (or a cold) pool.
+
+        Cold mode (``REPRO_POOL_WARM=0``) reproduces the historical
+        pool-per-call behaviour.  Any failure tears the warm pool down so
+        the next dispatch respawns cleanly, then propagates to the caller's
+        serial fallback.
+        """
+        if not pool_warm():
+            count("verify.pool.cold_spawns")
+            RECORDER.transition("pool.dispatch", "cold")
+            name = version = None
+            if arena is not None:
+                name = arena.publish()
+                version = arena.version
+            with _pool_context().Pool(
+                workers,
+                initializer=_attach_worker_arena,
+                initargs=(name, version),
+            ) as pool:
+                return pool.map(func, payloads)
+        pool = self._ensure(workers, arena)
+        try:
+            out = pool.map(func, payloads)
+        except Exception:
+            self._discard("broken")
+            self._respawn_pending = True
+            raise
+        self._last_used = time.monotonic()
+        return out
+
+
+#: The process-wide warm pool.
+POOL = WarmPool()
+
+
+def shutdown(dispose_arenas: bool = True) -> None:
+    """Stop the warm pool and (by default) unlink every published arena.
+
+    Safe to call repeatedly; registered at interpreter exit so a test run
+    leaves no worker processes and no shared-memory segments behind.
+    """
+    POOL.shutdown()
+    if dispose_arenas:
+        for key in list(_ARENAS):
+            _drop_arena(key)
+
+
+atexit.register(shutdown)

@@ -61,6 +61,7 @@ from repro.config import DEFAULT_SUBGRAPH_DISTANCE
 from repro.core.actions import Action, QueryStatus
 from repro.core.exact import exact_sub_candidates
 from repro.core.modify import DeletionSuggestion, apply_deletion, suggest_deletion
+from repro.core.pool import register_index_plane
 from repro.core.results import QueryResults, SimilarCandidates
 from repro.core.similar import similar_results_gen, similar_sub_candidates
 from repro.core.verification import exact_verification
@@ -114,6 +115,10 @@ class PragueEngine:
         self.indexes = indexes
         self.sigma = sigma
         self.auto_similarity = auto_similarity
+        # Declare the shared half of the session state: if a Run action
+        # needs the verification pool, the published arena for this db will
+        # carry these A2F/A2I tables (built lazily, nothing happens now).
+        register_index_plane(db, indexes)
         self._db_ids: FrozenSet[int] = frozenset(db.ids())
         self._db_ids_size = len(db)
         self._candidates_db_size = len(db)

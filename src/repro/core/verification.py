@@ -17,11 +17,16 @@
 
 Both verification flavours run through batch APIs (:func:`verify_batch`,
 :func:`sim_verify_scan`): patterns are compiled once per scan against
-corpus-wide label statistics, and large candidate lists are chunked across a
-``multiprocessing`` pool.  The worker count comes from
-:func:`repro.config.verification_workers` (``REPRO_WORKERS``; ``1`` = the
-serial path, deterministic and pool-free — what CI pins).  Worker count never
-affects *results*, only wall-clock: every path returns the same id sets.
+corpus-wide label statistics, and large candidate lists are chunked across
+the **warm** verification pool (:mod:`repro.core.pool`) — long-lived workers
+that attach to the database's shared-memory arena once at spawn, so chunk
+payloads carry ``(arena_version, chunk_ids)`` instead of pickled graphs.
+The worker count comes from :func:`repro.config.verification_workers`
+(``REPRO_WORKERS``; ``1`` = the serial path, deterministic and pool-free —
+what CI pins), and batches below
+:func:`repro.config.pool_min_candidates` candidates skip the pool entirely.
+Worker count, warm-vs-cold pool and arena-vs-inline payloads never affect
+*results*, only wall-clock: every path returns the same id sets.
 
 Telemetry is cross-process: every chunk runs under worker-local observation
 capture (:mod:`repro.obs.snapshot`) and returns its counter/histogram/
@@ -33,13 +38,13 @@ any pool size (``tests/obs/test_worker_telemetry.py``).
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import warnings
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.config import verification_workers
+from repro.config import pool_min_candidates, verification_workers
+from repro.core.pool import ARENA_REF, POOL, arena_for, resolve_items
 from repro.graph.database import GraphDatabase
 from repro.graph.isomorphism import CompiledPattern, compile_pattern
 from repro.graph.labeled_graph import Graph
@@ -56,18 +61,8 @@ from repro.obs.tracer import span
 from repro.spig.manager import SpigManager
 from repro.spig.spig import SpigVertex
 
-#: Below this many candidates a pool costs more than it saves.
-_MIN_PARALLEL_BATCH = 16
-
-
 def _chunks(ids: Sequence[int], size: int) -> List[Sequence[int]]:
     return [ids[i:i + size] for i in range(0, len(ids), size)]
-
-
-def _pool_context():
-    """Prefer fork (cheap, COW share of the db chunk); fall back otherwise."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 def _test_pattern(compiled: CompiledPattern, items) -> List[int]:
@@ -110,16 +105,24 @@ def _test_fragments(compiled: List[CompiledPattern], items) -> List[int]:
 
 
 def _verify_chunk(payload) -> List[int]:
-    """Worker: ids of the chunk's graphs that contain the pattern."""
+    """Worker: ids of the chunk's graphs that contain the pattern.
+
+    ``items`` is either inline ``(gid, graph)`` pairs or an
+    ``(arena_version, chunk_ids)`` reference that
+    :func:`repro.core.pool.resolve_items` materializes from the worker's
+    attached shared-memory arena.
+    """
     pattern, items, label_freq = payload
-    return _test_pattern(CompiledPattern(pattern, label_freq), items)
+    return _test_pattern(
+        CompiledPattern(pattern, label_freq), resolve_items(items)
+    )
 
 
 def _sim_verify_chunk(payload) -> List[int]:
     """Worker: ids of the chunk's graphs containing *any* of the fragments."""
     fragments, items, label_freq = payload
     compiled = [CompiledPattern(f, label_freq) for f in fragments]
-    return _test_fragments(compiled, items)
+    return _test_fragments(compiled, resolve_items(items))
 
 
 def _obs_chunk(args) -> Tuple[List[int], dict]:
@@ -158,19 +161,33 @@ def _worker_traceback(exc: BaseException) -> Optional[str]:
     return None
 
 
+#: Exception type names whose pool-fallback postmortem bundle was already
+#: written this session — one bundle per distinct failure mode, not one per
+#: fallback, so a hot loop that keeps tripping the same error can't flood
+#: ``REPRO_POSTMORTEM_DIR``.
+_FALLBACK_DUMPED: Set[str] = set()
+
+
+def reset_postmortem_limiter() -> None:
+    """Forget which fallback exception types already dumped a bundle."""
+    _FALLBACK_DUMPED.clear()
+
+
 def _run_batch(
     worker,
     make_payload,
     ids: List[int],
     workers: int,
+    arena=None,
 ) -> List[int]:
-    """Chunk ``ids`` across a pool, falling back to in-process execution.
+    """Chunk ``ids`` across the warm pool, falling back to in-process runs.
 
     Pool failures (unpicklable payloads on spawn platforms, broken workers,
     fork unavailability) must degrade a *Run* action to the slower serial
     path, not abort it: the answer is computable without a pool, so compute
     it.  The fallback executes the same worker on the same payloads, hence
-    returns the identical id list.
+    returns the identical id list — arena references resolve in-process
+    against the parent-side registry.
 
     On the pool path every chunk's observation delta is merged back here,
     so nothing a worker recorded is lost (see :mod:`repro.obs.snapshot`);
@@ -184,13 +201,16 @@ def _run_batch(
     RECORDER.record(
         "pool.run", chunks=len(payloads), workers=workers,
         candidates=len(ids),
+        arena=arena.version if arena is not None else "off",
     )
     ctx = worker_context()
     try:
-        with _pool_context().Pool(workers) as pool:
-            outputs = pool.map(
-                _obs_chunk, [(ctx, worker, payload) for payload in payloads]
-            )
+        outputs = POOL.map(
+            _obs_chunk,
+            [(ctx, worker, payload) for payload in payloads],
+            workers,
+            arena=arena,
+        )
         parts = []
         for part, delta in outputs:
             parts.append(part)
@@ -205,7 +225,13 @@ def _run_batch(
             "pool.fallback", exc, chunks=len(payloads), workers=workers,
             **provenance,
         )
-        RECORDER.dump_to_dir("pool-fallback", **provenance)
+        exc_type = type(exc).__name__
+        if exc_type not in _FALLBACK_DUMPED:
+            # Mark the type consumed only when a bundle was actually
+            # written — a disabled recorder or unset dir must not burn
+            # the one slot this failure mode gets.
+            if RECORDER.dump_to_dir("pool-fallback", **provenance) is not None:
+                _FALLBACK_DUMPED.add(exc_type)
         warnings.warn(
             f"verification pool failed ({type(exc).__name__}: {exc}); "
             "falling back to the serial path",
@@ -245,18 +271,23 @@ def verify_batch(
     start = time.perf_counter()
     with span("verify.scan", candidates=len(ids), workers=workers):
         label_freq = db.label_frequencies()
-        if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
+        if workers == 1 or len(ids) < pool_min_candidates():
             count("verify.serial")
             compiled = compile_pattern(pattern, label_freq)
             out = _test_pattern(compiled, [(gid, db[gid]) for gid in ids])
         else:
-            out = _run_batch(
-                _verify_chunk,
-                lambda chunk: (
+            arena = arena_for(db)
+            if arena is not None:
+                make_payload = lambda chunk: (
+                    pattern, (ARENA_REF, arena.version, tuple(chunk)),
+                    label_freq,
+                )
+            else:
+                make_payload = lambda chunk: (
                     pattern, [(gid, db[gid]) for gid in chunk], label_freq
-                ),
-                ids,
-                workers,
+                )
+            out = _run_batch(
+                _verify_chunk, make_payload, ids, workers, arena=arena
             )
     observe("verify.scan", time.perf_counter() - start)
     return out
@@ -286,23 +317,30 @@ def sim_verify_scan(
         candidates=len(ids), fragments=len(fragments), workers=workers,
     ):
         label_freq = db.label_frequencies()
-        if workers == 1 or len(ids) < _MIN_PARALLEL_BATCH:
+        if workers == 1 or len(ids) < pool_min_candidates():
             count("verify.serial")
             compiled = [CompiledPattern(f, label_freq) for f in fragments]
             out = set(
                 _test_fragments(compiled, [(gid, db[gid]) for gid in ids])
             )
         else:
+            arena = arena_for(db)
+            if arena is not None:
+                make_payload = lambda chunk: (
+                    list(fragments),
+                    (ARENA_REF, arena.version, tuple(chunk)),
+                    label_freq,
+                )
+            else:
+                make_payload = lambda chunk: (
+                    list(fragments),
+                    [(gid, db[gid]) for gid in chunk],
+                    label_freq,
+                )
             out = set(
                 _run_batch(
-                    _sim_verify_chunk,
-                    lambda chunk: (
-                        list(fragments),
-                        [(gid, db[gid]) for gid in chunk],
-                        label_freq,
-                    ),
-                    ids,
-                    workers,
+                    _sim_verify_chunk, make_payload, ids, workers,
+                    arena=arena,
                 )
             )
     observe("verify.sim", time.perf_counter() - start)

@@ -83,7 +83,8 @@ class CompiledPattern:
     mapped neighbours.  One instance serves any number of targets.
     """
 
-    __slots__ = ("pattern", "order", "labels", "triples", "_steps")
+    __slots__ = ("pattern", "order", "labels", "triples", "_steps",
+                 "_project")
 
     def __init__(self, pattern: Graph, label_freq: Optional[Counter] = None) -> None:
         self.pattern = pattern
@@ -92,15 +93,36 @@ class CompiledPattern:
         freq = self.labels if label_freq is None else label_freq
         self.order = _matching_order(pattern, freq)
         degree = pattern.degree_map()
+        incident = pattern.incident_triple_counts()
+        # The per-pattern adjacency projection (GraphMini-style auxiliary
+        # structure): a component-root step carries the multiset of incident
+        # edge-label triples its pattern node requires.  A target node whose
+        # own cached incident-triple counts fall short can never host the
+        # pattern node, so the search rejects it before recursing into its
+        # whole subtree.  Only root steps (no mapped neighbours) carry the
+        # requirement — their candidates are entire label buckets, where the
+        # prune pays; deeper steps are already narrowed by the mapped-edge
+        # intersection and the degree check, and re-checking there costs more
+        # than it saves.  Single-edge patterns skip it outright — the degree
+        # check plus the global triple prefilter subsume the projection.
+        self._project = pattern.num_edges >= 2
         index_of = {n: i for i, n in enumerate(self.order)}
-        steps: List[Tuple[str, int, Tuple[Tuple[int, Optional[str]], ...]]] = []
+        steps: List[
+            Tuple[str, int, Tuple[Tuple[int, Optional[str]], ...], tuple]
+        ] = []
         for depth, p_node in enumerate(self.order):
             mapped = tuple(
                 (index_of[nb], pattern.edge_label(p_node, nb))
                 for nb in pattern.neighbors(p_node)
                 if index_of[nb] < depth
             )
-            steps.append((pattern.label(p_node), degree[p_node], mapped))
+            required = (
+                tuple(incident[p_node].items())
+                if self._project and not mapped
+                else ()
+            )
+            steps.append((pattern.label(p_node), degree[p_node], mapped,
+                          required))
         self._steps = steps
 
     # ------------------------------------------------------------------
@@ -133,6 +155,7 @@ class CompiledPattern:
             return
         by_label = target.nodes_by_label()
         tdegree = target.degree_map()
+        node_triples = target.node_incident_triples
         order = self.order
         steps = self._steps
         num = len(order)
@@ -141,7 +164,7 @@ class CompiledPattern:
         yielded = 0
 
         def candidates(depth: int) -> Iterator[NodeId]:
-            plabel, _pdeg, mapped = steps[depth]
+            plabel, _pdeg, mapped, _required = steps[depth]
             if not mapped:
                 for t_node in by_label.get(plabel, ()):
                     if t_node not in used:
@@ -172,9 +195,17 @@ class CompiledPattern:
                 yield {order[i]: assignment[i] for i in range(num)}
                 return
             pdeg = steps[depth][1]
+            required = steps[depth][3]
             for t_node in candidates(depth):
                 if pdeg > tdegree[t_node]:
                     continue
+                if required:
+                    # Projection prune: the target node must supply every
+                    # incident triple the pattern node consumes (a necessary
+                    # condition — filtering only, answers are unchanged).
+                    tc = node_triples(t_node)
+                    if any(tc.get(t, 0) < c for t, c in required):
+                        continue
                 assignment[depth] = t_node
                 used.add(t_node)
                 yield from search(depth + 1)

@@ -252,6 +252,51 @@ class Graph:
             buckets.setdefault(label, []).append(node)
         return {label: tuple(nodes) for label, nodes in buckets.items()}
 
+    def incident_triple_counts(self) -> Dict[NodeId, Dict[Tuple, int]]:
+        """``node -> {triple: count}`` of its incident edge-label triples (cached).
+
+        The triple of an incident edge is the same ``(label(u), edge_label,
+        label(v))`` signature (sorted ends) as :meth:`edge_label_triples`.
+        This is the target-side half of the per-pattern adjacency projection:
+        a target node can only host a pattern node if it has at least as many
+        incident edges of each triple as the pattern node does, so the VF2
+        matcher consults this index to prune candidate neighborhoods before
+        recursing (treat as read-only).
+        """
+        return self.cached(
+            "incident_triple_counts", self._build_incident_triple_counts
+        )
+
+    def _build_incident_triple_counts(self) -> Dict[NodeId, Dict[Tuple, int]]:
+        # Each incident edge of u appears exactly once in u's adjacency row,
+        # so a single pass over the rows counts both endpoints with no
+        # dedup pass (patterns are tiny; the eager build is cheap there).
+        return {u: self._node_triples(u) for u in self._adj}
+
+    def node_incident_triples(self, node: NodeId) -> Dict[Tuple, int]:
+        """``{triple: count}`` for one node's incident edges (lazily cached).
+
+        The target-side entry point of the projection prune: a DB scan only
+        probes nodes in the query root's label bucket, so counts are computed
+        per node on first probe — not eagerly for the whole graph — and kept
+        in the same version-guarded cache as the other invariants.
+        """
+        cache = self.cached("node_incident_triples", dict)
+        counts = cache.get(node)
+        if counts is None:
+            counts = cache[node] = self._node_triples(node)
+        return counts
+
+    def _node_triples(self, u: NodeId) -> Dict[Tuple, int]:
+        labels = self._labels
+        lu = labels[u]
+        counts: Dict[Tuple, int] = {}
+        for v, elabel in self._adj[u].items():
+            lv = labels[v]
+            triple = (lu, elabel, lv) if lu <= lv else (lv, elabel, lu)
+            counts[triple] = counts.get(triple, 0) + 1
+        return counts
+
     def fingerprint(self) -> int:
         """A cheap order-invariant structural hash (cached).
 

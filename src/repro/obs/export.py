@@ -295,6 +295,25 @@ def render_top(
             f"fallbacks {counters.get('verify.pool.fallbacks', 0)}  "
             f"serial scans {counters.get('verify.serial', 0)}"
         )
+        spawns = counters.get("verify.pool.spawns", 0)
+        if spawns or counters.get("verify.pool.cold_spawns", 0):
+            # Warm-pool health: reuses dwarfing spawns means dispatches hit
+            # running workers; respawns/expired mark broken-pool recoveries
+            # and idle-TTL recycles; cold spawns only appear with
+            # REPRO_POOL_WARM=0.
+            lines.append(
+                f"  warm spawns {spawns}  "
+                f"reuses {counters.get('verify.pool.reuses', 0)}  "
+                f"respawns {counters.get('verify.pool.respawns', 0)}  "
+                f"expired {counters.get('verify.pool.expired', 0)}  "
+                f"cold spawns {counters.get('verify.pool.cold_spawns', 0)}"
+            )
+        builds = counters.get("arena.builds", 0)
+        if builds:
+            lines.append(
+                f"  arena builds {builds}  "
+                f"invalidations {counters.get('arena.invalidations', 0)}"
+            )
         if chunk_hist:
             busy = chunk_hist.get("sum_s", 0.0)
             lines.append(

@@ -35,13 +35,17 @@ class OracleConfig:
     bitset: bool = True
     canonical_cache: bool = True
     workers: int = 1
+    arena: bool = True
+    warm_pool: bool = True
 
     @property
     def name(self) -> str:
         return (
             f"bitset={int(self.bitset)},"
             f"cache={int(self.canonical_cache)},"
-            f"workers={self.workers}"
+            f"workers={self.workers},"
+            f"arena={int(self.arena)},"
+            f"warm={int(self.warm_pool)}"
         )
 
     def env(self) -> Dict[str, str]:
@@ -49,6 +53,12 @@ class OracleConfig:
             "REPRO_BITSET": "1" if self.bitset else "0",
             "REPRO_CANONICAL_CACHE": "8192" if self.canonical_cache else "0",
             "REPRO_WORKERS": str(self.workers),
+            "REPRO_ARENA": "1" if self.arena else "0",
+            "REPRO_POOL_WARM": "1" if self.warm_pool else "0",
+            # The oracle corpora are small; pin the pool floor down so the
+            # workers>1 cells actually exercise the pooled path instead of
+            # silently degenerating to the serial one.
+            "REPRO_POOL_MIN_CANDIDATES": "16",
         }
 
 
@@ -56,10 +66,17 @@ class OracleConfig:
 #: canonical LRU on, serial verification — the CI default.
 REFERENCE_CONFIG = OracleConfig(bitset=True, canonical_cache=True, workers=1)
 
-#: Full matrix: REPRO_BITSET on/off × canonical cache on/off × workers 1/3.
+#: Matrix: REPRO_BITSET on/off × canonical cache on/off × workers 1/3 (at the
+#: arena/warm-pool defaults), plus the pool-plane cells — arena on/off ×
+#: warm/cold at workers 3, where the pool actually runs.  The full
+#: 5-dimensional product would be 32 replays per trace for no extra
+#: coverage: arena and pool knobs are inert on the serial cells.
 CONFIG_MATRIX: Tuple[OracleConfig, ...] = tuple(
     OracleConfig(bitset=b, canonical_cache=c, workers=w)
     for b, c, w in itertools.product((True, False), (True, False), (1, 3))
+) + tuple(
+    OracleConfig(workers=3, arena=a, warm_pool=wp)
+    for a, wp in ((True, False), (False, True), (False, False))
 )
 
 

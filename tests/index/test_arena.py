@@ -1,0 +1,200 @@
+"""The shared-memory arena: codec round-trips, lookup parity, lifecycle.
+
+The arena is answer-critical infrastructure — pool workers verify against
+*decoded* graphs — so the codec tests pin structural identity, the table
+tests pin A2F/A2I probe parity against the live indexes, and the lifecycle
+tests pin the publish/attach/dispose contract (including "dispose really
+unlinks": the no-orphaned-segments guarantee CI checks after the suite).
+"""
+
+import pytest
+
+from repro.config import MiningParams
+from repro.core.candidates import full_mask
+from repro.exceptions import IndexError_
+from repro.graph.database import GraphDatabase
+from repro.graph.labeled_graph import Graph
+from repro.index.arena import IndexArena, db_fingerprint, encode_arena
+from repro.index.builder import build_indexes
+from repro.testing import small_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return small_database(seed=9, num_graphs=25, max_nodes=7)
+
+
+@pytest.fixture(scope="module")
+def indexes(db):
+    return build_indexes(db, MiningParams(0.2, 2, 5))
+
+
+def assert_same_structure(a: Graph, b: Graph) -> None:
+    assert set(a.nodes()) == set(b.nodes())
+    assert a.num_edges == b.num_edges
+    for n in a.nodes():
+        assert a.label(n) == b.label(n)
+    for u, v in a.edges():
+        assert b.has_edge(u, v)
+        assert a.edge_label(u, v) == b.edge_label(u, v)
+
+
+class TestCodec:
+    def test_every_graph_round_trips(self, db):
+        arena = IndexArena.build(db)
+        for gid, g in db.items():
+            assert_same_structure(g, arena.graph(gid))
+
+    def test_decoded_graphs_are_memoised(self, db):
+        arena = IndexArena.build(db)
+        assert arena.graph(0) is arena.graph(0)
+
+    def test_non_dense_node_ids_round_trip(self):
+        g = Graph()
+        g.add_node("left", "A")
+        g.add_node("right", "B")
+        g.add_node(7, "A")
+        g.add_edge("left", "right", "x")
+        g.add_edge("right", 7, None)
+        db = GraphDatabase()
+        db.add(g)
+        arena = IndexArena.build(db)
+        assert_same_structure(g, arena.graph(0))
+
+    def test_universe_is_the_all_graphs_mask(self, db):
+        arena = IndexArena.build(db)
+        assert arena.universe_bits == full_mask(len(db))
+        assert arena.db_size == len(db)
+
+    def test_version_is_the_db_fingerprint(self, db):
+        arena = IndexArena.build(db)
+        assert arena.version == db_fingerprint(db)
+
+    def test_add_changes_the_fingerprint(self):
+        db = small_database(seed=3, num_graphs=5)
+        before = db_fingerprint(db)
+        g = Graph()
+        g.add_node(0, "A")
+        g.add_node(1, "B")
+        g.add_edge(0, 1)
+        db.add(g)
+        assert db_fingerprint(db) != before
+
+    def test_graph_id_out_of_range(self, db):
+        arena = IndexArena.build(db)
+        with pytest.raises(IndexError_, match="outside arena"):
+            arena.graph(len(db))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(IndexError_, match="bad magic"):
+            IndexArena(b"NOTANARENA" + b"\x00" * 32)
+
+    def test_missing_section_reported(self, db):
+        arena = IndexArena.build(db)  # no indexes -> no a2f section
+        with pytest.raises(IndexError_, match="no 'a2f' section"):
+            arena.a2f_table()
+
+
+class TestIndexTables:
+    def test_a2f_lookup_parity(self, db, indexes):
+        arena = IndexArena.build(db, indexes=indexes)
+        table = arena.a2f_table()
+        assert len(table) == len(indexes.a2f)
+        for code in indexes.frequent:
+            live = indexes.a2f.lookup(code)
+            assert table.lookup(code) == live
+            assert table.fsg_bits(live) == indexes.a2f.fsg_bits(live)
+            assert table.fsg_ids(live) == indexes.a2f.fsg_ids(live)
+
+    def test_a2i_lookup_parity(self, db, indexes):
+        arena = IndexArena.build(db, indexes=indexes)
+        table = arena.a2i_table()
+        assert len(table) == len(indexes.a2i)
+        for code in indexes.difs:
+            live = indexes.a2i.lookup(code)
+            assert table.lookup(code) == live
+            assert table.fsg_bits(live) == indexes.a2i.fsg_bits(live)
+
+    def test_beta_travels_with_the_a2f_table(self, db, indexes):
+        arena = IndexArena.build(db, indexes=indexes)
+        assert arena.a2f_table().beta == indexes.a2f.beta
+        assert arena.a2i_table().beta is None
+
+    def test_unknown_code_misses(self, db, indexes):
+        arena = IndexArena.build(db, indexes=indexes)
+        assert arena.a2f_table().lookup(("no", "such", "code")) is None
+        assert ("no", "such", "code") not in arena.a2i_table()
+
+
+class TestSharedMemoryLifecycle:
+    def test_publish_attach_round_trip(self, db, indexes):
+        arena = IndexArena.build(db, indexes=indexes)
+        name = arena.publish()
+        if name is None:
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            assert arena.publish() == name  # memoised, no second segment
+            attached = IndexArena.attach(name, expected_version=arena.version)
+            assert attached.version == arena.version
+            assert_same_structure(db[0], attached.graph(0))
+            assert attached.a2f_table().codes == arena.a2f_table().codes
+            attached.close()
+        finally:
+            arena.dispose()
+
+    def test_attach_rejects_version_mismatch(self, db):
+        arena = IndexArena.build(db)
+        name = arena.publish()
+        if name is None:
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            with pytest.raises(IndexError_, match="version mismatch"):
+                IndexArena.attach(name, expected_version="not-the-version")
+        finally:
+            arena.dispose()
+
+    def test_dispose_unlinks_the_segment(self, db):
+        from multiprocessing import shared_memory
+
+        arena = IndexArena.build(db)
+        name = arena.publish()
+        if name is None:
+            pytest.skip("shared memory unavailable on this platform")
+        arena.dispose()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_attached_dispose_does_not_unlink(self, db):
+        arena = IndexArena.build(db)
+        name = arena.publish()
+        if name is None:
+            pytest.skip("shared memory unavailable on this platform")
+        try:
+            attached = IndexArena.attach(name)
+            attached.dispose()  # non-owner: close only
+            again = IndexArena.attach(name)  # still there
+            again.close()
+        finally:
+            arena.dispose()
+
+
+class TestEncodeArenaBytes:
+    def test_buffer_is_self_describing(self, db, indexes):
+        data = encode_arena(db, indexes=indexes, include_catalogs=True)
+        arena = IndexArena(data)
+        assert arena.nbytes == len(data)
+        assert arena.meta["db_size"] == len(db)
+        for name in ("meta", "universe", "labels", "graphs", "a2f", "a2i",
+                     "frequent", "difs"):
+            assert arena.has_section(name)
+
+    def test_catalogs_rebuild_identically(self, db, indexes):
+        data = encode_arena(db, indexes=indexes, include_catalogs=True)
+        arena = IndexArena(data)
+        rebuilt = arena.catalog("frequent")
+        assert set(rebuilt) == set(indexes.frequent)
+        for code, frag in indexes.frequent.items():
+            assert rebuilt[code].fsg_ids == frag.fsg_ids
+            assert_same_structure(rebuilt[code].graph, frag.graph)
+        rebuilt_difs = arena.catalog("difs")
+        assert set(rebuilt_difs) == set(indexes.difs)

@@ -1,6 +1,13 @@
-"""Index persistence and the size accounting behind Table II."""
+"""Index persistence and the size accounting behind Table II.
+
+Covers both on-disk formats — the original catalog pickle and the arena
+format (:mod:`repro.index.arena`) — including the property that loading
+from *either* restores indexes with identical lookup results and identical
+``pickled_size_bytes`` accounting."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import MiningParams
 from repro.index import (
@@ -8,16 +15,22 @@ from repro.index import (
     a2i_size_bytes,
     build_indexes,
     load_indexes,
+    load_indexes_arena,
     pickled_size_bytes,
     prague_index_size_bytes,
     save_indexes,
+    save_indexes_arena,
 )
 from repro.testing import small_database
 
 
 @pytest.fixture(scope="module")
-def idx():
-    db = small_database(seed=4, num_graphs=20, max_nodes=6)
+def db():
+    return small_database(seed=4, num_graphs=20, max_nodes=6)
+
+
+@pytest.fixture(scope="module")
+def idx(db):
     return build_indexes(db, MiningParams(0.2, 2, 4))
 
 
@@ -56,3 +69,72 @@ class TestSaveLoad:
             a = idx.a2f.fsg_ids(idx.a2f.lookup(code))
             b = loaded.a2f.fsg_ids(loaded.a2f.lookup(code))
             assert a == b
+
+
+class TestArenaFormat:
+    def test_round_trip(self, db, idx, tmp_path):
+        path = tmp_path / "indexes.arena"
+        written = save_indexes_arena(idx, db, path)
+        assert written == path.stat().st_size
+        loaded = load_indexes_arena(path)
+        assert set(loaded.frequent) == set(idx.frequent)
+        assert set(loaded.difs) == set(idx.difs)
+        assert loaded.params == idx.params
+        assert loaded.db_size == idx.db_size
+
+    def test_both_formats_probe_identically(self, db, idx, tmp_path):
+        save_indexes(idx, tmp_path / "indexes.pkl")
+        save_indexes_arena(idx, db, tmp_path / "indexes.arena")
+        pickled = load_indexes(tmp_path / "indexes.pkl")
+        arena = load_indexes_arena(tmp_path / "indexes.arena")
+        for code in idx.frequent:
+            live = idx.a2f.fsg_ids(idx.a2f.lookup(code))
+            assert pickled.a2f.fsg_ids(pickled.a2f.lookup(code)) == live
+            assert arena.a2f.fsg_ids(arena.a2f.lookup(code)) == live
+        for code in idx.difs:
+            live = idx.a2i.fsg_ids(idx.a2i.lookup(code))
+            assert pickled.a2i.fsg_ids(pickled.a2i.lookup(code)) == live
+            assert arena.a2i.fsg_ids(arena.a2i.lookup(code)) == live
+
+    def test_both_formats_account_identically(self, db, idx, tmp_path):
+        save_indexes(idx, tmp_path / "indexes.pkl")
+        save_indexes_arena(idx, db, tmp_path / "indexes.arena")
+        pickled = load_indexes(tmp_path / "indexes.pkl")
+        arena = load_indexes_arena(tmp_path / "indexes.arena")
+        assert a2f_size_bytes(pickled) == a2f_size_bytes(arena) \
+            == a2f_size_bytes(idx)
+        assert a2i_size_bytes(pickled) == a2i_size_bytes(arena) \
+            == a2i_size_bytes(idx)
+        assert prague_index_size_bytes(pickled) \
+            == prague_index_size_bytes(arena) \
+            == prague_index_size_bytes(idx)
+
+
+class TestFormatsAgreeProperty:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_save_load_parity_across_formats(self, seed, tmp_path_factory):
+        """Property: for any mined corpus, loading from the pickle format
+        and from the arena format reproduces identical A2F/A2I lookups and
+        identical size accounting."""
+        corpus = small_database(seed=seed, num_graphs=12, max_nodes=5)
+        idx = build_indexes(corpus, MiningParams(0.25, 2, 4))
+        out = tmp_path_factory.mktemp(f"fmt-{seed}")
+        save_indexes(idx, out / "indexes.pkl")
+        save_indexes_arena(idx, corpus, out / "indexes.arena")
+        pickled = load_indexes(out / "indexes.pkl")
+        arena = load_indexes_arena(out / "indexes.arena")
+
+        assert set(pickled.frequent) == set(arena.frequent) \
+            == set(idx.frequent)
+        assert set(pickled.difs) == set(arena.difs) == set(idx.difs)
+        for code in idx.frequent:
+            live = idx.a2f.fsg_ids(idx.a2f.lookup(code))
+            assert pickled.a2f.fsg_ids(pickled.a2f.lookup(code)) == live
+            assert arena.a2f.fsg_ids(arena.a2f.lookup(code)) == live
+        for code in idx.difs:
+            live = idx.a2i.fsg_ids(idx.a2i.lookup(code))
+            assert pickled.a2i.fsg_ids(pickled.a2i.lookup(code)) == live
+            assert arena.a2i.fsg_ids(arena.a2i.lookup(code)) == live
+        assert a2f_size_bytes(pickled) == a2f_size_bytes(arena)
+        assert a2i_size_bytes(pickled) == a2i_size_bytes(arena)

@@ -70,6 +70,12 @@ class TestPathCountersAcrossMatrix:
 
 
 class TestVerificationPoolCounters:
+    @pytest.fixture(autouse=True)
+    def _pool_floor_16(self, monkeypatch):
+        # The default REPRO_POOL_MIN_CANDIDATES (64) exceeds the 30-graph
+        # corpus; pin it down so the pool-path tests actually pool.
+        monkeypatch.setenv("REPRO_POOL_MIN_CANDIDATES", "16")
+
     @pytest.fixture
     def batch(self, small_db):
         import random

@@ -26,6 +26,10 @@ from repro.oracle import check_session, generate_trace
 def _recorder_on():
     RECORDER.force(True)
     RECORDER.reset()
+    # Earlier fallback tests may have consumed this exception type's
+    # one-bundle-per-type slot (the postmortem rate limiter); each test
+    # here asserts on its own bundle, so start from a clean slate.
+    verif.reset_postmortem_limiter()
     yield
     RECORDER.force(None)
     RECORDER.reset()

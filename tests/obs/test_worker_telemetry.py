@@ -27,6 +27,17 @@ from repro.oracle.fuzzer import generate_trace
 from repro.oracle.replay import OracleConfig, replay_trace
 
 
+@pytest.fixture(autouse=True)
+def _pool_floor_16(monkeypatch):
+    """Pin the pool floor below the 60-graph corpus.
+
+    The default ``REPRO_POOL_MIN_CANDIDATES`` (64) would silently route
+    these batches down the serial path — and every assertion here exists to
+    watch a *pool* run (merge deltas, chunk events, worker tracebacks).
+    """
+    monkeypatch.setenv("REPRO_POOL_MIN_CANDIDATES", "16")
+
+
 @pytest.fixture(scope="module")
 def corpus():
     """60 AIDS-like graphs — comfortably above the parallel floor of 16."""

@@ -11,6 +11,7 @@ from unittest import mock
 
 import repro.core.exact as exact_mod
 from repro.oracle import check_session, generate_trace, run_sweep
+from repro.oracle.replay import CONFIG_MATRIX
 from repro.spig.manager import SpigManager
 
 
@@ -26,11 +27,11 @@ class TestCleanSessions:
         report = run_sweep(sessions=4, base_seed=0, shrink=False)
         assert report.ok
         assert report.sessions == 4
-        assert report.total_replays == 4 * 8
+        assert report.total_replays == 4 * len(CONFIG_MATRIX)
         manifest = report.manifest()
         assert manifest["divergence_free"] is True
         assert manifest["failures"] == []
-        assert len(manifest["configs"]) == 8
+        assert len(manifest["configs"]) == len(CONFIG_MATRIX)
         assert manifest["oracles"] == ["naive-baseline", "fresh-replay"]
         assert manifest["total_steps"] == report.total_steps
 

@@ -81,12 +81,18 @@ class TestReplay:
 
 
 class TestConfigMatrix:
-    def test_matrix_covers_all_eight_cells(self):
-        assert len(set(CONFIG_MATRIX)) == 8
+    def test_matrix_covers_all_cells(self):
+        # 8 hot-path cells (bitset × cache × workers) plus the 3 pool-plane
+        # cells (arena/warm-pool variations at workers=3).
+        assert len(set(CONFIG_MATRIX)) == 11
         assert REFERENCE_CONFIG in CONFIG_MATRIX
         assert {c.bitset for c in CONFIG_MATRIX} == {True, False}
         assert {c.canonical_cache for c in CONFIG_MATRIX} == {True, False}
         assert {c.workers for c in CONFIG_MATRIX} == {1, 3}
+        pooled = [c for c in CONFIG_MATRIX if c.workers > 1]
+        assert {(c.arena, c.warm_pool) for c in pooled} == {
+            (True, True), (True, False), (False, True), (False, False)
+        }
 
     def test_applied_restores_environment(self, monkeypatch):
         import os
