@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI smoke for the service layer: boot ``repro serve``, drive it, kill it.
+
+End to end over a real subprocess — the one surface the in-process tests
+cannot cover: argument parsing, the stdout readiness line, signal-driven
+shutdown, and resource hygiene.  The script
+
+1. snapshots ``/dev/shm`` (the arena publishes ``psm_*`` segments there),
+2. spawns ``python -m repro serve`` in its own process group and waits for
+   the ``serving PRAGUE sessions on http://...`` readiness line,
+3. drives several genuinely concurrent scripted sessions over HTTP and
+   checks ``/healthz`` bookkeeping,
+4. sends SIGTERM and asserts a clean exit: status 0, the ``server
+   stopped`` farewell, no surviving process group, and no orphaned
+   shared-memory segments.
+
+Exit status 0 means all of that held.  Stdlib only.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+READY = re.compile(r"serving PRAGUE sessions on http://([^:]+):(\d+)")
+NUM_USERS = 6
+BOOT_TIMEOUT_S = 120.0
+EXIT_TIMEOUT_S = 30.0
+
+
+def shm_segments():
+    shm = Path("/dev/shm")
+    if not shm.is_dir():
+        return set()
+    return {p.name for p in shm.iterdir() if p.name.startswith("psm_")}
+
+
+def wait_ready(proc):
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                "server exited before becoming ready:\n" + "".join(lines)
+            )
+        lines.append(line)
+        match = READY.search(line)
+        if match:
+            return match.group(1), int(match.group(2)), lines
+    raise SystemExit("server never printed the readiness line")
+
+
+def drive(host, port):
+    barrier = threading.Barrier(NUM_USERS)
+    errors = []
+
+    def user(tag):
+        try:
+            with ServiceClient(host, port, timeout=30.0) as client:
+                barrier.wait(timeout=30.0)
+                sid = client.create_session(sigma=2)
+                client.add_node(sid, "a", "C")
+                client.add_node(sid, "b", "C")
+                step = client.add_edge(sid, "a", "b")
+                assert step["num_edges"] == 1, step
+                run = client.run(sid)["run"]
+                assert isinstance(run["exact"], list), run
+                undone = client.undo(sid)
+                assert undone["num_edges"] == 0, undone
+                client.close_session(sid)
+        except Exception as exc:  # noqa: BLE001 - collected for the report
+            errors.append(f"user {tag}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=user, args=(i,)) for i in range(NUM_USERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    if errors:
+        raise SystemExit("concurrent sessions failed:\n" + "\n".join(errors))
+
+    with ServiceClient(host, port, timeout=30.0) as client:
+        health = client.health()
+        assert health["status"] == "ok", health
+        assert health["created"] >= NUM_USERS, health
+        assert health["active"] == 0, health
+    print(f"drove {NUM_USERS} concurrent sessions: ok")
+
+
+def main():
+    before = shm_segments()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--synthetic", "30", "--port", "0", "--sigma", "2",
+         "--max-edges", "4"],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        start_new_session=True,
+    )
+    try:
+        host, port, lines = wait_ready(proc)
+        print("".join(lines).rstrip())
+        drive(host, port)
+
+        os.killpg(proc.pid, signal.SIGTERM)
+        output, _ = proc.communicate(timeout=EXIT_TIMEOUT_S)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.communicate()
+
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"server exited with status {proc.returncode}:\n{output}"
+        )
+    if "server stopped" not in output:
+        raise SystemExit(f"no clean-shutdown farewell in output:\n{output}")
+    # Pool workers and the multiprocessing resource tracker exit a beat
+    # after the main process; give the group a grace window before calling
+    # any survivor a leak.
+    deadline = time.monotonic() + 10.0
+    while True:
+        try:
+            os.killpg(proc.pid, 0)
+        except ProcessLookupError:
+            break  # the whole group is gone — no leaked workers
+        if time.monotonic() > deadline:
+            os.killpg(proc.pid, signal.SIGKILL)
+            raise SystemExit("server process group survived SIGTERM")
+        time.sleep(0.2)
+
+    leaked = shm_segments() - before
+    if leaked:
+        raise SystemExit(
+            "orphaned shared-memory segments: " + ", ".join(sorted(leaked))
+        )
+    print("clean shutdown: exit 0, process group gone, no shm leaks")
+
+
+if __name__ == "__main__":
+    main()

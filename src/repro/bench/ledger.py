@@ -80,7 +80,11 @@ def run_perf_suite(seed: int = 2012) -> Dict[str, float]:
     * ``pool.*`` — smoke-scale warm-pool vs cold-pool dispatch times over
       the same corpus (the cost bounded by ``bench_pool_warmup``);
     * ``session.*`` — one fuzzed formulation session replayed end to end
-      under the default posture, plus its SRT fold (the Figure 9 smoke).
+      under the default posture, plus its SRT fold (the Figure 9 smoke);
+    * ``service.*`` — 25 concurrent scripted users against an in-process
+      ``repro serve`` stack: p99 client-observed action latency and the
+      99th-percentile SRT-under-load (the cost bounded by
+      ``bench_service_load``).
     """
     from repro.bench.micro import run_micro_hotpaths
     from repro.bench.pool_warmup import run_pool_warmup
@@ -135,6 +139,12 @@ def run_perf_suite(seed: int = 2012) -> Dict[str, float]:
         events_from_reports(engine.history, latency=2.0), run_seconds
     )
     metrics["session.srt_s"] = ledger.srt_seconds
+
+    from repro.bench.service_load import run_service_load
+
+    load = run_service_load(num_sessions=25, smoke=True, seed=seed)
+    metrics["service.p99_action_s"] = float(load["p99_action_s"])
+    metrics["service.srt_under_load_s"] = float(load["srt_under_load_s"])
     return metrics
 
 

@@ -1,0 +1,173 @@
+"""Service load benchmark: N simulated users on one live server.
+
+The whole point of the service layer is that PRAGUE's blended-SRT promise
+survives *concurrency* — per-step processing must still hide inside the
+~2 s GUI latency window when dozens of formulations share one process, one
+index plane and one verification pool.  This module measures exactly that:
+
+* an in-process :class:`~repro.service.http.PragueService` on an ephemeral
+  port (real HTTP, real threads — the same stack ``repro serve`` runs);
+* ``num_sessions`` user threads released together through a barrier, each
+  driving a scripted formulation (nodes, edges, Run) over its own session
+  with its own keep-alive client;
+* client-side wall latency recorded per action, folded two ways: exact-rank
+  percentiles of action latency, and a per-session SRT-under-load ledger
+  (observed action latencies overlapped against the paper's 2 s/edge GUI
+  window, exactly like :mod:`repro.obs.srt` folds engine timings).
+
+Deliverables: ``p99_action_s`` and ``srt_under_load_s`` — the ``service.*``
+entries of the perf-regression trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_EDGE_LATENCY_SECONDS, MiningParams
+from repro.core.plane import SharedPlane
+from repro.graph.database import GraphDatabase
+from repro.graph.generators import random_connected_subgraph
+from repro.index import build_indexes
+from repro.obs.srt import build_ledger
+from repro.service import PragueService, ServiceClient, SessionManager
+from repro.testing import connected_order
+
+#: Mining parameters for the self-built load corpus — small fragments, so
+#: startup stays in seconds while queries still hit the indexed envelope.
+LOAD_PARAMS = MiningParams(
+    min_support=0.15, size_threshold=3, max_fragment_edges=4
+)
+
+
+def _percentile(values: Sequence[float], pct: float) -> float:
+    """Exact-rank percentile (no interpolation): the observed value at or
+    above ``pct`` percent of the sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _script(
+    db: GraphDatabase, rng: random.Random, edges: int
+) -> List[Tuple[str, Tuple[Any, ...]]]:
+    """One scripted formulation: a connected subgraph of a served graph,
+    drawn node-by-node, edge-by-edge, then Run — guaranteed non-empty
+    answers, which keeps the verification path honest."""
+    while True:
+        g = db[rng.randrange(len(db))]
+        sub = random_connected_subgraph(rng, g, min(edges, g.num_edges))
+        if sub is not None:
+            break
+    gestures: List[Tuple[str, Tuple[Any, ...]]] = [
+        ("add_node", (repr(node), sub.label(node))) for node in sub.nodes()
+    ]
+    for u, v in connected_order(sub):
+        gestures.append(
+            ("add_edge", (repr(u), repr(v), sub.edge_label(u, v)))
+        )
+    gestures.append(("run", ()))
+    return gestures
+
+
+def run_service_load(
+    num_sessions: int = 25,
+    smoke: bool = False,
+    seed: int = 2012,
+    edges_per_query: int = 3,
+    edge_latency: float = DEFAULT_EDGE_LATENCY_SECONDS,
+    db: Optional[GraphDatabase] = None,
+) -> Dict[str, Any]:
+    """Drive ``num_sessions`` concurrent scripted users; returns the payload.
+
+    Everything runs in one process (server threads and user threads share
+    the interpreter), which is the honest configuration: it is how
+    ``repro serve`` deploys, and the GIL contention it adds is part of the
+    load being measured.
+    """
+    from repro.datasets.aids import generate_aids_like
+
+    if db is None:
+        db = generate_aids_like(40 if smoke else 80, seed=seed)
+    indexes = build_indexes(db, LOAD_PARAMS)
+    plane = SharedPlane(db, indexes)
+    plane.warm()
+    manager = SessionManager(
+        plane, max_sessions=num_sessions + 4, ttl=0, sigma=2
+    )
+    server = PragueService(manager, port=0)
+    thread = server.serve_background()
+    host, port = server.address
+
+    scripts = [
+        _script(db, random.Random(seed * 1000 + i), edges_per_query)
+        for i in range(num_sessions)
+    ]
+    barrier = threading.Barrier(num_sessions)
+    latencies: List[List[float]] = [[] for _ in range(num_sessions)]
+    srts: List[float] = [0.0] * num_sessions
+    errors: List[str] = []
+
+    def user(index: int) -> None:
+        try:
+            with ServiceClient(host, port, timeout=60.0) as client:
+                barrier.wait(timeout=30.0)
+                sid = client.create_session()
+                events = []
+                run_seconds = 0.0
+                for op, args in scripts[index]:
+                    start = time.perf_counter()
+                    client.act(sid, op, args)
+                    elapsed = time.perf_counter() - start
+                    latencies[index].append(elapsed)
+                    if op == "add_edge":
+                        events.append(("edge", elapsed, edge_latency))
+                    elif op == "run":
+                        run_seconds = elapsed
+                srts[index] = build_ledger(
+                    events, run_seconds=run_seconds
+                ).srt_seconds
+                client.close_session(sid)
+        except Exception as exc:  # noqa: BLE001 - reported in the payload
+            errors.append(f"user {index}: {type(exc).__name__}: {exc}")
+
+    wall_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=user, args=(i,), name=f"user-{i}")
+        for i in range(num_sessions)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    wall_seconds = time.perf_counter() - wall_start
+
+    server.shutdown()
+    thread.join(timeout=5.0)
+    server.server_close()
+
+    flat = [value for per_user in latencies for value in per_user]
+    payload: Dict[str, Any] = {
+        "smoke": smoke,
+        "corpus": len(db),
+        "sessions": num_sessions,
+        "edges_per_query": edges_per_query,
+        "edge_latency_s": edge_latency,
+        "actions": len(flat),
+        "errors": errors,
+        "wall_s": wall_seconds,
+        "actions_per_s": len(flat) / wall_seconds if wall_seconds else 0.0,
+        "p50_action_s": _percentile(flat, 50.0),
+        "p90_action_s": _percentile(flat, 90.0),
+        "p99_action_s": _percentile(flat, 99.0),
+        "max_action_s": max(flat, default=0.0),
+        "srt_under_load_p50_s": _percentile(srts, 50.0),
+        "srt_under_load_s": _percentile(srts, 99.0),
+        "service": manager.stats(),
+    }
+    return payload

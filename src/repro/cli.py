@@ -191,6 +191,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     postmortem.add_argument("bundle", type=Path,
                             help="JSON bundle written by the recorder")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-session HTTP service (one shared index plane, "
+             "one engine per session id)",
+    )
+    serve.add_argument("database", type=Path, nargs="?", default=None,
+                       help="dataset file; omitted = synthetic corpus")
+    serve.add_argument("indexes", type=Path, nargs="?", default=None,
+                       help="index file (default: mine at startup)")
+    serve.add_argument("--synthetic", type=int, default=120,
+                       help="graphs in the synthetic corpus when no dataset "
+                            "file is given")
+    serve.add_argument("--seed", type=int, default=2012)
+    serve.add_argument("--alpha", type=float, default=0.1,
+                       help="minimum support when mining at startup")
+    serve.add_argument("--beta", type=int, default=4)
+    serve.add_argument("--max-edges", type=int, default=5)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="default: $REPRO_SERVICE_PORT or 8765 "
+                            "(0 = ephemeral)")
+    serve.add_argument("--sigma", type=int, default=3,
+                       help="similarity budget for new sessions")
+    serve.add_argument("--max-sessions", type=int, default=None,
+                       help="admission cap (default: "
+                            "$REPRO_SERVICE_MAX_SESSIONS)")
+    serve.add_argument("--ttl", type=float, default=None,
+                       help="idle-session eviction in seconds (default: "
+                            "$REPRO_SERVICE_TTL; 0 disables)")
     return parser
 
 
@@ -643,6 +673,45 @@ def _cmd_postmortem(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the session service until SIGTERM/SIGINT (clean shutdown)."""
+    from repro.core.plane import SharedPlane
+    from repro.service import PragueService, SessionManager, serve_forever
+
+    if args.database is not None:
+        db = read_database(args.database)
+        if args.indexes is not None:
+            indexes = load_indexes(args.indexes)
+        else:
+            indexes = build_indexes(
+                db, MiningParams(args.alpha, args.beta, args.max_edges)
+            )
+    else:
+        db = generate_aids_like(max(args.synthetic, 10), seed=args.seed)
+        indexes = build_indexes(
+            db, MiningParams(args.alpha, args.beta, args.max_edges)
+        )
+    plane = SharedPlane(db, indexes)
+    plane.warm()  # pay the arena build before the first Run, not during it
+    manager = SessionManager(
+        plane,
+        max_sessions=args.max_sessions,
+        ttl=args.ttl,
+        sigma=args.sigma,
+    )
+    server = PragueService(manager, host=args.host, port=args.port)
+    host, port = server.address
+    print(
+        f"serving PRAGUE sessions on http://{host}:{port} "
+        f"({len(db)} graphs, cap {manager.max_sessions()} sessions, "
+        f"ttl {manager.ttl():g}s)",
+        flush=True,
+    )
+    serve_forever(server)
+    print("server stopped")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.bench.harness import results_dir
     from repro.bench.report import render_report
@@ -665,6 +734,7 @@ _COMMANDS = {
     "top": _cmd_top,
     "perf": _cmd_perf,
     "postmortem": _cmd_postmortem,
+    "serve": _cmd_serve,
 }
 
 

@@ -173,6 +173,48 @@ def obs_export_interval() -> float:
     return max(value, 0.0)
 
 
+# ----------------------------------------------------------------------
+# session-service knobs (see docs/CONFIGURATION.md)
+# ----------------------------------------------------------------------
+def service_port() -> int:
+    """TCP port ``python -m repro serve`` binds (``REPRO_SERVICE_PORT``,
+    default 8765; ``0`` asks the OS for an ephemeral port)."""
+    try:
+        value = int(os.environ.get("REPRO_SERVICE_PORT", "8765"))
+    except ValueError:
+        value = 8765
+    return value if 0 <= value <= 65535 else 8765
+
+
+def service_max_sessions() -> int:
+    """Admission gate: concurrent formulation sessions one server holds
+    (``REPRO_SERVICE_MAX_SESSIONS``, default 64, floor 1).
+
+    A create request beyond the cap is rejected with HTTP 503 rather than
+    queued — per-session engines hold SPIG/candidate state, so admission is
+    the memory backpressure valve.
+    """
+    try:
+        value = int(os.environ.get("REPRO_SERVICE_MAX_SESSIONS", "64"))
+    except ValueError:
+        value = 64
+    return max(value, 1)
+
+
+def service_session_ttl() -> float:
+    """Idle seconds before a session is evicted (``REPRO_SERVICE_TTL``,
+    default 1800, ``0`` disables eviction).
+
+    The clock rearms on every action; eviction is lazy (checked on the next
+    store access), so an idle server holds no timers.
+    """
+    try:
+        value = float(os.environ.get("REPRO_SERVICE_TTL", "1800"))
+    except ValueError:
+        value = 1800.0
+    return max(value, 0.0)
+
+
 def postmortem_dir():
     """Directory for automatic post-mortem bundles (``REPRO_POSTMORTEM_DIR``).
 

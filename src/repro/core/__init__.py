@@ -10,6 +10,7 @@ from repro.core.modify import (
     relabel_node,
     suggest_deletion,
 )
+from repro.core.plane import SharedPlane
 from repro.core.prague import PragueEngine, RunReport, StepReport
 from repro.core.results import QueryResults, SimilarCandidates, SimilarityMatch
 from repro.core.persistence import load_session, save_session
@@ -27,6 +28,7 @@ __all__ = [
     "Action",
     "QueryStatus",
     "PragueEngine",
+    "SharedPlane",
     "StepReport",
     "RunReport",
     "QueryResults",

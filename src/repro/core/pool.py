@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import threading
 import time
 import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -60,6 +61,10 @@ _ARENAS: Dict[int, Tuple[Any, int, Any]] = {}
 _BY_VERSION: Dict[str, Any] = {}
 #: id(db) -> ActionAwareIndexes to embed in that database's arena.
 _INDEX_PLANES: Dict[int, Any] = {}
+#: Serializes registry mutation: the service layer runs sessions on
+#: ``ThreadingHTTPServer`` threads, so two first-Run actions can race into
+#: ``arena_for`` (and the weakref death callback can fire on any thread).
+_REGISTRY_LOCK = threading.RLock()
 
 
 def register_index_plane(db, indexes) -> None:
@@ -72,13 +77,21 @@ def register_index_plane(db, indexes) -> None:
     _INDEX_PLANES[id(db)] = indexes
 
 
-def _drop_arena(key: int) -> None:
-    entry = _ARENAS.pop(key, None)
-    _INDEX_PLANES.pop(key, None)
-    if entry is not None:
-        _, _, arena = entry
-        _BY_VERSION.pop(arena.version, None)
-        arena.dispose()
+def _drop_arena(key: int, drop_plane: bool = False) -> None:
+    """Dispose ``key``'s arena; keep its index plane unless the db died.
+
+    Invalidation (``db.add()`` grew the database) must preserve the plane
+    registration so the rebuilt arena still carries the A2F/A2I tables —
+    only the death of the database itself retires the plane.
+    """
+    with _REGISTRY_LOCK:
+        entry = _ARENAS.pop(key, None)
+        if drop_plane:
+            _INDEX_PLANES.pop(key, None)
+        if entry is not None:
+            _, _, arena = entry
+            _BY_VERSION.pop(arena.version, None)
+            arena.dispose()
 
 
 def arena_for(db) -> Optional[Any]:
@@ -92,31 +105,33 @@ def arena_for(db) -> Optional[Any]:
     if not arena_enabled():
         return None
     key = id(db)
-    entry = _ARENAS.get(key)
-    if entry is not None:
-        ref, length, arena = entry
-        if ref() is db and length == len(db):
-            return arena
-        _drop_arena(key)
-        count("arena.invalidations")
-        RECORDER.record("arena.invalidate", db_size=len(db))
-    from repro.index.arena import IndexArena
+    with _REGISTRY_LOCK:
+        entry = _ARENAS.get(key)
+        if entry is not None:
+            ref, length, arena = entry
+            if ref() is db and length == len(db):
+                return arena
+            _drop_arena(key)
+            count("arena.invalidations")
+            RECORDER.record("arena.invalidate", db_size=len(db))
+        from repro.index.arena import IndexArena
 
-    start = time.perf_counter()
-    arena = IndexArena.build(db, indexes=_INDEX_PLANES.get(key))
-    if arena.publish() is None:  # no shared memory on this platform
-        arena.dispose()
-        return None
-    _ARENAS[key] = (weakref.ref(db, lambda _r, k=key: _drop_arena(k)),
-                    len(db), arena)
-    _BY_VERSION[arena.version] = arena
-    count("arena.builds")
-    gauge("arena.bytes", arena.nbytes)
-    RECORDER.record(
-        "arena.build", version=arena.version, bytes=arena.nbytes,
-        graphs=arena.db_size, seconds=time.perf_counter() - start,
-    )
-    return arena
+        start = time.perf_counter()
+        arena = IndexArena.build(db, indexes=_INDEX_PLANES.get(key))
+        if arena.publish() is None:  # no shared memory on this platform
+            arena.dispose()
+            return None
+        _ARENAS[key] = (weakref.ref(db, lambda _r, k=key: _drop_arena(
+                            k, drop_plane=True)),
+                        len(db), arena)
+        _BY_VERSION[arena.version] = arena
+        count("arena.builds")
+        gauge("arena.bytes", arena.nbytes)
+        RECORDER.record(
+            "arena.build", version=arena.version, bytes=arena.nbytes,
+            graphs=arena.db_size, seconds=time.perf_counter() - start,
+        )
+        return arena
 
 
 # ----------------------------------------------------------------------
@@ -157,15 +172,23 @@ def resolve_items(items) -> Sequence[Tuple[int, Any]]:
             and items[0] == ARENA_REF):
         return items
     _, version, ids = items
-    if _WORKER_ARENA is not None and _WORKER_ARENA.version == version:
-        return _WORKER_ARENA.items(ids)
+    attached = _WORKER_ARENA
+    if attached is not None and attached.version == version:
+        return attached.items(ids)
     arena = _BY_VERSION.get(version)
-    if arena is None:
+    if arena is not None:
+        return arena.items(ids)
+    if attached is not None:
+        count("arena.version_mismatch")
         raise RuntimeError(
-            f"no arena attached for version {version!r} "
-            "(worker initializer failed?)"
+            f"arena version mismatch: worker attached {attached.version!r} "
+            f"but the chunk references {version!r} "
+            "(stale forked worker dispatched after an arena rebuild)"
         )
-    return arena.items(ids)
+    raise RuntimeError(
+        f"no arena attached for version {version!r} "
+        "(worker initializer failed or shared memory unavailable)"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +208,9 @@ class WarmPool:
         self._key: Optional[Tuple[int, Optional[str]]] = None
         self._last_used = 0.0
         self._respawn_pending = False
+        # Lifecycle lock only: concurrent ``Pool.map`` calls are safe, but
+        # two service threads must not race a spawn/discard/TTL decision.
+        self._lock = threading.RLock()
 
     # -- lifecycle -----------------------------------------------------
     def _spawn(self, workers: int, arena) -> None:
@@ -211,9 +237,10 @@ class WarmPool:
         )
 
     def _discard(self, reason: str) -> None:
-        if self._pool is None:
-            return
-        pool, self._pool, self._key = self._pool, None, None
+        with self._lock:
+            if self._pool is None:
+                return
+            pool, self._pool, self._key = self._pool, None, None
         try:
             pool.terminate()
             pool.join()
@@ -227,22 +254,23 @@ class WarmPool:
 
     # -- dispatch ------------------------------------------------------
     def _ensure(self, workers: int, arena):
-        version = arena.version if arena is not None else None
-        if self._pool is not None:
-            ttl = pool_idle_ttl()
-            if self._key != (workers, version):
-                self._discard("reconfigured")
-                self._respawn_pending = True
-            elif ttl and time.monotonic() - self._last_used > ttl:
-                count("verify.pool.expired")
-                self._discard("idle-ttl")
-                self._respawn_pending = True
-        if self._pool is None:
-            self._spawn(workers, arena)
-        else:
-            count("verify.pool.reuses")
-            RECORDER.transition("pool.dispatch", "reuse")
-        return self._pool
+        with self._lock:
+            version = arena.version if arena is not None else None
+            if self._pool is not None:
+                ttl = pool_idle_ttl()
+                if self._key != (workers, version):
+                    self._discard("reconfigured")
+                    self._respawn_pending = True
+                elif ttl and time.monotonic() - self._last_used > ttl:
+                    count("verify.pool.expired")
+                    self._discard("idle-ttl")
+                    self._respawn_pending = True
+            if self._pool is None:
+                self._spawn(workers, arena)
+            else:
+                count("verify.pool.reuses")
+                RECORDER.transition("pool.dispatch", "reuse")
+            return self._pool
 
     def map(self, func, payloads: List, workers: int, arena=None) -> List:
         """Run ``func`` over ``payloads`` on the warm (or a cold) pool.

@@ -55,7 +55,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional
+from typing import TYPE_CHECKING, FrozenSet, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.plane import SharedPlane
 
 from repro.config import DEFAULT_SUBGRAPH_DISTANCE
 from repro.core.actions import Action, QueryStatus
@@ -106,21 +109,34 @@ class PragueEngine:
 
     def __init__(
         self,
-        db: GraphDatabase,
-        indexes: ActionAwareIndexes,
+        db: Optional[GraphDatabase] = None,
+        indexes: Optional[ActionAwareIndexes] = None,
         sigma: int = DEFAULT_SUBGRAPH_DISTANCE,
         auto_similarity: bool = True,
+        *,
+        plane: Optional["SharedPlane"] = None,
     ) -> None:
+        if plane is not None:
+            db, indexes = plane.db, plane.indexes
+        if db is None or indexes is None:
+            raise ValueError("PragueEngine needs (db, indexes) or a plane")
         self.db = db
         self.indexes = indexes
         self.sigma = sigma
         self.auto_similarity = auto_similarity
-        # Declare the shared half of the session state: if a Run action
-        # needs the verification pool, the published arena for this db will
-        # carry these A2F/A2I tables (built lazily, nothing happens now).
-        register_index_plane(db, indexes)
-        self._db_ids: FrozenSet[int] = frozenset(db.ids())
-        self._db_ids_size = len(db)
+        self.plane = plane
+        if plane is None:
+            # Declare the shared half of the session state: if a Run action
+            # needs the verification pool, the published arena for this db
+            # will carry these A2F/A2I tables (built lazily, nothing happens
+            # now).
+            register_index_plane(db, indexes)
+            self._db_ids: FrozenSet[int] = frozenset(db.ids())
+        else:
+            # The plane registered the indexes and snapshotted the universe
+            # once for every session — construction stays O(1).
+            self._db_ids = plane.db_ids
+        self._db_ids_size = len(self._db_ids)
         self._candidates_db_size = len(db)
         self.query = VisualQuery()
         self.manager = SpigManager(indexes)
@@ -129,6 +145,16 @@ class PragueEngine:
         self.rq: FrozenSet[int] = frozenset()
         self.similar_candidates: Optional[SimilarCandidates] = None
         self.history: List[StepReport] = []
+
+    @classmethod
+    def from_plane(
+        cls,
+        plane: "SharedPlane",
+        sigma: int = DEFAULT_SUBGRAPH_DISTANCE,
+        auto_similarity: bool = True,
+    ) -> "PragueEngine":
+        """A per-session engine over a process-wide :class:`SharedPlane`."""
+        return cls(sigma=sigma, auto_similarity=auto_similarity, plane=plane)
 
     @property
     def db_ids(self) -> FrozenSet[int]:

@@ -40,11 +40,16 @@ class QuerySpec:
         return len(self.edges)
 
     def graph(self) -> Graph:
-        """The final query graph the user intends to pose."""
+        """The final query graph the user intends to pose.
+
+        Every declared node is part of the intended query — including nodes
+        the script drops but never wires to an edge.  (The *engine's* live
+        fragment, :meth:`repro.query_graph.VisualQuery.graph`, deliberately
+        counts only edge-incident nodes; the ground-truth spec must not.)
+        """
         g = Graph()
-        used = {n for e in self.edges for n in e}
-        for node in used:
-            g.add_node(node, self.nodes[node])
+        for node, label in self.nodes.items():
+            g.add_node(node, label)
         for u, v in self.edges:
             g.add_edge(u, v, self.edge_labels.get((u, v)))
         return g

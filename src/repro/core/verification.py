@@ -218,9 +218,16 @@ def _run_batch(
     except Exception as exc:  # pickling/OS/pool-management failures
         count("verify.pool.fallbacks")
         worker_tb = _worker_traceback(exc)
-        provenance = (
-            {"worker_traceback": worker_tb} if worker_tb is not None else {}
-        )
+        # The pool re-raises worker errors with a generic parent-side frame;
+        # the last traceback line is the worker's actual exception (e.g. an
+        # arena version mismatch), which is what the postmortem should lead
+        # with.
+        provenance = {"cause": f"{type(exc).__name__}: {exc}"}
+        if worker_tb is not None:
+            provenance["worker_traceback"] = worker_tb
+            lines = [l for l in worker_tb.strip().splitlines() if l.strip()]
+            if lines:
+                provenance["cause"] = lines[-1].strip()
         RECORDER.record_exception(
             "pool.fallback", exc, chunks=len(payloads), workers=workers,
             **provenance,

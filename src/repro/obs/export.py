@@ -26,9 +26,12 @@ SCHEMA_VERSION = 2
 #: continuous export) and ``metrics-snapshot`` (the periodically rewritten
 #: snapshot ``python -m repro top`` tails) joined in the cross-process
 #: telemetry PR; earlier readers reject them loudly by kind, not silently.
+#: ``service-response`` wraps every JSON body the session service returns
+#: (:mod:`repro.service.protocol`), so clients version-check responses with
+#: the same ``open_envelope`` the other artifact readers use.
 ENVELOPE_KINDS = (
     "trace-report", "postmortem", "trajectory",
-    "obs-event", "metrics-snapshot",
+    "obs-event", "metrics-snapshot", "service-response",
 )
 
 

@@ -1,0 +1,160 @@
+"""A thin stdlib client for the session service.
+
+One ``http.client.HTTPConnection`` per :class:`ServiceClient` (HTTP/1.1
+keep-alive: one TCP setup per simulated user, which is what the load
+benchmark wants to measure — action latency, not handshakes).  Not
+thread-safe by design; give each simulated user their own client.
+
+Every response body is validated through the same
+:func:`repro.obs.export.open_envelope` the other artifact readers use, and
+a protocol-version mismatch fails loudly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.obs.export import open_envelope
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+class ServiceClientError(ReproError):
+    """A non-2xx service response, carrying the mapped HTTP status."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(f"[{status}] {error_type}: {message}")
+        self.status = status
+        self.error_type = error_type
+
+
+class ServiceClient:
+    """Drive one server as one user: sessions, gestures, introspection."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        body = None if payload is None else json.dumps(payload)
+        headers = {} if body is None else {
+            "Content-Type": "application/json"
+        }
+        try:
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            http_response = conn.getresponse()
+            raw = http_response.read()
+            status = http_response.status
+        except (OSError, http.client.HTTPException):
+            # A dropped keep-alive connection (server restart, idle close)
+            # is retried once on a fresh socket before giving up.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            http_response = conn.getresponse()
+            raw = http_response.read()
+            status = http_response.status
+        data = open_envelope(
+            json.loads(raw.decode("utf-8")), expect_kind="service-response"
+        )
+        if data.get("protocol") != PROTOCOL_VERSION:
+            raise ServiceClientError(
+                status, "ProtocolMismatch",
+                f"server speaks protocol {data.get('protocol')!r}, "
+                f"client speaks {PROTOCOL_VERSION}",
+            )
+        if status >= 400 or "error" in data:
+            error = data.get("error") or {}
+            raise ServiceClientError(
+                status,
+                error.get("type", "UnknownError"),
+                error.get("message", "no message"),
+            )
+        return data
+
+    # -- ops routes ----------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def obs(self) -> Dict[str, Any]:
+        return self.request("GET", "/obs")
+
+    # -- session lifecycle ---------------------------------------------
+    def create_session(self, sigma: Optional[int] = None) -> str:
+        payload: Dict[str, Any] = {}
+        if sigma is not None:
+            payload["sigma"] = sigma
+        return self.request("POST", "/v1/sessions", payload)["session"]
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        return self.request("GET", "/v1/sessions")["sessions"]
+
+    def session(self, sid: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/sessions/{sid}")
+
+    def close_session(self, sid: str) -> None:
+        self.request("DELETE", f"/v1/sessions/{sid}")
+
+    # -- gestures ------------------------------------------------------
+    def act(
+        self, sid: str, op: str, args: Sequence[Any] = (),
+    ) -> Dict[str, Any]:
+        return self.request(
+            "POST", f"/v1/sessions/{sid}/actions",
+            {"op": op, "args": list(args)},
+        )
+
+    def add_node(self, sid: str, node: Any, label: str) -> Dict[str, Any]:
+        return self.act(sid, "add_node", (node, label))
+
+    def add_edge(
+        self, sid: str, u: Any, v: Any, label: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        return self.act(sid, "add_edge", (u, v, label))
+
+    def delete_edge(
+        self, sid: str, edge_id: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        return self.act(sid, "delete_edge", (edge_id,))
+
+    def enable_similarity(self, sid: str) -> Dict[str, Any]:
+        return self.act(sid, "enable_similarity")
+
+    def run(self, sid: str) -> Dict[str, Any]:
+        return self.act(sid, "run")
+
+    def undo(self, sid: str) -> Dict[str, Any]:
+        return self.act(sid, "undo")
+
+    def redo(self, sid: str) -> Dict[str, Any]:
+        return self.act(sid, "redo")

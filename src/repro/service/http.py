@@ -1,0 +1,226 @@
+"""The stdlib HTTP front of the session service.
+
+``ThreadingHTTPServer`` — one thread per in-flight request, daemonic so a
+``server.shutdown()`` (or process exit) never hangs on a straggler.  Routes:
+
+=========================================  ==================================
+``GET  /healthz``                          liveness + session-store stats
+``GET  /obs``                              ``repro.obs.full_snapshot()``
+``POST /v1/sessions``                      create (``{"sigma": int?}``)
+``GET  /v1/sessions``                      list live session summaries
+``GET  /v1/sessions/<sid>``                one session's state
+``DELETE /v1/sessions/<sid>``              close a session
+``POST /v1/sessions/<sid>/actions``        ``{"op": ..., "args": [...]}``
+=========================================  ==================================
+
+Every body is a :mod:`repro.service.protocol` envelope.  The process-wide
+observability stack needs no special wiring: engine actions run on server
+threads, their counters/histograms land in the shared registries, and with
+``REPRO_OBS_EXPORT`` set the continuous exporter streams them — ``repro top
+--dir`` is the ops console.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config import service_port
+from repro.obs.metrics import full_snapshot
+from repro.obs.recorder import RECORDER
+from repro.service.protocol import (
+    error_response,
+    response,
+    result_payload,
+    session_payload,
+    status_for,
+)
+from repro.service.sessions import SessionManager
+
+#: Request bodies beyond this are rejected with 413 — gestures are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Route one HTTP request into the session manager."""
+
+    server_version = "prague-repro"
+    protocol_version = "HTTP/1.1"  # keep-alive: one TCP setup per client
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def manager(self) -> SessionManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # No stderr chatter per request; the flight recorder keeps the tail.
+        RECORDER.record(
+            "service.http", line=format % args if args else format
+        )
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body too large ({length} bytes)")
+        if length == 0:
+            return {}
+        data = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            handled = self._route(method, self.path.rstrip("/") or "/")
+        except Exception as exc:  # one mapping for every route
+            self._send(status_for(exc), error_response(exc))
+            return
+        if not handled:
+            self._send(404, error_response(
+                ValueError(f"no route {method} {self.path}")
+            ))
+
+    # -- routes --------------------------------------------------------
+    def _route(self, method: str, path: str) -> bool:
+        if method == "GET" and path == "/healthz":
+            self._send(200, response(
+                {"status": "ok", **self.manager.stats()}
+            ))
+            return True
+        if method == "GET" and path == "/obs":
+            self._send(200, response({
+                "snapshot": full_snapshot(),
+                "service": self.manager.stats(),
+            }))
+            return True
+        if path == "/v1/sessions":
+            if method == "POST":
+                body = self._read_body()
+                session = self.manager.create(sigma=body.get("sigma"))
+                self._send(201, response(session_payload(session)))
+                return True
+            if method == "GET":
+                self._send(200, response({"sessions": [
+                    session_payload(s)
+                    for s in self.manager.live_sessions()
+                ]}))
+                return True
+            return False
+        parts = path.split("/")
+        # /v1/sessions/<sid> and /v1/sessions/<sid>/actions
+        if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "sessions":
+            sid = parts[3]
+            if len(parts) == 4:
+                if method == "GET":
+                    self._send(200, response(
+                        session_payload(self.manager.get(sid))
+                    ))
+                    return True
+                if method == "DELETE":
+                    self.manager.close(sid)
+                    self._send(200, response({"closed": sid}))
+                    return True
+                return False
+            if len(parts) == 5 and parts[4] == "actions" and method == "POST":
+                body = self._read_body()
+                op = body.get("op")
+                if not isinstance(op, str):
+                    raise ValueError('body needs {"op": "<gesture>"}')
+                session, result = self.manager.act(
+                    sid, op, body.get("args", ())
+                )
+                payload = session_payload(session)
+                shaped = result_payload(result)
+                if shaped is not None:
+                    payload.update(shaped)
+                self._send(200, response(payload))
+                return True
+        return False
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+class PragueService(ThreadingHTTPServer):
+    """The session server: a ``ThreadingHTTPServer`` owning one manager."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # Dozens of clients connect in the same instant when a class of users
+    # (or the load benchmark's barrier) starts together; the socket-module
+    # default backlog of 5 resets the overflow instead of queueing it.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+    ) -> None:
+        self.manager = manager
+        super().__init__(
+            (host, service_port() if port is None else port), ServiceHandler
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, benchmarks)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="prague-service", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def serve_forever(
+    server: PragueService, install_signals: bool = True
+) -> None:
+    """Serve until SIGTERM/SIGINT, then shut down cleanly.
+
+    ``server.shutdown()`` *blocks* until the accept loop exits, so it must
+    not run inside a signal handler on the accepting thread (that would
+    deadlock).  Instead the accept loop runs on a daemon thread and the
+    main thread waits on a stop event the handlers merely set.
+    """
+    if not install_signals:
+        try:
+            server.serve_forever(poll_interval=0.1)
+        finally:
+            server.server_close()
+        return
+    stop = threading.Event()
+
+    def _stop(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    thread = server.serve_background()
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+        server.server_close()

@@ -1,0 +1,122 @@
+"""The versioned JSON protocol the session service speaks.
+
+Every response body is a schema-v2 ``service-response`` envelope
+(:func:`repro.obs.export.envelope`) carrying ``protocol``
+(:data:`PROTOCOL_VERSION`) plus the route's payload — so clients validate
+bodies with the same ``open_envelope`` every other artifact reader uses,
+and get loud version errors instead of silent misreads when either side
+upgrades.
+
+Errors are payloads too: ``{"error": {"type": ..., "message": ...}}`` with
+the HTTP status from :func:`status_for` — 404 for unknown sessions, 503 at
+the admission gate, 400 for invalid gestures, 500 for everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.prague import RunReport, StepReport
+from repro.exceptions import ReproError
+from repro.obs.export import envelope
+from repro.service.sessions import (
+    AdmissionError,
+    Session,
+    UnknownSessionError,
+)
+
+#: Bumped whenever a request or response shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+def response(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a route payload in the versioned service envelope."""
+    return envelope(
+        "service-response", {"protocol": PROTOCOL_VERSION, **payload}
+    )
+
+
+def error_response(exc: BaseException) -> Dict[str, Any]:
+    return response({
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    })
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status an exception maps to."""
+    if isinstance(exc, UnknownSessionError):
+        return 404
+    if isinstance(exc, AdmissionError):
+        return 503
+    if isinstance(exc, (ReproError, ValueError, TypeError, KeyError)):
+        return 400
+    return 500
+
+
+# ----------------------------------------------------------------------
+# result / state shaping
+# ----------------------------------------------------------------------
+def step_report_payload(report: StepReport) -> Dict[str, Any]:
+    suggestion = None
+    if report.suggestion is not None:
+        suggestion = {
+            "edge_id": report.suggestion.edge_id,
+            "candidates": sorted(report.suggestion.candidates),
+        }
+    return {
+        "action": report.action.value,
+        "status": report.status.value,
+        "edge_id": report.edge_id,
+        "rq_size": report.rq_size,
+        "candidate_count": report.candidate_count,
+        "processing_seconds": report.processing_seconds,
+        "spig_seconds": report.spig_seconds,
+        "suggestion": suggestion,
+    }
+
+
+def run_report_payload(report: RunReport) -> Dict[str, Any]:
+    return {
+        "exact": sorted(report.results.exact_ids),
+        "similar": [
+            {
+                "distance": m.distance,
+                "graph_id": m.graph_id,
+                "verification_free": m.verification_free,
+            }
+            for m in report.results.similar
+        ],
+        "verification_free": report.verification_free,
+        "candidate_count": report.candidate_count,
+        "processing_seconds": report.processing_seconds,
+    }
+
+
+def result_payload(result: Any) -> Optional[Dict[str, Any]]:
+    """Shape whatever a gesture returned (``None`` for undo/redo/add_node)."""
+    if isinstance(result, StepReport):
+        return {"step": step_report_payload(result)}
+    if isinstance(result, list) and result \
+            and isinstance(result[0], StepReport):
+        return {"steps": [step_report_payload(r) for r in result]}
+    if isinstance(result, RunReport):
+        return {"run": run_report_payload(result)}
+    if result is None:
+        return None
+    return {"value": result}
+
+
+def session_payload(session: Session) -> Dict[str, Any]:
+    """The per-session state summary every session route returns."""
+    engine = session.engine
+    return {
+        "session": session.sid,
+        "status": engine.status.value,
+        "sim_flag": engine.sim_flag,
+        "option_pending": engine.option_pending,
+        "num_edges": engine.query.num_edges,
+        "rq_size": len(engine.rq),
+        "can_undo": engine.can_undo,
+        "can_redo": engine.can_redo,
+        "actions": session.action_count,
+    }

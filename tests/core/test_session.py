@@ -25,9 +25,14 @@ class TestQuerySpec:
         assert g.num_edges == 2
         assert g.label(0) == "A"
 
-    def test_graph_skips_unused_nodes(self):
+    def test_graph_keeps_isolated_declared_nodes(self):
+        # Regression: declared-but-unwired nodes used to be silently dropped,
+        # which gave the oracle and traditional_srt the wrong ground truth.
         s = QuerySpec(name="x", nodes={0: "A", 1: "B", 9: "C"}, edges=((0, 1),))
-        assert s.graph().num_nodes == 2
+        g = s.graph()
+        assert g.num_nodes == 3
+        assert g.label(9) == "C"
+        assert g.num_edges == 1
 
     def test_edge_labels(self):
         s = QuerySpec(

@@ -176,6 +176,51 @@ class TestArenaPlane:
         monkeypatch.setenv("REPRO_ARENA", "0")
         assert pool_mod.arena_for(corpus) is None
 
+    def test_rebuild_after_db_add_keeps_index_plane(self):
+        """Regression: invalidation used to pop the plane registration, so
+        the rebuilt arena shipped without A2F/A2I tables."""
+        from repro.config import MiningParams
+        from repro.index import build_indexes
+
+        db = small_database(seed=22, num_graphs=20)
+        indexes = build_indexes(
+            db, MiningParams(min_support=0.2, size_threshold=3,
+                             max_fragment_edges=4)
+        )
+        pool_mod.register_index_plane(db, indexes)
+        first = pool_mod.arena_for(db)
+        if first is None:
+            pytest.skip("shared memory unavailable on this platform")
+        assert first.has_section("a2f")
+        db.add(db[0].copy())
+        second = pool_mod.arena_for(db)
+        assert second is not first
+        assert second.has_section("a2f")
+        pool_mod.shutdown()
+
+    def test_resolve_distinguishes_mismatch_from_missing_attach(
+        self, monkeypatch
+    ):
+        """Regression: a stale forked worker's version mismatch used to be
+        reported as 'worker initializer failed?'."""
+        class _Stub:
+            version = "stale-version"
+
+            def items(self, ids):  # pragma: no cover - never reached
+                raise AssertionError
+
+        payload = (pool_mod.ARENA_REF, "fresh-version", [1, 2])
+        monkeypatch.setattr(pool_mod, "_WORKER_ARENA", _Stub())
+        with obs.trace():
+            with pytest.raises(RuntimeError, match="version mismatch"):
+                pool_mod.resolve_items(payload)
+            counters = obs.full_snapshot()["counters"]
+        assert counters.get("arena.version_mismatch", 0) == 1
+
+        monkeypatch.setattr(pool_mod, "_WORKER_ARENA", None)
+        with pytest.raises(RuntimeError, match="no arena attached"):
+            pool_mod.resolve_items(payload)
+
 
 class TestAnswerInvariance:
     @pytest.mark.parametrize("env", [

@@ -62,7 +62,7 @@ def test_malformed_artifacts_rejected(bad):
 def test_all_writers_share_the_declared_kinds():
     assert set(ENVELOPE_KINDS) == {
         "trace-report", "postmortem", "trajectory",
-        "obs-event", "metrics-snapshot",
+        "obs-event", "metrics-snapshot", "service-response",
     }
 
 

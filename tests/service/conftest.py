@@ -1,0 +1,38 @@
+"""Shared service-layer fixtures: one plane, one live server per module."""
+
+import pytest
+
+from repro.core.plane import SharedPlane
+from repro.service import PragueService, ServiceClient, SessionManager
+
+
+@pytest.fixture(scope="module")
+def plane(small_db, small_indexes):
+    return SharedPlane(small_db, small_indexes)
+
+
+@pytest.fixture()
+def manager(plane):
+    return SessionManager(plane, max_sessions=8, ttl=0, sigma=2)
+
+
+@pytest.fixture(scope="module")
+def server(plane):
+    service = PragueService(
+        SessionManager(plane, max_sessions=4, ttl=0, sigma=2), port=0
+    )
+    thread = service.serve_background()
+    yield service
+    service.shutdown()
+    thread.join(timeout=5.0)
+    service.server_close()
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServiceClient(host, port, timeout=10.0) as c:
+        yield c
+        # Leave no sessions behind for the next test (the cap is small).
+        for session in c.sessions():
+            c.close_session(session["session"])

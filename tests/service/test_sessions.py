@@ -1,0 +1,163 @@
+"""SessionManager: admission, TTL eviction, isolation, serialization."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import PragueEngine
+from repro.service import (
+    AdmissionError,
+    SessionManager,
+    UnknownSessionError,
+)
+from repro.service.sessions import SERVICE_OPS
+
+
+class TestAdmission:
+    def test_cap_rejects_with_admission_error(self, plane):
+        manager = SessionManager(plane, max_sessions=2, ttl=0)
+        manager.create()
+        manager.create()
+        with pytest.raises(AdmissionError, match="session cap"):
+            manager.create()
+        assert manager.stats()["rejected"] == 1
+
+    def test_closing_reopens_a_slot(self, plane):
+        manager = SessionManager(plane, max_sessions=1, ttl=0)
+        first = manager.create()
+        manager.close(first.sid)
+        assert manager.create() is not None
+
+    def test_admission_counters(self, plane):
+        manager = SessionManager(plane, max_sessions=1, ttl=0)
+        with obs.trace():
+            manager.create()
+            with pytest.raises(AdmissionError):
+                manager.create()
+            counters = obs.full_snapshot()["counters"]
+        assert counters.get("service.sessions.created", 0) == 1
+        assert counters.get("service.sessions.rejected", 0) == 1
+
+
+class TestTtlEviction:
+    def test_idle_session_is_evicted(self, plane):
+        manager = SessionManager(plane, max_sessions=8, ttl=0.01)
+        session = manager.create()
+        time.sleep(0.05)
+        with pytest.raises(UnknownSessionError):
+            manager.get(session.sid)
+        assert manager.stats()["evicted"] == 1
+
+    def test_actions_rearm_the_clock(self, plane):
+        manager = SessionManager(plane, max_sessions=8, ttl=0.2)
+        session = manager.create()
+        for _ in range(3):
+            time.sleep(0.05)
+            manager.act(session.sid, "add_node", ("n", "A"))
+        # Idle time never exceeded the TTL, so the session survived well
+        # past creation + TTL.
+        assert manager.get(session.sid) is session
+
+    def test_ttl_zero_disables_eviction(self, plane):
+        manager = SessionManager(plane, max_sessions=8, ttl=0)
+        session = manager.create()
+        time.sleep(0.02)
+        assert manager.evict_expired() == 0
+        assert manager.get(session.sid) is session
+
+    def test_eviction_frees_admission_slots(self, plane):
+        manager = SessionManager(plane, max_sessions=1, ttl=0.01)
+        manager.create()
+        time.sleep(0.05)
+        assert manager.create() is not None  # the expired one made room
+
+
+class TestIsolation:
+    def test_concurrent_sessions_do_not_cross_contaminate(self, plane):
+        """Two interleaved sessions must answer exactly like two dedicated
+        engines over the same (db, indexes)."""
+        manager = SessionManager(plane, max_sessions=8, ttl=0, sigma=2)
+        a = manager.create()
+        b = manager.create()
+        # Interleave the two formulations action by action.
+        manager.act(a.sid, "add_node", ("x", "A"))
+        manager.act(b.sid, "add_node", ("x", "B"))
+        manager.act(a.sid, "add_node", ("y", "B"))
+        manager.act(b.sid, "add_node", ("y", "C"))
+        manager.act(a.sid, "add_edge", ("x", "y", None))
+        manager.act(b.sid, "add_edge", ("x", "y", None))
+        _, run_a = manager.act(a.sid, "run")
+        _, run_b = manager.act(b.sid, "run")
+
+        def reference(pairs):
+            engine = PragueEngine(plane.db, plane.indexes, sigma=2)
+            for node, label in pairs:
+                engine.add_node(node, label)
+            engine.add_edge("x", "y")
+            return engine.run()
+
+        ref_a = reference([("x", "A"), ("y", "B")])
+        ref_b = reference([("x", "B"), ("y", "C")])
+        assert run_a.results.exact_ids == ref_a.results.exact_ids
+        assert run_b.results.exact_ids == ref_b.results.exact_ids
+        assert a.engine.query.num_edges == 1
+        assert b.engine.query.num_edges == 1
+
+    def test_undo_stacks_are_per_session(self, plane):
+        manager = SessionManager(plane, max_sessions=8, ttl=0)
+        a = manager.create()
+        b = manager.create()
+        manager.act(a.sid, "add_node", ("x", "A"))
+        manager.act(a.sid, "add_node", ("y", "B"))
+        manager.act(a.sid, "add_edge", ("x", "y", None))
+        assert a.engine.can_undo
+        assert not b.engine.can_undo
+        manager.act(a.sid, "undo")
+        assert a.engine.query.num_edges == 0
+        assert not b.engine.can_redo
+
+
+class TestSerialization:
+    def test_racing_actions_on_one_session_all_land(self, plane):
+        manager = SessionManager(plane, max_sessions=8, ttl=0)
+        session = manager.create()
+        errors = []
+
+        def hammer(tag):
+            try:
+                for i in range(20):
+                    manager.act(
+                        session.sid, "add_node", (f"{tag}-{i}", "A")
+                    )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert session.action_count == 80
+
+
+class TestDispatch:
+    def test_unknown_op_is_rejected(self, plane):
+        manager = SessionManager(plane, max_sessions=8, ttl=0)
+        session = manager.create()
+        with pytest.raises(ValueError, match="unknown op"):
+            manager.act(session.sid, "drop_table")
+
+    def test_service_ops_cover_the_gui_actions(self):
+        for op in ("add_edge", "delete_edge", "enable_similarity", "run",
+                   "undo", "redo"):
+            assert op in SERVICE_OPS
+
+    def test_unknown_session_raises(self, plane):
+        manager = SessionManager(plane, max_sessions=8, ttl=0)
+        with pytest.raises(UnknownSessionError):
+            manager.act("nope", "run")
