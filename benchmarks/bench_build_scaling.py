@@ -1,0 +1,79 @@
+"""Cold-start index builds at 10–100x scale — serial vs sharded pipeline.
+
+Not a paper figure: this sweep guards the sharded build pipeline
+(:mod:`repro.index.sharded`) and pushes the scale axis the ROADMAP names —
+corpora 10x–100x the 60-graph perf-ledger corpus, chunk-generated in
+parallel (:mod:`repro.datasets.scale`).  At every size the sharded catalogs
+are asserted equivalent to the serial mine, and the floor enforced:
+
+* sharded build ≥ 2x faster than the serial build at 4 workers on the 10x
+  corpus — **asserted only when the machine exposes ≥ 4 CPUs** (with fewer
+  the floor is unreachable by construction, and on a single-CPU runner the
+  sharded path is honestly slower: same mining work plus merge and process
+  overhead; the emitted results record the measured ratio and the CPU
+  count either way).
+"""
+
+import pytest
+
+from repro.bench import emit, format_table
+from repro.bench.build_scaling import (
+    SWEEP_WORKERS,
+    parallel_cpus,
+    run_build_scaling,
+)
+from repro.bench.harness import BUILD_SCALING_PARAMS, scale_db, scale_sweep_sizes
+from repro.index.sharded import mine_sharded
+
+SHARDED_OVER_SERIAL_FLOOR = 2.0
+
+
+@pytest.mark.benchmark(group="build_scaling")
+def test_build_scaling(benchmark):
+    data = run_build_scaling()
+
+    rows = []
+    for size, point in data["points"].items():
+        rows.append([
+            size,
+            f"{point['cold_s']:.2f}",
+            f"{point['sharded_s']:.2f}",
+            f"{point['speedup']:.2f}x",
+            point["frequent"],
+            point["difs"],
+            "yes" if point.get("equivalent") else "NO",
+        ])
+    table = format_table(
+        f"Cold index builds, serial vs sharded ({data['workers']} workers, "
+        f"{data['parallel_cpus']} CPUs visible, alpha="
+        f"{data['params']['min_support']}, max_edges="
+        f"{data['params']['max_fragment_edges']})",
+        ["graphs", "serial (s)", "sharded (s)", "speedup", "frequent",
+         "difs", "equivalent"],
+        rows,
+    )
+    emit("build_scaling", table, data)
+
+    # Correctness is unconditional: every size, sharded == serial.
+    for point in data["points"].values():
+        assert point["equivalent"]
+
+    # Benchmarked op: one sharded build of the 10x corpus.
+    smallest = scale_sweep_sizes()[0]
+    db = scale_db(smallest)
+    benchmark.pedantic(
+        lambda: mine_sharded(db, BUILD_SCALING_PARAMS, SWEEP_WORKERS),
+        rounds=1, iterations=1,
+    )
+
+    # The 2x-at-4-workers floor needs at least 4 CPUs to be reachable
+    # (with k < 4 CPUs the ideal speedup is already capped at k).
+    ten_x = data["points"][str(smallest)]
+    if parallel_cpus() >= SWEEP_WORKERS:
+        assert ten_x["speedup"] >= SHARDED_OVER_SERIAL_FLOOR
+    else:
+        pytest.skip(
+            f"{parallel_cpus()}-CPU host: sharded/serial = "
+            f"{ten_x['speedup']:.2f}x recorded; the >= "
+            f"{SHARDED_OVER_SERIAL_FLOOR}x floor needs >= {SWEEP_WORKERS} CPUs"
+        )

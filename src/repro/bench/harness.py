@@ -31,10 +31,18 @@ from repro.index.builder import ActionAwareIndexes, build_indexes
 #: Laptop-scale defaults (paper scale in parentheses).
 AIDS_DEFAULT_SIZE = 1000        # paper: 40 000
 SYNTHETIC_SWEEP_SIZES = (500, 1000, 2000, 3000, 4000)  # paper: 10K..80K
+#: The cold-build scale sweep: 10x–100x the 60-graph perf-ledger corpus,
+#: generated chunked (:mod:`repro.datasets.scale`) so corpora this large
+#: can be produced in parallel.  ``bench_build_scaling`` sweeps these.
+SCALE_SWEEP_SIZES = (600, 2000, 6000)
 AIDS_PARAMS = MiningParams(min_support=0.1, size_threshold=4,
                            max_fragment_edges=8)
 SYNTHETIC_PARAMS = MiningParams(min_support=0.05, size_threshold=4,
                                 max_fragment_edges=8)
+#: Mining parameters for the cold-build sweep — α matches AIDS_PARAMS; the
+#: edge bound is 5 so a 100x corpus still builds in CI-friendly minutes.
+BUILD_SCALING_PARAMS = MiningParams(min_support=0.1, size_threshold=4,
+                                    max_fragment_edges=5)
 DEFAULT_SIGMA = 3
 QUERY_EDGES = 7
 
@@ -83,6 +91,24 @@ def synthetic_db(size: int) -> GraphDatabase:
 
 def synthetic_sweep_sizes() -> List[int]:
     return [scaled(s) for s in SYNTHETIC_SWEEP_SIZES]
+
+
+def scale_db(size: int, workers: int = 1) -> GraphDatabase:
+    """Chunk-generated AIDS-like corpus for the cold-build scale sweep.
+
+    Worker-count independent (see :mod:`repro.datasets.scale`), so cached
+    under the size alone.
+    """
+    from repro.datasets.scale import generate_scaled
+
+    key = f"scale:{size}"
+    if key not in _DB_CACHE:
+        _DB_CACHE[key] = generate_scaled("aids", size, workers=workers)
+    return _DB_CACHE[key]
+
+
+def scale_sweep_sizes() -> List[int]:
+    return [scaled(s) for s in SCALE_SWEEP_SIZES]
 
 
 def indexes_for(

@@ -55,6 +55,10 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--kind", choices=("aids", "graphgen"), default="aids")
     gen.add_argument("--size", type=int, default=500)
     gen.add_argument("--seed", type=int, default=2012)
+    gen.add_argument("--workers", type=int, default=1,
+                     help="generate in parallel chunks (chunked corpora are "
+                          "a different seeded family than the serial "
+                          "generators; output is worker-count independent)")
     gen.add_argument("--out", type=Path, required=True)
 
     stats = sub.add_parser("stats", help="summarise a dataset file")
@@ -68,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="MF/DF fragment size threshold")
     index.add_argument("--max-edges", type=int, default=8,
                        help="largest mined fragment size")
+    index.add_argument("--workers", type=int, default=None,
+                       help="parallel build workers (default: "
+                            "REPRO_BUILD_WORKERS; 1 = serial mining)")
+    index.add_argument("--shards", type=int, default=None,
+                       help="database partitions for a sharded build "
+                            "(default: REPRO_BUILD_SHARDS; 0 = one per worker)")
     index.add_argument("--out", type=Path, required=True)
 
     query = sub.add_parser("query", help="answer one query graph")
@@ -209,6 +219,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="minimum support when mining at startup")
     serve.add_argument("--beta", type=int, default=4)
     serve.add_argument("--max-edges", type=int, default=5)
+    serve.add_argument("--build-workers", type=int, default=None,
+                       help="parallel workers for the startup index build "
+                            "(default: REPRO_BUILD_WORKERS; 1 = serial)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=None,
                        help="default: $REPRO_SERVICE_PORT or 8765 "
@@ -228,7 +241,13 @@ def _build_parser() -> argparse.ArgumentParser:
 # subcommand implementations
 # ----------------------------------------------------------------------
 def _cmd_generate(args) -> int:
-    if args.kind == "aids":
+    if args.workers > 1:
+        from repro.datasets.scale import generate_scaled
+
+        db = generate_scaled(
+            args.kind, args.size, seed=args.seed, workers=args.workers
+        )
+    elif args.kind == "aids":
         db = generate_aids_like(args.size, seed=args.seed)
     else:
         db = generate_graphgen_like(args.size, seed=args.seed)
@@ -251,10 +270,27 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _index_progress(kind: str, fields: dict) -> None:
+    """Render sharded-build progress events (mirrors the flight recorder)."""
+    if kind == "index.build.start":
+        print(f"  sharded build: {fields['db_size']} graphs, "
+              f"{fields['shards']} shards x {fields['workers']} workers")
+    elif kind == "index.build.shard":
+        print(f"  shard {fields['shard'] + 1}/{fields['shards']} mined "
+              f"({fields['graphs']} graphs, {fields['fragments']} candidates)")
+    elif kind == "index.build.merge":
+        print(f"  merged {fields['candidates']} candidates -> "
+              f"{fields['frequent']} frequent")
+
+
 def _cmd_index(args) -> int:
     db = read_database(args.database)
     params = MiningParams(args.alpha, args.beta, args.max_edges)
-    indexes = build_indexes(db, params)
+    indexes = build_indexes(
+        db, params,
+        workers=args.workers, shards=args.shards,
+        progress=_index_progress,
+    )
     written = save_indexes(indexes, args.out)
     print(f"mined {len(indexes.frequent)} frequent fragments and "
           f"{len(indexes.difs)} DIFs "
@@ -684,12 +720,14 @@ def _cmd_serve(args) -> int:
             indexes = load_indexes(args.indexes)
         else:
             indexes = build_indexes(
-                db, MiningParams(args.alpha, args.beta, args.max_edges)
+                db, MiningParams(args.alpha, args.beta, args.max_edges),
+                workers=args.build_workers, progress=_index_progress,
             )
     else:
         db = generate_aids_like(max(args.synthetic, 10), seed=args.seed)
         indexes = build_indexes(
-            db, MiningParams(args.alpha, args.beta, args.max_edges)
+            db, MiningParams(args.alpha, args.beta, args.max_edges),
+            workers=args.build_workers, progress=_index_progress,
         )
     plane = SharedPlane(db, indexes)
     plane.warm()  # pay the arena build before the first Run, not during it

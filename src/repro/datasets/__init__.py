@@ -10,11 +10,16 @@ from repro.datasets.queries import (
     standard_containment_workload,
     standard_similarity_workload,
 )
+from repro.datasets.scale import CHUNK_SIZE, chunk_plan, chunk_seed, generate_scaled
 from repro.datasets.synthetic import generate_graphgen_like
 
 __all__ = [
     "generate_aids_like",
     "generate_graphgen_like",
+    "generate_scaled",
+    "chunk_plan",
+    "chunk_seed",
+    "CHUNK_SIZE",
     "ATOM_WEIGHTS",
     "WorkloadQuery",
     "connected_edge_order",

@@ -1,0 +1,100 @@
+"""Chunked corpus generation for the 10–100x scale sweep.
+
+The serial generators (:func:`repro.datasets.aids.generate_aids_like`,
+:func:`repro.datasets.synthetic.generate_graphgen_like`) thread one RNG
+through the whole corpus, which makes them inherently sequential: graph *i*
+cannot be produced without producing graphs ``0..i-1`` first.  At the
+10–100x sizes the scale sweep targets (``benchmarks/bench_build_scaling.py``)
+that is the second serial bottleneck after index construction.
+
+:func:`generate_scaled` removes it by generating in **fixed-size chunks**
+with per-chunk derived seeds: chunk boundaries depend only on
+``(num_graphs, chunk_size)`` and each chunk's seed only on ``(seed, chunk
+index)``, so the corpus is *identical at every worker count* — ``workers``
+changes wall-clock time, never bytes.  A ``(kind, num_graphs, seed)`` triple
+names a reproducible dataset, exactly like the serial generators — but note
+it is a *different* dataset family: ``generate_scaled("aids", n, seed)`` does
+not reproduce ``generate_aids_like(n, seed)`` graph-for-graph, because the
+RNG restarts at every chunk boundary.  The statistical shape (atom mix,
+degree caps, ring structure) is unchanged — only the stream partitioning
+differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.datasets.aids import generate_aids_like
+from repro.datasets.synthetic import generate_graphgen_like
+from repro.graph.database import GraphDatabase
+
+#: Graphs per generation chunk.  Part of the dataset identity — changing it
+#: changes every ``generate_scaled`` corpus — so it is a constant, not a knob.
+CHUNK_SIZE = 500
+
+_GENERATORS: Dict[str, Callable[..., GraphDatabase]] = {
+    "aids": generate_aids_like,
+    "graphgen": generate_graphgen_like,
+}
+
+
+def chunk_plan(num_graphs: int, chunk_size: int = CHUNK_SIZE) -> List[int]:
+    """Chunk sizes covering ``num_graphs`` — all full except a last remainder.
+
+    >>> chunk_plan(1200)
+    [500, 500, 200]
+    >>> chunk_plan(3)
+    [3]
+    """
+    if num_graphs <= 0:
+        return []
+    full, rest = divmod(num_graphs, chunk_size)
+    return [chunk_size] * full + ([rest] if rest else [])
+
+
+def chunk_seed(seed: int, index: int) -> int:
+    """Derived seed for chunk ``index`` — a fixed integer mix, so the chunk
+    streams are decorrelated but the mapping never changes across versions."""
+    return (seed * 1_000_003 + index * 7_919 + 12_289) & 0x7FFF_FFFF
+
+
+def _generate_chunk(task: Tuple[str, int, int, Dict[str, Any]]) -> GraphDatabase:
+    kind, size, seed, kwargs = task
+    return _GENERATORS[kind](size, seed=seed, **kwargs)
+
+
+def generate_scaled(
+    kind: str,
+    num_graphs: int,
+    seed: int = 2012,
+    workers: int = 1,
+    **kwargs: Any,
+) -> GraphDatabase:
+    """Generate a ``kind`` corpus (``"aids"`` | ``"graphgen"``) of
+    ``num_graphs`` graphs in :data:`CHUNK_SIZE`-graph chunks.
+
+    ``workers > 1`` generates chunks in parallel processes (``fork``
+    platforms; silently serial elsewhere).  The output is identical at every
+    worker count.  Extra ``kwargs`` pass through to the underlying generator
+    (e.g. ``bond_labels=True`` for AIDS-like corpora).
+    """
+    if kind not in _GENERATORS:
+        raise ValueError(f"unknown corpus kind {kind!r} (have: {sorted(_GENERATORS)})")
+    tasks = [
+        (kind, size, chunk_seed(seed, i), kwargs)
+        for i, size in enumerate(chunk_plan(num_graphs))
+    ]
+    if (
+        workers > 1
+        and len(tasks) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        with multiprocessing.get_context("fork").Pool(
+            processes=min(workers, len(tasks))
+        ) as pool:
+            chunks = pool.map(_generate_chunk, tasks)
+    else:
+        chunks = [_generate_chunk(t) for t in tasks]
+    graphs = [g for chunk in chunks for _, g in chunk.items()]
+    return GraphDatabase(graphs)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from repro.config import MiningParams
+from repro.config import MiningParams, build_shards, build_workers
 from repro.graph.database import GraphDatabase
 from repro.index.a2f import A2FIndex
 from repro.index.a2i import A2IIndex
@@ -63,13 +63,25 @@ def build_indexes(
     db: GraphDatabase,
     params: Optional[MiningParams] = None,
     cache_dir: Optional[Path] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    progress=None,
 ) -> ActionAwareIndexes:
     """Mine and build the A2F/A2I indexes for ``db``.
 
     With ``cache_dir`` set, a previous build for the identical database and
     parameters is loaded from disk instead of re-mined.
+
+    ``workers``/``shards`` default to the ``REPRO_BUILD_WORKERS`` /
+    ``REPRO_BUILD_SHARDS`` knobs.  ``workers == 1`` with default shards is
+    the serial mining path; anything else routes through the sharded
+    pipeline (:mod:`repro.index.sharded`), which produces equivalent indexes
+    and reports per-shard ``progress`` events (also mirrored into the flight
+    recorder, so ``repro top`` shows build progress).
     """
     params = params or MiningParams()
+    workers = build_workers() if workers is None else max(1, workers)
+    shards = build_shards() if shards is None else max(0, shards)
     cache_path: Optional[Path] = None
     if cache_dir is not None:
         cache_dir = Path(cache_dir)
@@ -80,9 +92,16 @@ def build_indexes(
                 frequent, difs = pickle.load(handle)
             return _assemble(db, params, frequent, difs)
 
-    min_sup = params.absolute_support(len(db))
-    frequent = mine_frequent_fragments(db, min_sup, params.max_fragment_edges)
-    difs = mine_difs(db, frequent, min_sup, params.max_fragment_edges)
+    if workers > 1 or shards > 1:
+        from repro.index.sharded import mine_sharded
+
+        frequent, difs = mine_sharded(
+            db, params, workers, shards, progress=progress
+        )
+    else:
+        min_sup = params.absolute_support(len(db))
+        frequent = mine_frequent_fragments(db, min_sup, params.max_fragment_edges)
+        difs = mine_difs(db, frequent, min_sup, params.max_fragment_edges)
 
     if cache_path is not None:
         with cache_path.open("wb") as handle:

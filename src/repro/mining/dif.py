@@ -117,27 +117,22 @@ def connected_one_smaller_subgraphs(g: Graph) -> List[Graph]:
     return out
 
 
-def mine_difs(
+def dif_level1(
     db: GraphDatabase,
-    frequent: FragmentCatalog,
     min_support_abs: int,
-    max_edges: int,
-    node_labels: Optional[Sequence[str]] = None,
-    edge_labels: Optional[Sequence[Optional[str]]] = None,
+    node_labels: Sequence[str],
+    edge_labels: Sequence[Optional[str]],
+    supports: Optional[Dict[Tuple[str, str, str], Set[int]]] = None,
 ) -> FragmentCatalog:
-    """Mine the complete DIF set up to ``max_edges`` edges.
+    """Level-1 DIFs: every infrequent labeled single edge over the universes.
 
-    ``frequent`` must be the complete frequent catalog for the same thresholds
-    (the output of :func:`repro.mining.gspan.mine_frequent_fragments`).
+    ``supports`` is the output of :func:`_single_edge_supports`; passing it
+    in lets callers that already scanned the database (the sharded build's
+    merge phase) avoid a second pass.
     """
-    node_labels = list(node_labels if node_labels is not None else db.node_label_universe())
-    edge_labels = list(
-        edge_labels if edge_labels is not None else db.edge_label_universe()
-    )
+    if supports is None:
+        supports = _single_edge_supports(db)
     difs: FragmentCatalog = {}
-
-    # Level 1: infrequent single edges over the label universes.
-    supports = _single_edge_supports(db)
     for la in node_labels:
         for lb in node_labels:
             if la > lb:
@@ -150,24 +145,42 @@ def mine_difs(
                 g = _single_edge_graph(*key)
                 code = canonical_code(g)
                 difs[code] = Fragment(code=code, graph=g, fsg_ids=fsg)
+    return difs
 
-    # Levels >= 2: one-edge extensions of frequent fragments.  Extensions
-    # adding an infrequent single edge are pruned inside the generator —
-    # they would contain an infrequent proper subgraph.
-    frequent_triples: Set[Tuple[str, str, str]] = {
-        key for key, ids in supports.items() if len(ids) >= min_support_abs
-    }
-    seen: Set[CanonicalCode] = set(difs)
-    for frag in frequent.values():
+
+def dif_extensions(
+    db: GraphDatabase,
+    frequent: FragmentCatalog,
+    codes: Sequence[CanonicalCode],
+    min_support_abs: int,
+    max_edges: int,
+    node_labels: Sequence[str],
+    edge_labels: Sequence[Optional[str]],
+    frequent_triples: Set[Tuple[str, str, str]],
+    seen: Set[CanonicalCode],
+) -> FragmentCatalog:
+    """Level ≥ 2 DIFs reachable by extending the frequent fragments ``codes``.
+
+    ``frequent`` must be the *complete* global frequent catalog (minimality
+    checks and FSG intersection read it); ``codes`` selects which fragments
+    to extend — the full key set for a serial mine, one chunk of it per
+    worker in the sharded build.  Extending different chunks can reach the
+    same DIF; duplicates carry identical codes and FSG-id lists (support is
+    recomputed exactly per candidate), so a first-wins merge is exact.
+    ``seen`` is consumed destructively (pass a copy to share a baseline).
+    """
+    difs: FragmentCatalog = {}
+    for code in codes:
+        frag = frequent[code]
         if frag.size >= max_edges:
             continue  # extension would exceed the indexable size
         for candidate in _one_edge_extensions(
             frag.graph, node_labels, edge_labels, frequent_triples
         ):
-            code = canonical_code(candidate)
-            if code in seen or code in frequent:
+            cand_code = canonical_code(candidate)
+            if cand_code in seen or cand_code in frequent:
                 continue
-            seen.add(code)
+            seen.add(cand_code)
             subgraphs = connected_one_smaller_subgraphs(candidate)
             sub_codes = [canonical_code(s) for s in subgraphs]
             if not all(sc in frequent for sc in sub_codes):
@@ -189,7 +202,48 @@ def mine_difs(
                 # Frequent after all — possible only beyond the mining bound;
                 # such fragments are neither frequent-indexed nor DIFs.
                 continue
-            difs[code] = Fragment(code=code, graph=candidate, fsg_ids=fsg)
+            difs[cand_code] = Fragment(
+                code=cand_code, graph=candidate, fsg_ids=fsg
+            )
+    return difs
+
+
+def mine_difs(
+    db: GraphDatabase,
+    frequent: FragmentCatalog,
+    min_support_abs: int,
+    max_edges: int,
+    node_labels: Optional[Sequence[str]] = None,
+    edge_labels: Optional[Sequence[Optional[str]]] = None,
+) -> FragmentCatalog:
+    """Mine the complete DIF set up to ``max_edges`` edges.
+
+    ``frequent`` must be the complete frequent catalog for the same thresholds
+    (the output of :func:`repro.mining.gspan.mine_frequent_fragments`).
+    """
+    node_labels = list(node_labels if node_labels is not None else db.node_label_universe())
+    edge_labels = list(
+        edge_labels if edge_labels is not None else db.edge_label_universe()
+    )
+    supports = _single_edge_supports(db)
+
+    # Level 1: infrequent single edges over the label universes.
+    difs = dif_level1(
+        db, min_support_abs, node_labels, edge_labels, supports=supports
+    )
+
+    # Levels >= 2: one-edge extensions of frequent fragments.  Extensions
+    # adding an infrequent single edge are pruned inside the generator —
+    # they would contain an infrequent proper subgraph.
+    frequent_triples: Set[Tuple[str, str, str]] = {
+        key for key, ids in supports.items() if len(ids) >= min_support_abs
+    }
+    difs.update(
+        dif_extensions(
+            db, frequent, list(frequent), min_support_abs, max_edges,
+            node_labels, edge_labels, frequent_triples, seen=set(difs),
+        )
+    )
     return difs
 
 

@@ -96,9 +96,59 @@ def test_readme_links_architecture_and_configuration():
     text = (REPO_ROOT / "README.md").read_text()
     assert "docs/ARCHITECTURE.md" in text
     assert "docs/CONFIGURATION.md" in text
+    assert "docs/OPERATIONS.md" in text
 
 
 def test_trace_subcommand_is_documented_and_real():
     assert "trace" in _COMMANDS
     readme = (REPO_ROOT / "README.md").read_text()
     assert "python -m repro trace" in readme
+    assert "python -m repro trace --diff" in readme
+
+
+def test_serve_subcommand_is_documented_and_real():
+    assert "serve" in _COMMANDS
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "python -m repro serve" in readme
+    # the production runbook documents how to actually operate it
+    operations = (REPO_ROOT / "docs" / "OPERATIONS.md").read_text()
+    assert "python -m repro serve" in operations
+
+
+def test_perf_subcommand_is_documented_and_real():
+    assert "perf" in _COMMANDS
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "python -m repro perf" in readme
+
+
+def test_top_subcommand_is_documented_and_real():
+    assert "top" in _COMMANDS
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "python -m repro top" in readme
+    operations = (REPO_ROOT / "docs" / "OPERATIONS.md").read_text()
+    assert "python -m repro top" in operations
+
+
+def test_operations_page_covers_the_serve_knob_families():
+    """OPERATIONS.md must mention every serve-relevant knob family."""
+    operations = (REPO_ROOT / "docs" / "OPERATIONS.md").read_text()
+    for knob in (
+        "REPRO_BUILD_WORKERS",
+        "REPRO_SERVICE_MAX_SESSIONS",
+        "REPRO_SERVICE_TTL",
+        "REPRO_WORKERS",
+        "REPRO_ARENA",
+        "REPRO_POOL_WARM",
+        "REPRO_POSTMORTEM_DIR",
+        "REPRO_OBS_EXPORT",
+    ):
+        assert knob in operations, f"OPERATIONS.md does not mention {knob}"
+
+
+def test_tutorial_reaches_the_service_layer():
+    """The walkthrough must end at dataset → sharded build → serve → top."""
+    tutorial = (REPO_ROOT / "docs" / "TUTORIAL.md").read_text()
+    assert "python -m repro generate" in tutorial
+    assert "python -m repro index" in tutorial
+    assert "python -m repro serve" in tutorial
+    assert "python -m repro top" in tutorial
