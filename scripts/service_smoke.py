@@ -10,7 +10,11 @@ shutdown, and resource hygiene.  The script
    the ``serving PRAGUE sessions on http://...`` readiness line,
 3. drives several genuinely concurrent scripted sessions over HTTP and
    checks ``/healthz`` bookkeeping,
-4. sends SIGTERM and asserts a clean exit: status 0, the ``server
+4. exercises the telemetry plane: the ``X-Prague-Request`` round trip,
+   the ``/obs`` SLO section, the per-session ``/v1/sessions/<id>/obs``
+   view, and ``repro top --server URL --once`` rendering a live frame
+   from a second subprocess,
+5. sends SIGTERM and asserts a clean exit: status 0, the ``server
    stopped`` farewell, no surviving process group, and no orphaned
    shared-memory segments.
 
@@ -99,6 +103,61 @@ def drive(host, port):
     print(f"drove {NUM_USERS} concurrent sessions: ok")
 
 
+def telemetry(host, port):
+    """The request-scoped telemetry plane, over the same live subprocess."""
+    with ServiceClient(host, port, timeout=30.0) as client:
+        # the X-Prague-Request round trip: honored and echoed verbatim
+        client.request("GET", "/healthz", request_id="smoke-req-001")
+        assert client.last_request_id == "smoke-req-001", (
+            f"request id not echoed: {client.last_request_id!r}"
+        )
+        # ... and minted when the client sends none
+        client.health()
+        assert client.last_request_id, "server must mint an id"
+
+        # /obs carries the SLO section with sampled request_errors
+        data = client.obs()
+        assert "slo" in data, sorted(data)
+        errors = data["slo"].get("request_errors")
+        assert errors and errors["samples"] >= 1, data["slo"]
+        assert errors["attainment"] is not None, errors
+
+        # the per-session observability view responds with the ledger
+        sid = client.create_session(sigma=2)
+        client.add_node(sid, "a", "C")
+        client.add_node(sid, "b", "C")
+        client.add_edge(sid, "a", "b")
+        session_obs = client.session_obs(sid)
+        assert session_obs["session"] == sid, session_obs
+        assert session_obs["actions"] == 3, session_obs
+        assert session_obs["action_latency"]["count"] == 3, session_obs
+        client.close_session(sid)
+    print("telemetry plane: request-id echo, /obs slo, session obs: ok")
+
+    # the remote console renders one frame against the live server
+    frame = subprocess.run(
+        [sys.executable, "-m", "repro", "top",
+         "--server", f"http://{host}:{port}", "--once"],
+        cwd=REPO,
+        env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+        capture_output=True,
+        text=True,
+        timeout=60.0,
+    )
+    if frame.returncode != 0:
+        raise SystemExit(
+            f"repro top --server exited {frame.returncode}:\n{frame.stderr}"
+        )
+    for needle in ("repro top — pid", "SLOs (rolling window):",
+                   "request_errors"):
+        if needle not in frame.stdout:
+            raise SystemExit(
+                f"repro top --server frame missing {needle!r}:\n"
+                f"{frame.stdout}"
+            )
+    print("repro top --server --once rendered a live frame: ok")
+
+
 def main():
     before = shm_segments()
     proc = subprocess.Popen(
@@ -116,6 +175,7 @@ def main():
         host, port, lines = wait_ready(proc)
         print("".join(lines).rstrip())
         drive(host, port)
+        telemetry(host, port)
 
         os.killpg(proc.pid, signal.SIGTERM)
         output, _ = proc.communicate(timeout=EXIT_TIMEOUT_S)

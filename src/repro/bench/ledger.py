@@ -85,9 +85,10 @@ def run_perf_suite(seed: int = 2012) -> Dict[str, float]:
     * ``session.*`` — one fuzzed formulation session replayed end to end
       under the default posture, plus its SRT fold (the Figure 9 smoke);
     * ``service.*`` — 25 concurrent scripted users against an in-process
-      ``repro serve`` stack: p99 client-observed action latency and the
+      ``repro serve`` stack: p99 client-observed action latency, the
       99th-percentile SRT-under-load (the cost bounded by
-      ``bench_service_load``).
+      ``bench_service_load``), and the run's action-latency SLO attainment
+      (dimensionless, tracked but never normalized).
     """
     from repro.bench.micro import run_micro_hotpaths
     from repro.bench.pool_warmup import run_pool_warmup
@@ -148,6 +149,10 @@ def run_perf_suite(seed: int = 2012) -> Dict[str, float]:
     load = run_service_load(num_sessions=25, smoke=True, seed=seed)
     metrics["service.p99_action_s"] = float(load["p99_action_s"])
     metrics["service.srt_under_load_s"] = float(load["srt_under_load_s"])
+    # Dimensionless (a fraction, not a wall time): recorded in the
+    # trajectory but excluded from normalization by make_record, so a
+    # calibration shift can never flag attainment as a "regression".
+    metrics["service.slo_attainment"] = float(load["slo_attainment"])
 
     # Last on purpose: a cold build churns allocator/GC state enough to
     # skew the latency-sensitive measurements if it ran before them.
@@ -168,7 +173,16 @@ def make_record(
     calibration_s: float,
     label: str = "checkpoint",
 ) -> Dict[str, Any]:
-    """One trajectory record: raw metrics + their machine-normalized form."""
+    """One trajectory record: raw metrics + their machine-normalized form.
+
+    Only wall-time metrics (``*_s`` by convention) are normalized —
+    dividing a dimensionless metric like ``service.slo_attainment`` by the
+    machine calibration would make a *faster machine* look like a value
+    change.  Raw values of every metric are kept either way;
+    ``compare_records`` only gates on names present in both records'
+    ``normalized`` maps, so un-normalized metrics are trajectory data, not
+    regression gates.
+    """
     return {
         "label": label,
         "calibration_s": calibration_s,
@@ -176,6 +190,7 @@ def make_record(
         "normalized": {
             name: (value / calibration_s if calibration_s else 0.0)
             for name, value in metrics.items()
+            if name.endswith("_s")
         },
     }
 

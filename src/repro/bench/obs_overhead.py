@@ -24,6 +24,10 @@ claims into numbers:
   instrumentation can add by default, measured rather than argued;
 * **a traced/untraced A/B** of the same session, for scale (tracing *on* is
   allowed to cost more — it is opt-in);
+* **the service posture** — the same bound with the request-scoped service
+  telemetry charged on top: recorder calls priced inside an active request
+  scope, plus one access-log event, two SLO samples and one request-ring
+  entry per HTTP request (one request per state-changing gesture);
 * **the export-on posture** — the same bound with ``REPRO_OBS_EXPORT``
   streaming: ``sync_env`` and ``record`` are re-probed with the continuous
   exporter active, and the session's *actually streamed* event volume is
@@ -119,6 +123,59 @@ def _noop_costs(loop: int = NOOP_LOOP) -> Dict[str, float]:
         RECORDER.force(None)
         RECORDER.reset()
         HISTOGRAMS.pop("bench.noop", None)  # drop the probe histogram
+
+
+def _service_posture_costs(loop: int = NOOP_LOOP) -> Dict[str, float]:
+    """Per-call costs of the request-telemetry posture, baseline subtracted.
+
+    Probed *separately* from :func:`_noop_costs` (whose key set the perf
+    ledger's ``obs.probe_loop_s`` normalization depends on): an enabled
+    ``record()`` inside an active request scope (the access-log path — one
+    extra thread-local read plus a ``setdefault`` per event), one SLO sample
+    into a rolling-window tracker, and one request-ring entry against a full
+    ring (steady state: every insert also evicts the oldest entry).
+    """
+    from repro.obs.requests import RequestLog, request_scope
+    from repro.obs.slo import SloTracker
+
+    obs.TRACER.force(False)
+    RECORDER.force(True)
+    tracker = SloTracker(window_s=3600.0)
+    rlog = RequestLog(size=256)
+    ids = [f"b{i}" for i in range(1024)]
+    try:
+        r = range(loop)
+
+        def baseline() -> None:
+            for _ in r:
+                pass
+
+        def record_scoped_loop() -> None:
+            with request_scope("bench-request"):
+                for _ in r:
+                    RECORDER.record("bench.noop", probe=1)
+
+        def slo_loop() -> None:
+            for _ in r:
+                tracker.record("request_errors", True)
+
+        def request_log_loop() -> None:
+            for i in r:
+                rlog.record(ids[i & 1023], "GET", "/bench", 200, 0.001)
+
+        base = _best_of(baseline, 3)
+        return {
+            "record_scoped_s":
+                max(0.0, _best_of(record_scoped_loop, 3) - base) / loop,
+            "slo_record_s":
+                max(0.0, _best_of(slo_loop, 3) - base) / loop,
+            "request_log_s":
+                max(0.0, _best_of(request_log_loop, 3) - base) / loop,
+        }
+    finally:
+        obs.TRACER.force(None)
+        RECORDER.force(None)
+        RECORDER.reset()
 
 
 def _export_env(directory: str):
@@ -267,6 +324,28 @@ def run_obs_overhead(seed: int = 2012) -> Dict[str, Any]:
         + recorder_calls * costs["record_s"]
     )
 
+    # Service posture: every recorder call may fire inside a request scope
+    # (charged at whichever of the two record prices is worse), and each
+    # HTTP request adds one access-log event, two SLO samples (request
+    # outcome + action latency) and one request-ring entry.  One request
+    # per state-changing gesture — the same population as the env syncs.
+    service_costs = _service_posture_costs()
+    record_worst = max(costs["record_s"], service_costs["record_scoped_s"])
+    requests = syncs
+    per_request_s = (
+        service_costs["record_scoped_s"]
+        + 2 * service_costs["slo_record_s"]
+        + service_costs["request_log_s"]
+    )
+    per_session_service_s = (
+        spans * costs["span_s"]
+        + counter_incs * costs["count_s"]
+        + syncs * costs["sync_s"]
+        + observations * costs["observe_s"]
+        + recorder_calls * record_worst
+        + requests * per_request_s
+    )
+
     # Export-on posture: emitted events pay the streaming record price, the
     # (far more numerous) deduplicated recorder calls keep the default one.
     export_costs = _export_costs()
@@ -304,6 +383,11 @@ def run_obs_overhead(seed: int = 2012) -> Dict[str, Any]:
             "sync_env": 1e9 * export_costs["sync_s"],
             "record": 1e9 * export_costs["record_s"],
         },
+        "noop_per_call_service_ns": {
+            "record_scoped": 1e9 * service_costs["record_scoped_s"],
+            "slo_record": 1e9 * service_costs["slo_record_s"],
+            "request_log": 1e9 * service_costs["request_log_s"],
+        },
         "volume_per_session": {
             "spans": spans,
             "counter_increments": counter_incs,
@@ -311,12 +395,16 @@ def run_obs_overhead(seed: int = 2012) -> Dict[str, Any]:
             "histogram_observations": observations,
             "recorder_calls": recorder_calls,
             "exported_events": emitted,
+            "service_requests": requests,
         },
         "noop_per_session_s": per_session_s,
+        "noop_per_session_service_s": per_session_service_s,
         "noop_per_session_export_s": per_session_export_s,
         "untraced_session_s": untraced_s,
         "traced_session_s": traced_s,
         "overhead_bound_pct": 100 * per_session_s / untraced_s,
+        "overhead_bound_service_pct":
+            100 * per_session_service_s / untraced_s,
         "overhead_bound_export_pct": 100 * per_session_export_s / untraced_s,
         "traced_over_untraced": traced_s / untraced_s,
         "ceiling_pct": OVERHEAD_CEILING_PCT,

@@ -32,6 +32,8 @@ from repro.core.plane import SharedPlane
 from repro.graph.database import GraphDatabase
 from repro.graph.generators import random_connected_subgraph
 from repro.index import build_indexes
+from repro.obs.requests import REQUEST_LOG
+from repro.obs.slo import SLO
 from repro.obs.srt import build_ledger
 from repro.service import PragueService, ServiceClient, SessionManager
 from repro.testing import connected_order
@@ -94,6 +96,11 @@ def run_service_load(
 
     if db is None:
         db = generate_aids_like(40 if smoke else 80, seed=seed)
+    # The SLO tracker and request ring are process-wide; reset them so the
+    # reported attainment reflects *this* load run, not whatever the test
+    # session did before it.
+    SLO.reset()
+    REQUEST_LOG.reset()
     indexes = build_indexes(db, LOAD_PARAMS)
     plane = SharedPlane(db, indexes)
     plane.warm()
@@ -170,4 +177,14 @@ def run_service_load(
         "srt_under_load_s": _percentile(srts, 99.0),
         "service": manager.stats(),
     }
+    # Server-side SLO attainment over the run (the load's requests are the
+    # only samples in the window after the reset above).  No samples — e.g.
+    # every user errored before acting — degrades to perfect attainment so
+    # the perf trajectory records a number either way.
+    slo = SLO.snapshot()
+    attainment = slo.get("action_latency", {}).get("attainment")
+    payload["slo"] = slo
+    payload["slo_attainment"] = (
+        1.0 if attainment is None else float(attainment)
+    )
     return payload

@@ -166,6 +166,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dir", type=Path, default=None,
         help="export directory to tail (default: $REPRO_OBS_EXPORT)",
     )
+    top.add_argument(
+        "--server", default=None, metavar="URL",
+        help="poll a running service's /obs instead of tailing a "
+             "directory (e.g. http://127.0.0.1:8765)",
+    )
     top.add_argument("--interval", type=float, default=1.0,
                      help="refresh period in seconds")
     top.add_argument("--once", action="store_true",
@@ -197,10 +202,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     postmortem = sub.add_parser(
         "postmortem",
-        help="render a flight-recorder post-mortem bundle as a timeline",
+        help="render a flight-recorder post-mortem bundle as a timeline, "
+             "or fetch one request's correlated bundle from a server",
     )
-    postmortem.add_argument("bundle", type=Path,
+    postmortem.add_argument("bundle", type=Path, nargs="?", default=None,
                             help="JSON bundle written by the recorder")
+    postmortem.add_argument(
+        "--server", default=None, metavar="URL",
+        help="fetch from a running service instead of a file "
+             "(requires --request)",
+    )
+    postmortem.add_argument(
+        "--request", dest="request_id", default=None, metavar="ID",
+        help="request id to fetch from --server (the X-Prague-Request "
+             "value echoed on the original response)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -583,10 +599,14 @@ def _cmd_perf(args) -> int:
             f"{comp['change_pct']:+.1f}% "
             + ("REGRESSED" if comp["regression"] else "ok")
         )
+        # Dimensionless metrics (e.g. service.slo_attainment) are recorded
+        # raw but never normalized — raw is already machine-independent.
+        normalized = record["normalized"].get(name)
         rows.append([
             name,
-            f"{1000 * metrics[name]:.3f} ms",
-            f"{record['normalized'][name]:.4f}",
+            f"{1000 * metrics[name]:.3f} ms" if name.endswith("_s")
+            else f"{metrics[name]:.4f}",
+            f"{normalized:.4f}" if normalized is not None else "-",
             verdict,
         ])
     print(format_table(
@@ -660,31 +680,82 @@ def _tail_events(directory: Path, limit: int):
     return events[-limit:]
 
 
+def _parse_server(url: str):
+    """``(host, port)`` from a ``--server`` URL (port defaults to config)."""
+    from urllib.parse import urlsplit
+
+    from repro.config import service_port
+
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port if parts.port is not None else service_port()
+    return host, port
+
+
 def _cmd_top(args) -> int:
-    """Tail a continuously exporting session as a live terminal view."""
+    """Live terminal view of a session: tail an export directory, or (with
+    ``--server``) poll a running service's ``/obs`` over HTTP.
+
+    Both modes share the render loop; only the fetch closure differs.  The
+    server mode reshapes the ``/obs`` payload into the same bundle the
+    directory exporter writes, plus the slowest-requests tail only the
+    service knows about.
+    """
     import time
 
     from repro import obs
     from repro.config import obs_export_dir
 
-    directory = args.dir
-    if directory is None:
-        from_env = obs_export_dir()
-        if from_env is None:
-            print(
-                "repro top: no export directory — pass --dir or set "
-                "REPRO_OBS_EXPORT on the session you want to watch "
-                "(see docs/CONFIGURATION.md)",
-                file=sys.stderr,
+    if args.server is not None:
+        from repro.service.client import ServiceClient
+
+        host, port = _parse_server(args.server)
+        client = ServiceClient(host=host, port=port)
+        target = args.server
+
+        def fetch():
+            try:
+                data = client.obs()
+            except (OSError, ValueError, ReproError):
+                client.close()  # poison the keep-alive; retry fresh
+                return None, [], ()
+            bundle = {
+                "pid": data.get("pid"),
+                "sequence": frames + 1,
+                "events_emitted": len(data.get("events", ())),
+                "metrics": data.get("snapshot", {}),
+            }
+            requests = data.get("requests", {}).get("slowest", ())
+            return bundle, data.get("events", ())[-args.events:], requests
+    else:
+        directory = args.dir
+        if directory is None:
+            from_env = obs_export_dir()
+            if from_env is None:
+                print(
+                    "repro top: no target — pass --dir, --server, or set "
+                    "REPRO_OBS_EXPORT on the session you want to watch "
+                    "(see docs/CONFIGURATION.md)",
+                    file=sys.stderr,
+                )
+                return 2
+            directory = Path(from_env)
+        target = str(directory)
+
+        def fetch():
+            return (
+                _read_snapshot_bundle(directory),
+                _tail_events(directory, args.events),
+                (),
             )
-            return 2
-        directory = Path(from_env)
+
     frames = 0
     try:
         while True:
-            bundle = _read_snapshot_bundle(directory)
-            events = _tail_events(directory, args.events)
-            frame = obs.render_top(bundle, events, directory=str(directory))
+            bundle, events, requests = fetch()
+            frame = obs.render_top(
+                bundle, events, directory=target, requests=requests
+            )
             if frames and not args.once:
                 print("\x1b[2J\x1b[H", end="")  # clear + home between frames
             print(frame)
@@ -697,11 +768,39 @@ def _cmd_top(args) -> int:
 
 
 def _cmd_postmortem(args) -> int:
-    """Render a flight-recorder post-mortem bundle back into a timeline."""
+    """Render a post-mortem: a recorder bundle file, or (with ``--server``
+    and ``--request``) one request's correlated telemetry from a service."""
     import json
 
-    from repro.obs import open_envelope, render_postmortem
+    from repro.obs import (
+        open_envelope,
+        render_postmortem,
+        render_request_bundle,
+    )
 
+    if args.server is not None or args.request_id is not None:
+        if args.server is None or args.request_id is None:
+            print(
+                "repro postmortem: --server and --request go together "
+                "(a request id is only resolvable against the server "
+                "that minted it)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.service.client import ServiceClient
+
+        host, port = _parse_server(args.server)
+        with ServiceClient(host=host, port=port) as client:
+            data = client.request_bundle(args.request_id)
+        print(render_request_bundle(data))
+        return 0
+    if args.bundle is None:
+        print(
+            "repro postmortem: pass a bundle file, or --server URL "
+            "--request ID to fetch a live request's bundle",
+            file=sys.stderr,
+        )
+        return 2
     bundle = open_envelope(
         json.loads(args.bundle.read_text()), expect_kind="postmortem"
     )

@@ -252,6 +252,48 @@ def service_session_ttl() -> float:
     return max(value, 0.0)
 
 
+def slo_window() -> float:
+    """Rolling window in seconds over which SLO attainment is computed
+    (``REPRO_SLO_WINDOW``, default 3600, floor 1).
+
+    Samples older than the window fall out of both the attainment fraction
+    and the burn rate, so the objectives in ``/obs`` describe the last hour
+    of traffic by default rather than process lifetime.
+    """
+    try:
+        value = float(os.environ.get("REPRO_SLO_WINDOW", "3600"))
+    except ValueError:
+        value = 3600.0
+    return max(value, 1.0)
+
+
+def slo_action_threshold() -> float:
+    """Per-action latency objective in seconds (``REPRO_SLO_ACTION_SECONDS``,
+    default 2.0 — the paper's GUI-latency window).
+
+    A session action counts as *good* for the ``action_latency`` objective
+    iff it completes within this many seconds; PRAGUE's whole premise is
+    that query processing hides inside the user's drawing latency, so the
+    default is :data:`DEFAULT_EDGE_LATENCY_SECONDS`.
+    """
+    try:
+        value = float(os.environ.get("REPRO_SLO_ACTION_SECONDS", "2.0"))
+    except ValueError:
+        value = 2.0
+    return max(value, 0.0)
+
+
+def slo_request_log_size() -> int:
+    """Completed-request ring capacity behind ``/obs`` slowest/recent request
+    surfacing and ``/v1/requests/<id>`` lookups (``REPRO_SLO_REQUEST_LOG``,
+    default 256, floor 16)."""
+    try:
+        value = int(os.environ.get("REPRO_SLO_REQUEST_LOG", "256"))
+    except ValueError:
+        value = 256
+    return max(value, 16)
+
+
 def postmortem_dir():
     """Directory for automatic post-mortem bundles (``REPRO_POSTMORTEM_DIR``).
 

@@ -201,6 +201,13 @@ class WarmPool:
     version changes, after an idle TTL, or after a dispatch failure; between
     those events every batch reuses the running workers, which is where the
     cold-start milliseconds of each Run action go to die.
+
+    Workers are shared across HTTP requests and sessions — per-request
+    correlation is *not* pool state.  Each dispatched chunk carries its own
+    observability context (including the dispatching request's id, see
+    :func:`repro.obs.snapshot.worker_context`), applied at chunk entry, so
+    a warm worker serving interleaved requests still labels every recorded
+    event with the right id.
     """
 
     def __init__(self) -> None:

@@ -133,7 +133,10 @@ def _obs_chunk(args) -> Tuple[List[int], dict]:
     (:func:`repro.obs.snapshot.begin_worker_capture`), the real worker runs,
     and the chunk's ids come back *with* the worker's observation delta for
     the parent to merge.  The ``pool.chunk`` recorder event gives merged
-    timelines a per-chunk anchor (pid, duration, hits).
+    timelines a per-chunk anchor (pid, duration, hits) — and because the
+    context carries the dispatching HTTP request's id, the worker-local
+    recorder stamps it onto every event here, so a merged ``pool.chunk``
+    is attributable to the exact request that triggered the batch.
     """
     ctx, worker, payload = args
     begin_worker_capture(ctx)
@@ -192,7 +195,10 @@ def _run_batch(
     On the pool path every chunk's observation delta is merged back here,
     so nothing a worker recorded is lost (see :mod:`repro.obs.snapshot`);
     on the fallback path the worker runs in-process and its observations
-    land in the parent registries directly.
+    land in the parent registries directly.  Either way the current
+    request-id scope propagates: :func:`worker_context` snapshots it into
+    the chunk payloads, and in-process fallbacks inherit the thread's
+    scope, so correlation survives the degradation.
     """
     chunk_size = max(1, -(-len(ids) // (workers * 4)))  # ~4 chunks per worker
     payloads = [make_payload(chunk) for chunk in _chunks(ids, chunk_size)]

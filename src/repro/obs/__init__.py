@@ -27,6 +27,15 @@ millisecond of a formulation session goes* without changing any answer:
   metrics snapshot is periodically rewritten (``metrics.prom`` +
   ``snapshot.json``), so a live session can be watched with
   ``python -m repro top``;
+* **request correlation** (:mod:`repro.obs.requests`) — a thread-local
+  request-id scope: while the service dispatches a request, every recorder
+  event and root span is stamped with the id, worker deltas carry it home,
+  and the always-on :data:`~repro.obs.requests.REQUEST_LOG` ring keeps the
+  completed-request access log behind ``/obs`` and ``/v1/requests/<id>``;
+* **SLOs** (:mod:`repro.obs.slo`) — rolling-window attainment and
+  error-budget burn rates for declarative objectives (action latency under
+  the GUI window, error rate, admission rate), surfaced in
+  ``full_snapshot()`` and the Prometheus export;
 * **cross-process merge** (:mod:`repro.obs.snapshot`) — verification-pool
   workers capture counter/histogram/recorder deltas locally and the parent
   merges them back (exact bucket-wise histogram sums, per-worker provenance
@@ -65,6 +74,7 @@ from repro.obs.export import (
     render_metrics,
     render_prometheus,
     render_report_diff,
+    render_request_bundle,
     render_span_tree,
     render_top,
     report_to_dict,
@@ -81,6 +91,22 @@ from repro.obs.histogram import (
 )
 from repro.obs.metrics import METRICS, Metrics, count, full_snapshot, gauge
 from repro.obs.recorder import RECORDER, FlightRecorder, render_postmortem
+from repro.obs.requests import (
+    REQUEST_LOG,
+    RequestLog,
+    current_request_id,
+    request_scope,
+    set_request_id,
+)
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    SLO,
+    SloObjective,
+    SloTracker,
+    record_action_latency,
+    record_admission,
+    record_request,
+)
 from repro.obs.snapshot import (
     begin_worker_capture,
     collect_worker_delta,
@@ -126,6 +152,18 @@ __all__ = [
     "RECORDER",
     "FlightRecorder",
     "render_postmortem",
+    "REQUEST_LOG",
+    "RequestLog",
+    "current_request_id",
+    "request_scope",
+    "set_request_id",
+    "SLO",
+    "SloTracker",
+    "SloObjective",
+    "DEFAULT_OBJECTIVES",
+    "record_action_latency",
+    "record_admission",
+    "record_request",
     "EXPORTER",
     "ContinuousExporter",
     "worker_context",
@@ -144,6 +182,7 @@ __all__ = [
     "render_histograms",
     "render_prometheus",
     "render_top",
+    "render_request_bundle",
     "render_ledger",
     "report_to_dict",
     "diff_trace_reports",

@@ -224,6 +224,30 @@ def render_prometheus(snapshot: Dict[str, Dict[str, Any]]) -> str:
                      f'{s["sum_s"]}')
         lines.append(f'repro_latency_seconds_count{{site="{label}"}} '
                      f'{s["count"]}')
+    slo = snapshot.get("slo", {})
+    if slo:
+        lines += [
+            "# HELP repro_slo_attainment rolling-window good fraction "
+            "per objective",
+            "# TYPE repro_slo_attainment gauge",
+        ]
+        for name, state in sorted(slo.items()):
+            if state.get("attainment") is not None:
+                lines.append(
+                    f'repro_slo_attainment{{objective="{_prom_escape(name)}"}} '
+                    f'{state["attainment"]}'
+                )
+        lines += [
+            "# HELP repro_slo_burn_rate error-budget burn rate per objective "
+            "(1.0 = failing at exactly the budgeted rate)",
+            "# TYPE repro_slo_burn_rate gauge",
+        ]
+        for name, state in sorted(slo.items()):
+            if state.get("burn_rate") is not None:
+                lines.append(
+                    f'repro_slo_burn_rate{{objective="{_prom_escape(name)}"}} '
+                    f'{state["burn_rate"]}'
+                )
     return "\n".join(lines)
 
 
@@ -259,16 +283,22 @@ def render_top(
     bundle: Optional[Dict[str, Any]],
     events: Sequence[Dict[str, Any]] = (),
     directory: str = "",
+    requests: Sequence[Dict[str, Any]] = (),
 ) -> str:
     """One refresh of the ``python -m repro top`` live view.
 
     ``bundle`` is a loaded ``metrics-snapshot`` envelope (or ``None`` while
     the exporting session has not written one yet); ``events`` is the tail
-    of ``events.jsonl``, newest last.
+    of ``events.jsonl``, newest last.  In ``--server`` mode the CLI builds
+    the same bundle shape from a live ``/obs`` response and passes the
+    server's slowest completed requests as ``requests``.
     """
     if bundle is None:
+        target = directory or "the export directory"
+        if str(target).startswith(("http://", "https://")):
+            return f"repro top — waiting for {target}/obs (is the server up?)"
         return (
-            f"repro top — waiting for {directory or 'the export directory'}"
+            f"repro top — waiting for {target}"
             f"/snapshot.json (is a session exporting?)"
         )
     metrics = bundle.get("metrics", {})
@@ -287,6 +317,38 @@ def render_top(
     rates = _hit_rates(counters)
     if rates:
         lines += ["", "cache hit rates:"] + rates
+    slo = {
+        name: state for name, state in metrics.get("slo", {}).items()
+        if state.get("samples")
+    }
+    if slo:
+        lines += ["", "SLOs (rolling window):"]
+        width = 2 + max(len(name) for name in slo)
+        for name in sorted(slo):
+            state = slo[name]
+            attainment = state.get("attainment") or 0.0
+            burn = state.get("burn_rate")
+            burn_text = f"burn {burn:.2f}x" if burn is not None else "no budget"
+            lines.append(
+                f"  {name:<{width}}"
+                f"{100 * attainment:6.2f}% of "
+                f"{100 * state.get('objective', 0):g}% target  "
+                f"({state.get('good', 0)}/{state.get('samples', 0)} good, "
+                f"{burn_text}, "
+                f"{'met' if state.get('met') else 'MISSED'})"
+            )
+    if requests:
+        lines += ["", f"slowest recent requests (top {len(requests)}):"]
+        for entry in requests:
+            session = entry.get("session")
+            lines.append(
+                f"  {entry.get('duration_ms', 0):>9.2f} ms  "
+                f"{entry.get('status', '?'):>3}  "
+                f"{entry.get('method', '?'):<7}"
+                f"{entry.get('path', '?'):<32}"
+                f"id={entry.get('request_id', '?')}"
+                + (f"  session={session}" if session else "")
+            )
     runs = counters.get("verify.pool.runs", 0)
     chunk_hist = histograms.get("verify.chunk", {})
     if runs or chunk_hist:
@@ -337,6 +399,68 @@ def render_top(
                 f"{fields}"
             )
     return "\n".join(lines)
+
+
+def render_request_bundle(data: Dict[str, Any]) -> str:
+    """A correlated request bundle (``GET /v1/requests/<id>``) as text.
+
+    ``data`` carries the access-log entry (``request``), the recorder
+    events stamped with the id (``events`` — including any merged from pool
+    workers, recognisable by their ``src`` label) and the root span trees
+    whose ``request_id`` attribute matches (``spans``, in
+    :meth:`~repro.obs.tracer.Span.to_dict` form).
+    """
+    request_id = data.get("request_id", "?")
+    lines = [f"request {request_id}"]
+    entry = data.get("request")
+    if entry:
+        session = entry.get("session")
+        lines.append(
+            f"  {entry.get('method', '?')} {entry.get('path', '?')} -> "
+            f"{entry.get('status', '?')} in "
+            f"{entry.get('duration_ms', 0):.2f} ms"
+            + (f"  (session {session})" if session else "")
+        )
+    spans = data.get("spans") or []
+    if spans:
+        lines += ["", f"correlated spans ({len(spans)} roots):"]
+        for root in spans:
+            _render_span_dict(root, 0, lines)
+    events = data.get("events") or []
+    if events:
+        lines += ["", f"correlated events ({len(events)}):"]
+        t0 = events[0].get("t_s", 0.0)
+        skip = {"seq", "t_s", "kind", "traceback", "request_id"}
+        for event in events:
+            fields = " ".join(
+                f"{k}={event[k]}" for k in event if k not in skip
+            )
+            offset_ms = 1000 * (event.get("t_s", t0) - t0)
+            lines.append(
+                f"  +{offset_ms:9.2f} ms  "
+                f"{str(event.get('kind', '?')):<18}{fields}"
+            )
+    if not entry and not spans and not events:
+        lines.append("  (nothing correlated — recorder/tracing off, "
+                     "or the id aged out)")
+    return "\n".join(lines)
+
+
+def _render_span_dict(
+    node: Dict[str, Any], depth: int, lines: List[str]
+) -> None:
+    """One dict-form span (plus children) as indented request-bundle lines."""
+    attrs = {
+        k: v for k, v in (node.get("attrs") or {}).items()
+        if k != "request_id"
+    }
+    label = "  " * depth + str(node.get("name", "?"))
+    lines.append(
+        f"  {label:<{max(len(label) + 2, 32)}}"
+        f"{_fmt_ms(node.get('seconds', 0.0))}{_fmt_attrs(attrs)}"
+    )
+    for child in node.get("children") or []:
+        _render_span_dict(child, depth + 1, lines)
 
 
 def diff_trace_reports(

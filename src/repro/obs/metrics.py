@@ -134,10 +134,12 @@ def full_snapshot() -> Dict[str, Dict[str, Any]]:
 
     The ``"histograms"`` section carries the latency-distribution summaries
     of :mod:`repro.obs.histogram` (always on, independent of the tracing
-    switch).
+    switch), and ``"slo"`` the rolling-window objective state of
+    :data:`repro.obs.slo.SLO` — both feed the Prometheus export.
     """
     from repro.graph.canonical import cache_stats
     from repro.obs.histogram import histogram_summaries
+    from repro.obs.slo import SLO
 
     out: Dict[str, Dict[str, Any]] = METRICS.snapshot()
     stats = cache_stats()
@@ -151,4 +153,5 @@ def full_snapshot() -> Dict[str, Dict[str, Any]]:
     out["gauges"]["canonical.lru_size"] = size if \
         isinstance(size, (int, float)) else 0
     out["histograms"] = histogram_summaries()
+    out["slo"] = SLO.snapshot()
     return out

@@ -43,6 +43,7 @@ from typing import Any, Deque, Dict, List, Optional, Union
 
 from repro.config import recorder_enabled, recorder_size
 from repro.obs.exporter import EXPORTER as _EXPORTER
+from repro.obs import requests as _requests
 
 
 class FlightRecorder:
@@ -108,6 +109,13 @@ class FlightRecorder:
             "kind": kind,
         }
         event.update(fields)
+        # Module-attribute guard before the thread-local lookup: processes
+        # that never enter a request scope (benches, batch replays) keep the
+        # pre-correlation record price.
+        if _requests._EVER_SCOPED:
+            request_id = getattr(_requests._SCOPE, "request_id", None)
+            if request_id is not None:
+                event.setdefault("request_id", request_id)
         self._events.append(event)
         if _EXPORTER.active:
             _EXPORTER.emit(event)
@@ -137,6 +145,10 @@ class FlightRecorder:
             "from": previous,
             "to": state,
         }
+        if _requests._EVER_SCOPED:
+            request_id = getattr(_requests._SCOPE, "request_id", None)
+            if request_id is not None:
+                event["request_id"] = request_id
         self._events.append(event)
         if _EXPORTER.active:
             _EXPORTER.emit(event)

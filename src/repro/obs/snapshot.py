@@ -45,14 +45,21 @@ from repro.obs.histogram import (
 )
 from repro.obs.metrics import METRICS, count
 from repro.obs.recorder import RECORDER
+from repro.obs.requests import current_request_id, set_request_id
 from repro.obs.tracer import TRACER
 
 
 def worker_context() -> Dict[str, Any]:
-    """The parent's obs posture as a picklable dict for pool payloads."""
+    """The parent's obs posture as a picklable dict for pool payloads.
+
+    Includes the dispatching thread's request id (if an HTTP request scope
+    is active), so events a pool worker records carry the same correlation
+    id as the handler that triggered the batch.
+    """
     return {
         "trace": TRACER.enabled,
         "recorder": RECORDER.enabled,
+        "request_id": current_request_id(),
     }
 
 
@@ -73,6 +80,7 @@ def begin_worker_capture(ctx: Dict[str, Any]) -> None:
     METRICS.reset()
     reset_histograms()
     RECORDER.reset()
+    set_request_id(ctx.get("request_id"))
 
 
 def collect_worker_delta(label: str = "") -> Dict[str, Any]:

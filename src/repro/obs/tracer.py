@@ -41,6 +41,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.config import trace_enabled
 from repro.obs.exporter import EXPORTER as _EXPORTER
 from repro.obs.recorder import RECORDER as _RECORDER
+from repro.obs.requests import current_request_id as _current_request_id
 
 
 class Span:
@@ -182,6 +183,11 @@ class Tracer:
         if self._stack:
             self._stack[-1].children.append(span)
         else:
+            # Root spans carry the HTTP correlation id (children inherit by
+            # tree position); ``/v1/requests/<id>`` selects roots by it.
+            request_id = _current_request_id()
+            if request_id is not None:
+                span.attrs.setdefault("request_id", request_id)
             self.roots.append(span)
             if len(self.roots) > self.MAX_ROOTS:
                 del self.roots[: len(self.roots) - self.MAX_ROOTS]

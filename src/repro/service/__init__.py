@@ -18,7 +18,12 @@ process holding many formulation sessions.  The split (ROADMAP item 1):
 
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.http import PragueService, serve_forever
-from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    REQUEST_ID_HEADER,
+    BodyTooLargeError,
+    UnknownRequestError,
+)
 from repro.service.sessions import (
     AdmissionError,
     Session,
@@ -28,12 +33,15 @@ from repro.service.sessions import (
 
 __all__ = [
     "AdmissionError",
+    "BodyTooLargeError",
     "PROTOCOL_VERSION",
     "PragueService",
+    "REQUEST_ID_HEADER",
     "ServiceClient",
     "ServiceClientError",
     "Session",
     "SessionManager",
+    "UnknownRequestError",
     "UnknownSessionError",
     "serve_forever",
 ]

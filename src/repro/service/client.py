@@ -18,7 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.exceptions import ReproError
 from repro.obs.export import open_envelope
-from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.protocol import PROTOCOL_VERSION, REQUEST_ID_HEADER
 
 
 class ServiceClientError(ReproError):
@@ -41,6 +41,9 @@ class ServiceClient:
         self.port = port
         self.timeout = timeout
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: The ``X-Prague-Request`` id the server echoed on the last
+        #: response — the handle for ``GET /v1/requests/<id>`` postmortems.
+        self.last_request_id: Optional[str] = None
 
     # -- transport -----------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -64,11 +67,19 @@ class ServiceClient:
     def request(
         self, method: str, path: str,
         payload: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
+        """One round trip; ``request_id`` sets the correlation header.
+
+        Without an explicit id the server mints one; either way the echoed
+        id lands in :attr:`last_request_id`.
+        """
         body = None if payload is None else json.dumps(payload)
-        headers = {} if body is None else {
-            "Content-Type": "application/json"
-        }
+        headers: Dict[str, str] = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        if request_id is not None:
+            headers[REQUEST_ID_HEADER] = request_id
         try:
             conn = self._connection()
             conn.request(method, path, body=body, headers=headers)
@@ -84,6 +95,7 @@ class ServiceClient:
             http_response = conn.getresponse()
             raw = http_response.read()
             status = http_response.status
+        self.last_request_id = http_response.getheader(REQUEST_ID_HEADER)
         data = open_envelope(
             json.loads(raw.decode("utf-8")), expect_kind="service-response"
         )
@@ -108,6 +120,14 @@ class ServiceClient:
 
     def obs(self) -> Dict[str, Any]:
         return self.request("GET", "/obs")
+
+    def session_obs(self, sid: str) -> Dict[str, Any]:
+        """One session's SRT ledger, latency percentiles and request tail."""
+        return self.request("GET", f"/v1/sessions/{sid}/obs")
+
+    def request_bundle(self, request_id: str) -> Dict[str, Any]:
+        """One request's correlated span/event bundle (postmortems)."""
+        return self.request("GET", f"/v1/requests/{request_id}")
 
     # -- session lifecycle ---------------------------------------------
     def create_session(self, sigma: Optional[int] = None) -> str:

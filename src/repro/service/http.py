@@ -5,36 +5,55 @@
 
 =========================================  ==================================
 ``GET  /healthz``                          liveness + session-store stats
-``GET  /obs``                              ``repro.obs.full_snapshot()``
+``GET  /obs``                              snapshot + SLOs + request tails
 ``POST /v1/sessions``                      create (``{"sigma": int?}``)
 ``GET  /v1/sessions``                      list live session summaries
 ``GET  /v1/sessions/<sid>``                one session's state
 ``DELETE /v1/sessions/<sid>``              close a session
 ``POST /v1/sessions/<sid>/actions``        ``{"op": ..., "args": [...]}``
+``GET  /v1/sessions/<sid>/obs``            SRT ledger + latency percentiles
+``GET  /v1/requests/<rid>``                one request's correlated bundle
 =========================================  ==================================
 
-Every body is a :mod:`repro.service.protocol` envelope.  The process-wide
-observability stack needs no special wiring: engine actions run on server
-threads, their counters/histograms land in the shared registries, and with
-``REPRO_OBS_EXPORT`` set the continuous exporter streams them — ``repro top
---dir`` is the ops console.
+Every body is a :mod:`repro.service.protocol` envelope.  Every request is
+**correlated**: the handler mints a request id (honoring an inbound
+``X-Prague-Request`` header), echoes it on the response, and dispatches the
+route inside :func:`repro.obs.requests.request_scope` — so every recorder
+event, every root span, and (via the worker-context hop in
+:mod:`repro.obs.snapshot`) every pool-worker event produced while serving
+the request carries the same id.  Completion is logged twice: a structured
+``service.request`` access-log event in the flight recorder (and therefore
+the JSONL export), and an entry in the always-on
+:data:`~repro.obs.requests.REQUEST_LOG` ring behind ``/obs``'s
+slowest-requests view and ``GET /v1/requests/<rid>`` postmortem lookups.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 import signal
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from repro.config import service_port
-from repro.obs.metrics import full_snapshot
+from repro.obs.metrics import METRICS, full_snapshot
 from repro.obs.recorder import RECORDER
+from repro.obs.requests import REQUEST_LOG, request_scope
+from repro.obs.slo import SLO, record_request
+from repro.obs.tracer import TRACER
 from repro.service.protocol import (
+    REQUEST_ID_HEADER,
+    BodyTooLargeError,
+    UnknownRequestError,
     error_response,
     response,
     result_payload,
+    session_obs_payload,
     session_payload,
     status_for,
 )
@@ -42,6 +61,56 @@ from repro.service.sessions import SessionManager
 
 #: Request bodies beyond this are rejected with 413 — gestures are tiny.
 MAX_BODY_BYTES = 1 << 20
+
+#: How many slowest/recent completed requests ``/obs`` surfaces.
+OBS_TOP_REQUESTS = 8
+
+#: How many recorder events ``/obs`` tails for ``repro top --server``.
+OBS_EVENT_TAIL = 16
+
+#: Acceptable inbound correlation ids: short, shell- and log-safe.  Anything
+#: else (absent, oversized, control characters) gets a freshly minted id.
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def _mint_request_id(header_value: Optional[str]) -> str:
+    if header_value:
+        candidate = header_value.strip()
+        if _REQUEST_ID_OK.match(candidate):
+            return candidate
+    return uuid.uuid4().hex[:16]
+
+
+def _request_bundle(request_id: str) -> Dict[str, Any]:
+    """Everything correlated with one request id, for postmortems.
+
+    The access-log entry from the request ring, the recorder events stamped
+    with the id (including worker-side events merged back with their
+    ``src`` label), and the root span trees whose ``request_id`` attribute
+    matches.  Raises :class:`UnknownRequestError` when nothing at all
+    correlates — distinguishing "bad id" from "telemetry was off" is
+    impossible after the fact, so the message says both.
+    """
+    entry = REQUEST_LOG.get(request_id)
+    events = [
+        event for event in RECORDER.snapshot()
+        if event.get("request_id") == request_id
+    ]
+    spans = [
+        root.to_dict() for root in list(TRACER.roots)
+        if root.attrs.get("request_id") == request_id
+    ]
+    if entry is None and not events and not spans:
+        raise UnknownRequestError(
+            f"no telemetry correlates with request {request_id!r} "
+            "(unknown id, aged out of the rings, or recorder/tracing off)"
+        )
+    return {
+        "request_id": request_id,
+        "request": entry,
+        "events": events,
+        "spans": spans,
+    }
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -56,23 +125,57 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return self.server.manager  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: Any) -> None:
-        # No stderr chatter per request; the flight recorder keeps the tail.
-        RECORDER.record(
-            "service.http", line=format % args if args else format
-        )
+        """Silenced: the structured ``service.request`` access-log event
+        (request id, status, duration) replaces per-request stderr chatter."""
+
+    def handle_one_request(self) -> None:
+        """One keep-alive round, with mid-stream hangups counted, not raised.
+
+        ``_send`` guards its own writes, but the base class flushes ``wfile``
+        and reads the next request line *outside* any handler code — a
+        client that resets the connection there would otherwise bubble a
+        ``BrokenPipeError``/``ConnectionResetError`` up to
+        ``ThreadingHTTPServer.handle_error`` and print a traceback per
+        disconnect.
+        """
+        try:
+            super().handle_one_request()
+        except (BrokenPipeError, ConnectionResetError):
+            METRICS.inc("service.client_disconnects")
+            RECORDER.record(
+                "service.disconnect",
+                path=getattr(self, "path", "?"),
+                status=getattr(self, "_status", 0),
+            )
+            self.close_connection = True
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._status = status
+        body = json.dumps(payload, default=str).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header(REQUEST_ID_HEADER, self._request_id)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-write.  Counted directly on the
+            # registry (not the trace-gated count()): disconnect storms
+            # matter precisely when nobody thought to enable tracing.
+            METRICS.inc("service.client_disconnects")
+            RECORDER.record(
+                "service.disconnect", path=self.path, status=status
+            )
+            self.close_connection = True
 
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
-            raise ValueError(f"request body too large ({length} bytes)")
+            raise BodyTooLargeError(
+                f"request body too large ({length} bytes, "
+                f"limit {MAX_BODY_BYTES})"
+            )
         if length == 0:
             return {}
         data = json.loads(self.rfile.read(length).decode("utf-8"))
@@ -81,15 +184,43 @@ class ServiceHandler(BaseHTTPRequestHandler):
         return data
 
     def _dispatch(self, method: str) -> None:
-        try:
-            handled = self._route(method, self.path.rstrip("/") or "/")
-        except Exception as exc:  # one mapping for every route
-            self._send(status_for(exc), error_response(exc))
-            return
-        if not handled:
-            self._send(404, error_response(
-                ValueError(f"no route {method} {self.path}")
-            ))
+        self._request_id = _mint_request_id(
+            self.headers.get(REQUEST_ID_HEADER)
+        )
+        self._status = 0
+        self._session_id: Optional[str] = None
+        start = time.perf_counter()
+        with request_scope(self._request_id):
+            try:
+                handled = self._route(method, self.path.rstrip("/") or "/")
+                if not handled:
+                    self._send(404, error_response(
+                        ValueError(f"no route {method} {self.path}")
+                    ))
+            except Exception as exc:  # one mapping for every route
+                if isinstance(exc, BodyTooLargeError):
+                    # The oversized body was never read; the connection's
+                    # framing is shot, so don't reuse it.
+                    self.close_connection = True
+                self._send(status_for(exc), error_response(exc))
+            duration = time.perf_counter() - start
+            record_request(self._status)
+            REQUEST_LOG.record(
+                request_id=self._request_id,
+                method=method,
+                path=self.path,
+                status=self._status,
+                duration_s=duration,
+                session_id=self._session_id,
+            )
+            RECORDER.record(
+                "service.request",
+                method=method,
+                path=self.path,
+                status=self._status,
+                duration_ms=round(1000.0 * duration, 3),
+                session_id=self._session_id,
+            )
 
     # -- routes --------------------------------------------------------
     def _route(self, method: str, path: str) -> bool:
@@ -100,14 +231,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
             return True
         if method == "GET" and path == "/obs":
             self._send(200, response({
+                "pid": os.getpid(),
                 "snapshot": full_snapshot(),
                 "service": self.manager.stats(),
+                "slo": SLO.snapshot(),
+                "requests": {
+                    "tracked": len(REQUEST_LOG),
+                    "slowest": REQUEST_LOG.slowest(OBS_TOP_REQUESTS),
+                    "recent": REQUEST_LOG.recent(OBS_TOP_REQUESTS),
+                },
+                "events": RECORDER.snapshot()[-OBS_EVENT_TAIL:],
             }))
             return True
         if path == "/v1/sessions":
             if method == "POST":
                 body = self._read_body()
                 session = self.manager.create(sigma=body.get("sigma"))
+                self._session_id = session.sid
                 self._send(201, response(session_payload(session)))
                 return True
             if method == "GET":
@@ -118,9 +258,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return True
             return False
         parts = path.split("/")
-        # /v1/sessions/<sid> and /v1/sessions/<sid>/actions
+        # /v1/requests/<rid> — one request's correlated telemetry bundle.
+        if len(parts) == 4 and parts[1] == "v1" and parts[2] == "requests" \
+                and method == "GET":
+            self._send(200, response(_request_bundle(parts[3])))
+            return True
+        # /v1/sessions/<sid>, .../actions and .../obs
         if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "sessions":
             sid = parts[3]
+            self._session_id = sid
             if len(parts) == 4:
                 if method == "GET":
                     self._send(200, response(
@@ -144,6 +290,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 shaped = result_payload(result)
                 if shaped is not None:
                     payload.update(shaped)
+                self._send(200, response(payload))
+                return True
+            if len(parts) == 5 and parts[4] == "obs" and method == "GET":
+                session = self.manager.get(sid)
+                with session.lock:
+                    payload = session_obs_payload(
+                        session, REQUEST_LOG.for_session(sid)
+                    )
                 self._send(200, response(payload))
                 return True
         return False

@@ -8,17 +8,21 @@ and get loud version errors instead of silent misreads when either side
 upgrades.
 
 Errors are payloads too: ``{"error": {"type": ..., "message": ...}}`` with
-the HTTP status from :func:`status_for` — 404 for unknown sessions, 503 at
-the admission gate, 400 for invalid gestures, 500 for everything else.
+the HTTP status from :func:`status_for` — 404 for unknown sessions and
+unknown request ids, 503 at the admission gate, 413 for oversized bodies,
+400 for invalid gestures, 500 for everything else.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import math
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.config import DEFAULT_EDGE_LATENCY_SECONDS
 from repro.core.prague import RunReport, StepReport
 from repro.exceptions import ReproError
 from repro.obs.export import envelope
+from repro.obs.srt import build_ledger, events_from_reports
 from repro.service.sessions import (
     AdmissionError,
     Session,
@@ -27,6 +31,18 @@ from repro.service.sessions import (
 
 #: Bumped whenever a request or response shape changes incompatibly.
 PROTOCOL_VERSION = 1
+
+#: Correlation header: honored inbound (a client may supply its own id),
+#: echoed on every response with the id the server actually used.
+REQUEST_ID_HEADER = "X-Prague-Request"
+
+
+class BodyTooLargeError(ReproError):
+    """Request body exceeds the service's byte bound (HTTP 413, not 400)."""
+
+
+class UnknownRequestError(ReproError):
+    """No telemetry correlates with this request id (aged out or never seen)."""
 
 
 def response(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -44,8 +60,10 @@ def error_response(exc: BaseException) -> Dict[str, Any]:
 
 def status_for(exc: BaseException) -> int:
     """The HTTP status an exception maps to."""
-    if isinstance(exc, UnknownSessionError):
+    if isinstance(exc, (UnknownSessionError, UnknownRequestError)):
         return 404
+    if isinstance(exc, BodyTooLargeError):
+        return 413
     if isinstance(exc, AdmissionError):
         return 503
     if isinstance(exc, (ReproError, ValueError, TypeError, KeyError)):
@@ -119,4 +137,49 @@ def session_payload(session: Session) -> Dict[str, Any]:
         "can_undo": engine.can_undo,
         "can_redo": engine.can_redo,
         "actions": session.action_count,
+    }
+
+
+def _percentile(values: Sequence[float], pct: float) -> float:
+    """Exact-rank percentile (the convention the load bench uses)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def session_obs_payload(
+    session: Session,
+    requests: Sequence[Dict[str, Any]] = (),
+) -> Dict[str, Any]:
+    """Per-session telemetry: SRT ledger, latency percentiles, request tail.
+
+    The ledger folds the session's surviving step history (what undo left
+    behind) against the paper's GUI-latency window, with the last *Run*'s
+    processing time as the residual — the same accounting ``repro trace``
+    prints for a single-process session.  Percentiles are over the
+    wall-clock action latencies the manager observed for this session
+    (bounded ring, newest :attr:`Session.latencies` entries).
+    """
+    engine = session.engine
+    ledger = build_ledger(
+        events_from_reports(
+            engine.history, latency=DEFAULT_EDGE_LATENCY_SECONDS
+        ),
+        run_seconds=session.last_run_seconds,
+    )
+    latencies: List[float] = list(session.latencies)
+    return {
+        "session": session.sid,
+        "actions": session.action_count,
+        "srt": ledger.to_dict(),
+        "action_latency": {
+            "count": len(latencies),
+            "p50_s": _percentile(latencies, 50.0),
+            "p90_s": _percentile(latencies, 90.0),
+            "p99_s": _percentile(latencies, 99.0),
+            "max_s": max(latencies, default=0.0),
+        },
+        "requests": [dict(entry) for entry in requests],
     }

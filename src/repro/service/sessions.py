@@ -22,8 +22,9 @@ from __future__ import annotations
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.config import (
     DEFAULT_SUBGRAPH_DISTANCE,
@@ -31,12 +32,19 @@ from repro.config import (
     service_session_ttl,
 )
 from repro.core.plane import SharedPlane
+from repro.core.prague import RunReport
 from repro.core.undo import UndoableEngine
 from repro.exceptions import ReproError
 from repro.obs.histogram import observe
 from repro.obs.metrics import count, gauge
 from repro.obs.recorder import RECORDER
+from repro.obs.slo import record_action_latency, record_admission
 from repro.oracle.trace import ACTION_OPS, TraceAction, _tuplify, apply_action
+
+#: Per-session action latencies retained for ``/v1/sessions/<id>/obs``
+#: percentiles — enough for a long interactive formulation, bounded so a
+#: hot session cannot grow without limit.
+SESSION_LATENCY_WINDOW = 512
 
 #: Ops a session accepts: the replayable GUI gestures plus the undo pair.
 SERVICE_OPS: Tuple[str, ...] = ACTION_OPS + ("undo", "redo")
@@ -60,6 +68,13 @@ class Session:
     last_used: float
     action_count: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Wall-clock seconds of the last ``run`` gesture's processing — the
+    #: residual the per-session SRT ledger folds at *Run*.
+    last_run_seconds: float = 0.0
+    #: Recent per-action wall-clock latencies (newest last, bounded).
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=SESSION_LATENCY_WINDOW)
+    )
 
 
 class SessionManager:
@@ -108,6 +123,7 @@ class SessionManager:
             if len(self._sessions) >= self.max_sessions():
                 self._rejected += 1
                 count("service.sessions.rejected")
+                record_admission(False)
                 RECORDER.record(
                     "service.reject", live=len(self._sessions),
                     cap=self.max_sessions(),
@@ -130,6 +146,7 @@ class SessionManager:
             self._sessions[sid] = session
             self._created += 1
             count("service.sessions.created")
+            record_admission(True)
             gauge("service.sessions.active", len(self._sessions))
             return session
 
@@ -196,10 +213,15 @@ class SessionManager:
                 result = apply_action(
                     session.engine, TraceAction(op, _tuplify(list(args)))
                 )
+            elapsed = time.perf_counter() - start
             session.last_used = time.monotonic()
             session.action_count += 1
+            session.latencies.append(elapsed)
+            if isinstance(result, RunReport):
+                session.last_run_seconds = result.processing_seconds
             count("service.actions")
-            observe("service.action", time.perf_counter() - start)
+            observe("service.action", elapsed)
+            record_action_latency(elapsed)
         return session, result
 
     # -- introspection -------------------------------------------------

@@ -1,0 +1,78 @@
+"""The remote ops console: ``repro top --server`` and remote postmortems.
+
+Drives the real CLI entry points against the live in-process server the
+service suite already runs — the same rendering as the directory-tail mode,
+fed from ``/obs`` over HTTP, plus the ``--server --request`` postmortem
+fetch.  The always-on request ring is what makes the postmortem work with
+tracing off: an operator can resolve an id *after* the fact.
+"""
+
+import pytest
+
+from repro.cli import _parse_server, main
+
+
+class TestParseServer:
+    def test_full_url(self):
+        assert _parse_server("http://10.0.0.5:9999") == ("10.0.0.5", 9999)
+
+    def test_host_port_without_scheme(self):
+        assert _parse_server("localhost:8123") == ("localhost", 8123)
+
+    def test_bare_host_uses_the_configured_port(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_PORT", raising=False)
+        assert _parse_server("http://example.test") == ("example.test", 8765)
+
+
+class TestTopServerMode:
+    def test_once_renders_a_live_frame(self, server, client, capsys):
+        client.health()  # at least one request in the ring
+        host, port = server.address
+        code = main(["top", "--server", f"http://{host}:{port}", "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top — pid" in out
+        assert "SLOs (rolling window):" in out
+        assert "request_errors" in out
+        assert "slowest recent requests" in out
+
+    def test_unreachable_server_renders_the_waiting_frame(self, capsys):
+        code = main([
+            "top", "--server", "http://127.0.0.1:1", "--once",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "waiting for http://127.0.0.1:1/obs" in out
+        assert "is the server up?" in out
+
+
+class TestRemotePostmortem:
+    def test_fetches_and_renders_a_request_bundle(
+        self, server, client, capsys
+    ):
+        sid = client.create_session()
+        client.request(
+            "POST", f"/v1/sessions/{sid}/actions",
+            {"op": "add_node", "args": ["a", "A"]},
+            request_id="console-req",
+        )
+        host, port = server.address
+        code = main([
+            "postmortem", "--server", f"http://{host}:{port}",
+            "--request", "console-req",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "request console-req" in out
+        assert f"/v1/sessions/{sid}/actions -> 200" in out
+        client.close_session(sid)
+
+    def test_server_without_request_id_is_usage_error(self, capsys):
+        code = main(["postmortem", "--server", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "--request" in capsys.readouterr().err
+
+    def test_no_bundle_and_no_server_is_usage_error(self, capsys):
+        code = main(["postmortem"])
+        assert code == 2
+        assert "bundle" in capsys.readouterr().err
