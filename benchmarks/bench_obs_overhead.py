@@ -27,6 +27,12 @@ SLO samples and one request-ring entry per HTTP request — must not push a
 served session past 5 % either.  Scoped ``record`` and an SLO sample face
 the no-op per-call ceiling; a request-ring insert (dict churn against a full
 ring) gets the ``sync_env`` ceiling.
+
+Finally the *sampler-on* posture (``overhead_sampler_pct``): a direct
+best-of-N A/B of the same session with the statistical profiler running at
+its recommended 50 Hz versus off.  A background thread waking 50 times a
+second has no per-call-site volume to price, so this one is measured
+head-to-head and clamped at zero — and must also stay under the 5 % ceiling.
 """
 
 import pytest
@@ -89,6 +95,11 @@ def test_obs_overhead(benchmark):
          f"{data['overhead_bound_export_pct']:.2f}% of "
          f"{1e3 * data['untraced_session_s']:.2f} ms"],
         ["traced / untraced", f"{data['traced_over_untraced']:.2f}x", "-"],
+        [f"sampler on ({data['sampler_hz']:.0f} Hz)",
+         f"{1e3 * data['sampler_on_session_s']:.2f} ms",
+         f"{data['overhead_sampler_pct']:.2f}% over "
+         f"{1e3 * data['sampler_off_session_s']:.2f} ms "
+         f"({data['sampler_samples']} samples)"],
     ]
     table = format_table(
         f"obs no-op overhead, fuzzed session of {data['actions']} actions",
@@ -109,6 +120,7 @@ def test_obs_overhead(benchmark):
     assert data["overhead_bound_pct"] < OVERHEAD_CEILING_PCT
     assert data["overhead_bound_service_pct"] < OVERHEAD_CEILING_PCT
     assert data["overhead_bound_export_pct"] < OVERHEAD_CEILING_PCT
+    assert data["overhead_sampler_pct"] < OVERHEAD_CEILING_PCT
     for name, cost_ns in per_call.items():
         ceiling = (SYNC_CALL_CEILING_NS if name == "sync_env"
                    else NOOP_CALL_CEILING_NS)

@@ -229,6 +229,112 @@ def compare_records(
 
 
 # ----------------------------------------------------------------------
+# trajectory profiles: attribution for --explain
+# ----------------------------------------------------------------------
+#: Collapsed stacks kept per trajectory profile — enough for attribution
+#: without bloating the checked-in trajectory file.
+_PROFILE_MAX_STACKS = 200
+
+
+def collect_profile(
+    seed: int = 2012,
+    hz: float = 200.0,
+    min_seconds: float = 0.5,
+) -> Dict[str, Any]:
+    """A compact sampled profile of the suite's session replay.
+
+    Replays the same fuzzed session ``run_perf_suite`` times (fresh engine
+    per pass) under the statistical sampler until ``min_seconds`` of wall
+    time accumulates, then keeps the busiest :data:`_PROFILE_MAX_STACKS`
+    collapsed stacks.  Attached to trajectory records so ``python -m repro
+    perf --explain A B`` can name the frames behind a regression —
+    ``wall_s`` scales sample shares back into approximate self-seconds.
+    """
+    from repro.core.prague import PragueEngine
+    from repro.obs.profiler import PROFILER
+    from repro.oracle.corpus import corpus_for
+    from repro.oracle.fuzzer import generate_trace
+    from repro.oracle.trace import apply_action
+
+    trace = generate_trace(seed=seed)
+    corpus = corpus_for(trace.spec)
+    PROFILER.reset()
+    PROFILER.force(hz)
+    start = time.perf_counter()
+    replays = 0
+    try:
+        while True:
+            engine = PragueEngine(
+                corpus.db, corpus.indexes, sigma=trace.sigma
+            )
+            for action in trace.actions:
+                apply_action(engine, action)
+            replays += 1
+            wall_s = time.perf_counter() - start
+            if wall_s >= min_seconds or replays >= 1000:
+                break
+    finally:
+        PROFILER.force(None)
+    stacks = PROFILER.stacks()
+    PROFILER.reset()
+    busiest = dict(sorted(
+        stacks.items(), key=lambda kv: (-kv[1], kv[0])
+    )[:_PROFILE_MAX_STACKS])
+    return {
+        "hz": hz,
+        "seed": seed,
+        "wall_s": wall_s,
+        "replays": replays,
+        "samples": sum(stacks.values()),
+        "stacks": busiest,
+    }
+
+
+def _self_seconds(profile: Dict[str, Any]) -> Dict[str, float]:
+    """Approximate per-frame self time: wall time × leaf-sample share."""
+    stacks = profile.get("stacks", {}) or {}
+    total = sum(stacks.values())
+    wall_s = float(profile.get("wall_s", 0.0))
+    out: Dict[str, float] = {}
+    if not total:
+        return out
+    for folded, samples in stacks.items():
+        leaf = folded.rsplit(";", 1)[-1]
+        out[leaf] = out.get(leaf, 0.0) + wall_s * samples / total
+    return out
+
+
+def explain_profiles(
+    profile_a: Dict[str, Any],
+    profile_b: Dict[str, Any],
+    top: int = 12,
+) -> List[Dict[str, Any]]:
+    """Frame-level attribution of a perf delta between two profiles (A → B).
+
+    Returns the ``top`` frames by absolute self-time change, biggest
+    slowdown first — the answer to "*which code* got slower between these
+    two trajectory entries".  Frames absent from one side read as zero and
+    carry ``in_a``/``in_b`` flags (new/gone code paths).
+    """
+    self_a = _self_seconds(profile_a)
+    self_b = _self_seconds(profile_b)
+    rows: List[Dict[str, Any]] = []
+    for frame in set(self_a) | set(self_b):
+        a_s = self_a.get(frame, 0.0)
+        b_s = self_b.get(frame, 0.0)
+        rows.append({
+            "frame": frame,
+            "self_a_s": a_s,
+            "self_b_s": b_s,
+            "delta_s": b_s - a_s,
+            "in_a": frame in self_a,
+            "in_b": frame in self_b,
+        })
+    rows.sort(key=lambda r: (-r["delta_s"], r["frame"]))
+    return rows[:max(int(top), 0)]
+
+
+# ----------------------------------------------------------------------
 # the trajectory file
 # ----------------------------------------------------------------------
 def trajectory_path() -> Path:

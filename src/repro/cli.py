@@ -156,6 +156,35 @@ def _build_parser() -> argparse.ArgumentParser:
              "deltas between two --json trace reports (before -> after)",
     )
 
+    profilecmd = sub.add_parser(
+        "profile",
+        help="replay a session under the statistical sampler and export "
+             "collapsed stacks + a self-contained flamegraph",
+    )
+    profilecmd.add_argument(
+        "--trace", type=Path, default=None,
+        help="JSON oracle trace to replay (default: generate one with the "
+             "session fuzzer)",
+    )
+    profilecmd.add_argument("--seed", type=int, default=0,
+                            help="fuzzer seed when no --trace file is given")
+    profilecmd.add_argument("--sigma", type=int, default=None,
+                            help="similarity budget for fuzzed traces")
+    profilecmd.add_argument("--hz", type=float, default=100.0,
+                            help="sampler frequency (overrides "
+                                 "REPRO_PROFILE_HZ for the run)")
+    profilecmd.add_argument("--mem", type=int, default=0, metavar="N",
+                            help="also bracket actions with tracemalloc and "
+                                 "keep the top-N allocating lines")
+    profilecmd.add_argument("--seconds", type=float, default=1.0,
+                            help="replay the session repeatedly until this "
+                                 "much wall time has been sampled")
+    profilecmd.add_argument("--top", type=int, default=10,
+                            help="hottest frames to print")
+    profilecmd.add_argument("--out", type=Path, default=Path("profile"),
+                            help="output directory for profile.folded, "
+                                 "profile.json and flamegraph.html")
+
     top = sub.add_parser(
         "top",
         help="live terminal view of an exporting session "
@@ -198,6 +227,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="compare against the last record instead of appending; exit 1 "
              "on a regression, 2 when no baseline exists",
+    )
+    perf.add_argument(
+        "--explain", nargs=2, metavar=("A", "B"), default=None,
+        help="instead of running the suite, diff the sampled profiles "
+             "attached to two trajectory entries (by 1-based index or "
+             "label) and name the frames responsible for the delta",
+    )
+    perf.add_argument(
+        "--no-profile", action="store_true",
+        help="skip attaching a sampled profile to the appended record",
     )
 
     postmortem = sub.add_parser(
@@ -581,6 +620,8 @@ def _cmd_perf(args) -> int:
         args.trajectory if args.trajectory is not None
         else perf_ledger.trajectory_path()
     )
+    if args.explain is not None:
+        return _perf_explain(path, args.explain)
     records = perf_ledger.load_trajectory(path)
     baseline = records[-1] if records else None
     calibration = perf_ledger.calibrate()
@@ -631,8 +672,88 @@ def _cmd_perf(args) -> int:
         print(f"perf --check OK "
               f"({len(comparisons)} metrics within {threshold:g}%)")
         return 0
+    if not args.no_profile:
+        # Attach a compact sampled profile so a future --explain can name
+        # the frames behind whatever regression this record ends up in.
+        record["profile"] = perf_ledger.collect_profile(seed=args.seed)
     perf_ledger.append_record(path, record)
     print(f"appended record {len(records) + 1} ({args.label!r}) to {path}")
+    return 0
+
+
+def _lookup_trajectory_record(records, token: str):
+    """A trajectory record by 1-based index (negatives count from the end)
+    or by label (last match wins); ``None`` when nothing matches."""
+    try:
+        index = int(token)
+    except ValueError:
+        matches = [r for r in records if r.get("label") == token]
+        return matches[-1] if matches else None
+    if index == 0 or abs(index) > len(records):
+        return None
+    return records[index - 1] if index > 0 else records[index]
+
+
+def _perf_explain(path: Path, tokens) -> int:
+    """``repro perf --explain A B``: name the frames behind a perf delta."""
+    from repro.bench import ledger as perf_ledger
+    from repro.bench.harness import format_table
+
+    records = perf_ledger.load_trajectory(path)
+    if not records:
+        print(f"perf --explain: no trajectory at {path}", file=sys.stderr)
+        return 2
+    resolved = []
+    for token in tokens:
+        record = _lookup_trajectory_record(records, token)
+        if record is None:
+            print(f"perf --explain: no trajectory entry {token!r} "
+                  f"(have 1..{len(records)} and labels "
+                  f"{sorted({r.get('label', '?') for r in records})})",
+                  file=sys.stderr)
+            return 2
+        resolved.append(record)
+    record_a, record_b = resolved
+    profile_a = record_a.get("profile")
+    profile_b = record_b.get("profile")
+    for token, profile in zip(tokens, (profile_a, profile_b)):
+        if not profile or not profile.get("stacks"):
+            print(f"perf --explain: entry {token!r} carries no sampled "
+                  "profile — append records with a current checkout "
+                  "(`python -m repro perf`) to attach one",
+                  file=sys.stderr)
+            return 2
+    rows = perf_ledger.explain_profiles(profile_a, profile_b)
+    label_a = record_a.get("label", tokens[0])
+    label_b = record_b.get("label", tokens[1])
+    table_rows = []
+    for row in rows:
+        if not row["in_a"]:
+            mark = "(new)"
+        elif not row["in_b"]:
+            mark = "(gone)"
+        else:
+            mark = ""
+        table_rows.append([
+            f"{row['frame']} {mark}".strip(),
+            f"{1000 * row['self_a_s']:.2f} ms",
+            f"{1000 * row['self_b_s']:.2f} ms",
+            f"{1000 * row['delta_s']:+.2f} ms",
+        ])
+    print(format_table(
+        f"perf --explain: {label_a} -> {label_b} "
+        f"(self time per frame, sampled at "
+        f"{profile_b.get('hz', 0):g} Hz)",
+        ["frame", "self A", "self B", "delta"],
+        table_rows,
+    ))
+    slowed = [r for r in rows if r["delta_s"] > 0]
+    if slowed:
+        worst = slowed[0]
+        print(f"\nbiggest slowdown: {worst['frame']} "
+              f"({1000 * worst['delta_s']:+.2f} ms self time)")
+    else:
+        print("\nno frame got slower between these entries")
     return 0
 
 
@@ -719,14 +840,28 @@ def _cmd_top(args) -> int:
             except (OSError, ValueError, ReproError):
                 client.close()  # poison the keep-alive; retry fresh
                 return None, [], ()
+            # Tolerate payloads from a server one PR behind: every newer
+            # section degrades to its zero/"n/a" form rather than a
+            # KeyError mid-frame.
+            if not isinstance(data, dict):
+                return None, [], ()
+            snapshot = data.get("snapshot")
             bundle = {
                 "pid": data.get("pid"),
                 "sequence": frames + 1,
-                "events_emitted": len(data.get("events", ())),
-                "metrics": data.get("snapshot", {}),
+                "events_emitted": len(data.get("events") or ()),
+                "metrics": snapshot if isinstance(snapshot, dict) else {},
             }
-            requests = data.get("requests", {}).get("slowest", ())
-            return bundle, data.get("events", ())[-args.events:], requests
+            profile = data.get("profile")
+            if isinstance(profile, dict):
+                bundle["profile"] = profile
+            requests_section = data.get("requests")
+            if isinstance(requests_section, dict):
+                requests = requests_section.get("slowest") or ()
+            else:
+                requests = None  # old server: no requests section at all
+            events = data.get("events") or ()
+            return bundle, events[-args.events:], requests
     else:
         directory = args.dir
         if directory is None:
@@ -790,8 +925,20 @@ def _cmd_postmortem(args) -> int:
         from repro.service.client import ServiceClient
 
         host, port = _parse_server(args.server)
-        with ServiceClient(host=host, port=port) as client:
-            data = client.request_bundle(args.request_id)
+        try:
+            with ServiceClient(host=host, port=port) as client:
+                data = client.request_bundle(args.request_id)
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"repro postmortem: could not fetch request "
+                  f"{args.request_id!r} from {args.server}: {exc} "
+                  "(server down, or an older server without "
+                  "/v1/requests support?)",
+                  file=sys.stderr)
+            return 1
+        if not isinstance(data, dict):
+            print(f"repro postmortem: malformed bundle from {args.server}",
+                  file=sys.stderr)
+            return 1
         print(render_request_bundle(data))
         return 0
     if args.bundle is None:
@@ -805,6 +952,104 @@ def _cmd_postmortem(args) -> int:
         json.loads(args.bundle.read_text()), expect_kind="postmortem"
     )
     print(render_postmortem(bundle))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Replay a session under the statistical sampler and export profiles.
+
+    The headless twin of attaching the sampler to a live service: replays a
+    seeded (or saved) formulation session — fresh engine per pass — until
+    ``--seconds`` of wall time has been sampled, then writes the collapsed
+    stacks (``profile.folded``), the attributed profile with its summary
+    (``profile.json``, a schema-v2 ``profile`` envelope) and a
+    self-contained ``flamegraph.html`` into ``--out``.
+    """
+    import json
+    import time
+
+    from repro import obs
+    from repro.obs.profiler import (
+        PROFILER,
+        folded_lines,
+        render_flamegraph_html,
+        top_frames,
+    )
+    from repro.oracle.corpus import corpus_for
+    from repro.oracle.fuzzer import generate_trace
+    from repro.oracle.trace import apply_action, load_trace
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+        source = str(args.trace)
+    else:
+        trace = generate_trace(seed=args.seed, sigma=args.sigma)
+        source = f"fuzzer seed {args.seed}"
+    corpus = corpus_for(trace.spec)
+
+    PROFILER.reset()
+    PROFILER.force(args.hz)
+    if args.mem:
+        PROFILER.force_mem(args.mem)
+    start = time.perf_counter()
+    replays = 0
+    try:
+        while True:
+            engine = PragueEngine(
+                corpus.db, corpus.indexes, sigma=trace.sigma
+            )
+            for action in trace.actions:
+                apply_action(engine, action)
+            replays += 1
+            wall_seconds = time.perf_counter() - start
+            if wall_seconds >= max(args.seconds, 0.0) or replays >= 1000:
+                break
+    finally:
+        PROFILER.force(None)
+        if args.mem:
+            PROFILER.force_mem(None)
+
+    profile = PROFILER.collect()
+    stacks = PROFILER.stacks()
+    PROFILER.reset()
+    summary = obs.profile_summary(profile)
+
+    print(f"profile: {source} — {len(trace.actions)} actions x "
+          f"{replays} replays, {wall_seconds:.2f} s sampled at "
+          f"{args.hz:g} Hz -> {profile['samples']} samples")
+    if not stacks:
+        print("(no samples — the session finished between sampler ticks; "
+              "raise --hz or --seconds)", file=sys.stderr)
+    hottest = top_frames(stacks, args.top)
+    if hottest:
+        print(f"\nhottest frames (self samples, top {len(hottest)}):")
+        for frame, samples in hottest:
+            print(f"  {samples:>6}  {frame}")
+    if args.mem and profile.get("memory"):
+        print("\nmemory brackets (tracemalloc, top allocating lines):")
+        for site in sorted(profile["memory"]):
+            stats = profile["memory"][site]
+            print(f"  {site}: peak {stats.get('peak_bytes', 0)} bytes")
+            for entry in stats.get("top", [])[:3]:
+                print(f"    {entry.get('size_diff_bytes', 0):>+10} B  "
+                      f"{entry.get('site', '?')}")
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    folded_path = args.out / "profile.folded"
+    folded_path.write_text("\n".join(folded_lines(stacks)) + "\n")
+    json_path = args.out / "profile.json"
+    json_path.write_text(json.dumps(obs.envelope("profile", {
+        "source": source,
+        "wall_seconds": wall_seconds,
+        "replays": replays,
+        "profile": profile,
+        "summary": summary,
+    }), indent=2, default=str) + "\n")
+    html_path = args.out / "flamegraph.html"
+    html_path.write_text(render_flamegraph_html(
+        stacks, title=f"repro profile — {source}"
+    ))
+    print(f"\nwrote {folded_path}, {json_path}, {html_path}")
     return 0
 
 
@@ -870,6 +1115,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "top": _cmd_top,
     "perf": _cmd_perf,
+    "profile": _cmd_profile,
     "postmortem": _cmd_postmortem,
     "serve": _cmd_serve,
 }

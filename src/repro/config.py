@@ -305,6 +305,60 @@ def postmortem_dir():
     return value or None
 
 
+# ----------------------------------------------------------------------
+# continuous-profiling knobs (see docs/CONFIGURATION.md)
+# ----------------------------------------------------------------------
+def profile_hz() -> float:
+    """Statistical-sampler frequency in Hz (``REPRO_PROFILE_HZ``).
+
+    ``0`` (the default) keeps the sampler off: no thread is spawned and the
+    per-action cost is one attribute check.  When positive, a daemon thread
+    polls ``sys._current_frames()`` at this rate and folds every thread's
+    stack into the collapsed-stack profile (:mod:`repro.obs.profiler`).
+    ~50 Hz is the recommended always-on rate; the sampler-on overhead at
+    50 Hz is bounded by ``benchmarks/bench_obs_overhead.py``.  Like
+    ``REPRO_TRACE``, the knob is re-read at every engine action.  Capped at
+    1000 Hz — beyond that the sampling loop itself distorts the profile.
+    """
+    try:
+        value = float(os.environ.get("REPRO_PROFILE_HZ", "0"))
+    except ValueError:
+        value = 0.0
+    return min(max(value, 0.0), 1000.0)
+
+
+def profile_mem_topn() -> int:
+    """``tracemalloc`` top-N allocation sites per bracket
+    (``REPRO_PROFILE_MEM``, default 0 = off).
+
+    When positive, engine actions and arena/index builds are bracketed with
+    tracemalloc snapshots and the top-N allocating source lines (by size
+    delta) are attached to the profile's memory tier.  Starting tracemalloc
+    roughly doubles allocation cost process-wide, so this is a diagnostic
+    knob, not an always-on one.
+    """
+    try:
+        value = int(os.environ.get("REPRO_PROFILE_MEM", "0"))
+    except ValueError:
+        value = 0
+    return max(value, 0)
+
+
+def profile_depth() -> int:
+    """Maximum folded-stack depth per sample (``REPRO_PROFILE_DEPTH``,
+    default 64, floor 4).
+
+    Frames deeper than this are dropped from the *root* end of the stack —
+    the leaf (hot) frames always survive — which bounds both sampling cost
+    and collapsed-stack key length on pathologically deep recursion.
+    """
+    try:
+        value = int(os.environ.get("REPRO_PROFILE_DEPTH", "64"))
+    except ValueError:
+        value = 64
+    return max(value, 4)
+
+
 @dataclass(frozen=True)
 class MiningParams:
     """Parameters of the offline mining/indexing phase (Sections III, VIII).

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import arena_enabled, pool_idle_ttl, pool_warm
 from repro.obs.metrics import count, gauge
+from repro.obs.profiler import profile_block
 from repro.obs.recorder import RECORDER
 
 #: Payload tag for arena-resident chunks (see :func:`resolve_items`).
@@ -117,7 +118,8 @@ def arena_for(db) -> Optional[Any]:
         from repro.index.arena import IndexArena
 
         start = time.perf_counter()
-        arena = IndexArena.build(db, indexes=_INDEX_PLANES.get(key))
+        with profile_block("arena.build"):
+            arena = IndexArena.build(db, indexes=_INDEX_PLANES.get(key))
         if arena.publish() is None:  # no shared memory on this platform
             arena.dispose()
             return None
@@ -132,6 +134,18 @@ def arena_for(db) -> Optional[Any]:
             graphs=arena.db_size, seconds=time.perf_counter() - start,
         )
         return arena
+
+
+def arena_segment_bytes() -> int:
+    """Total bytes of live published arena segments in this process.
+
+    The memory gauge behind ``arena.segment_bytes`` in ``full_snapshot()``:
+    shared-memory segments do not show up in ``tracemalloc`` (they are not
+    Python allocations) and only partially in RSS (pages fault in lazily),
+    so the arena registry reports them explicitly.
+    """
+    with _REGISTRY_LOCK:
+        return sum(arena.nbytes for _, _, arena in _ARENAS.values())
 
 
 # ----------------------------------------------------------------------

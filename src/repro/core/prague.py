@@ -73,6 +73,7 @@ from repro.graph.database import GraphDatabase
 from repro.graph.labeled_graph import NodeId
 from repro.index.builder import ActionAwareIndexes
 from repro.obs.histogram import observe
+from repro.obs.profiler import profile_action
 from repro.obs.metrics import count
 from repro.obs.recorder import RECORDER
 from repro.obs.tracer import span, sync_env
@@ -192,7 +193,7 @@ class PragueEngine:
         sync_env()
         start = time.perf_counter()
         RECORDER.record("action.start", op="new")
-        with span("action.new") as sp:
+        with profile_action("new"), span("action.new") as sp:
             count("engine.action.new")
             edge_id = self.query.add_edge(u, v, label)
             spig_start = time.perf_counter()
@@ -297,7 +298,7 @@ class PragueEngine:
         sync_env()
         start = time.perf_counter()
         RECORDER.record("action.start", op="simquery")
-        with span("action.simquery") as sp:
+        with profile_action("simquery"), span("action.simquery") as sp:
             count("engine.action.simquery")
             self.sim_flag = True
             self.option_pending = False
@@ -328,7 +329,7 @@ class PragueEngine:
         sync_env()
         start = time.perf_counter()
         RECORDER.record("action.start", op="modify")
-        with span("action.modify") as sp:
+        with profile_action("modify"), span("action.modify") as sp:
             count("engine.action.modify")
             suggestion = None
             if edge_id is None:
@@ -367,7 +368,7 @@ class PragueEngine:
         sync_env()
         start = time.perf_counter()
         RECORDER.record("action.start", op="modify")
-        with span("action.modify") as sp:
+        with profile_action("modify"), span("action.modify") as sp:
             count("engine.action.modify")
             applied = apply_multi_deletion(self.query, self.manager, edge_ids)
             self.option_pending = False
@@ -399,7 +400,7 @@ class PragueEngine:
         sync_env()
         start = time.perf_counter()
         RECORDER.record("action.start", op="modify")
-        with span("action.modify") as sp:
+        with profile_action("modify"), span("action.modify") as sp:
             count("engine.action.modify")
             new_ids = _relabel(self.query, self.manager, node, new_label)
             self.option_pending = False
@@ -452,7 +453,7 @@ class PragueEngine:
         sync_env()
         start = time.perf_counter()
         RECORDER.record("action.start", op="run")
-        with span("action.run") as sp:
+        with profile_action("run"), span("action.run") as sp:
             count("engine.action.run")
             self._ensure_current_candidates()
             report = RunReport()

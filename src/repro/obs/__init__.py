@@ -27,6 +27,11 @@ millisecond of a formulation session goes* without changing any answer:
   metrics snapshot is periodically rewritten (``metrics.prom`` +
   ``snapshot.json``), so a live session can be watched with
   ``python -m repro top``;
+* **continuous profiling** (:mod:`repro.obs.profiler`) — a statistical
+  wall-clock sampler (``REPRO_PROFILE_HZ``) folding ``sys._current_frames()``
+  into collapsed stacks attributed per engine action and request id, with a
+  ``tracemalloc`` memory tier and collapsed-stack/flamegraph export via
+  ``python -m repro profile``;
 * **request correlation** (:mod:`repro.obs.requests`) — a thread-local
   request-id scope: while the service dispatches a request, every recorder
   event and root span is stamped with the id, worker deltas carry it home,
@@ -90,6 +95,16 @@ from repro.obs.histogram import (
     snapshot_histograms,
 )
 from repro.obs.metrics import METRICS, Metrics, count, full_snapshot, gauge
+from repro.obs.profiler import (
+    PROFILER,
+    Profiler,
+    folded_lines,
+    profile_action,
+    profile_block,
+    profile_summary,
+    render_flamegraph_html,
+    top_frames,
+)
 from repro.obs.recorder import RECORDER, FlightRecorder, render_postmortem
 from repro.obs.requests import (
     REQUEST_LOG,
@@ -152,6 +167,14 @@ __all__ = [
     "RECORDER",
     "FlightRecorder",
     "render_postmortem",
+    "PROFILER",
+    "Profiler",
+    "profile_action",
+    "profile_block",
+    "profile_summary",
+    "folded_lines",
+    "top_frames",
+    "render_flamegraph_html",
     "REQUEST_LOG",
     "RequestLog",
     "current_request_id",

@@ -29,9 +29,12 @@ SCHEMA_VERSION = 2
 #: ``service-response`` wraps every JSON body the session service returns
 #: (:mod:`repro.service.protocol`), so clients version-check responses with
 #: the same ``open_envelope`` the other artifact readers use.
+#: ``profile`` is a sampled collapsed-stack profile (``python -m repro
+#: profile --json`` and the exporter's ``profiles/profile.json``).
 ENVELOPE_KINDS = (
     "trace-report", "postmortem", "trajectory",
     "obs-event", "metrics-snapshot", "service-response",
+    "profile",
 )
 
 
@@ -283,7 +286,7 @@ def render_top(
     bundle: Optional[Dict[str, Any]],
     events: Sequence[Dict[str, Any]] = (),
     directory: str = "",
-    requests: Sequence[Dict[str, Any]] = (),
+    requests: Optional[Sequence[Dict[str, Any]]] = (),
 ) -> str:
     """One refresh of the ``python -m repro top`` live view.
 
@@ -292,6 +295,11 @@ def render_top(
     of ``events.jsonl``, newest last.  In ``--server`` mode the CLI builds
     the same bundle shape from a live ``/obs`` response and passes the
     server's slowest completed requests as ``requests``.
+
+    Sections a source does not report degrade to an ``n/a`` label rather
+    than a crash or silent omission: ``requests=None`` means the server did
+    not return a requests section at all (as opposed to an empty one), and
+    a ``metrics`` dict with no ``slo`` key marks an older exporter/server.
     """
     if bundle is None:
         target = directory or "the export directory"
@@ -317,10 +325,16 @@ def render_top(
     rates = _hit_rates(counters)
     if rates:
         lines += ["", "cache hit rates:"] + rates
-    slo = {
-        name: state for name, state in metrics.get("slo", {}).items()
-        if state.get("samples")
-    }
+    slo_section = metrics.get("slo")
+    if slo_section is None:
+        lines += ["", "SLOs (rolling window): n/a "
+                      "(not reported by this source)"]
+        slo = {}
+    else:
+        slo = {
+            name: state for name, state in slo_section.items()
+            if isinstance(state, dict) and state.get("samples")
+        }
     if slo:
         lines += ["", "SLOs (rolling window):"]
         width = 2 + max(len(name) for name in slo)
@@ -337,7 +351,22 @@ def render_top(
                 f"{burn_text}, "
                 f"{'met' if state.get('met') else 'MISSED'})"
             )
-    if requests:
+    gauges = metrics.get("gauges", {})
+    memory_keys = (
+        ("proc.rss_bytes", "process RSS"),
+        ("arena.segment_bytes", "arena segments"),
+        ("tracemalloc.peak_bytes", "tracemalloc peak"),
+    )
+    memory = [(label, gauges[key]) for key, label in memory_keys
+              if isinstance(gauges.get(key), (int, float)) and gauges[key]]
+    if memory:
+        lines += ["", "memory:"]
+        for label, value in memory:
+            lines.append(f"  {label:<18} {value / (1024 * 1024):10.1f} MiB")
+    if requests is None:
+        lines += ["", "slowest recent requests: n/a "
+                      "(not reported by this source)"]
+    elif requests:
         lines += ["", f"slowest recent requests (top {len(requests)}):"]
         for entry in requests:
             session = entry.get("session")
@@ -348,6 +377,15 @@ def render_top(
                 f"{entry.get('path', '?'):<32}"
                 f"id={entry.get('request_id', '?')}"
                 + (f"  session={session}" if session else "")
+            )
+    profile = bundle.get("profile")
+    if isinstance(profile, dict) and profile.get("samples"):
+        lines += ["", f"profiler ({profile.get('hz', 0):g} Hz, "
+                      f"{profile['samples']} samples):"]
+        for frame in profile.get("top_frames", [])[:5]:
+            lines.append(
+                f"  {frame.get('self_samples', 0):>6}  "
+                f"{frame.get('frame', '?')}"
             )
     runs = counters.get("verify.pool.runs", 0)
     chunk_hist = histograms.get("verify.chunk", {})
@@ -406,9 +444,11 @@ def render_request_bundle(data: Dict[str, Any]) -> str:
 
     ``data`` carries the access-log entry (``request``), the recorder
     events stamped with the id (``events`` — including any merged from pool
-    workers, recognisable by their ``src`` label) and the root span trees
+    workers, recognisable by their ``src`` label), the root span trees
     whose ``request_id`` attribute matches (``spans``, in
-    :meth:`~repro.obs.tracer.Span.to_dict` form).
+    :meth:`~repro.obs.tracer.Span.to_dict` form) and, when the sampler is
+    on, the request-scoped profile slice (``profile``: folded stacks to
+    sample counts, pool-worker frames prefixed ``worker:<label>;``).
     """
     request_id = data.get("request_id", "?")
     lines = [f"request {request_id}"]
@@ -426,7 +466,11 @@ def render_request_bundle(data: Dict[str, Any]) -> str:
         lines += ["", f"correlated spans ({len(spans)} roots):"]
         for root in spans:
             _render_span_dict(root, 0, lines)
+    elif "spans" not in data:
+        lines += ["", "correlated spans: n/a (not reported by this server)"]
     events = data.get("events") or []
+    if not events and "events" not in data:
+        lines += ["", "correlated events: n/a (not reported by this server)"]
     if events:
         lines += ["", f"correlated events ({len(events)}):"]
         t0 = events[0].get("t_s", 0.0)
@@ -440,7 +484,15 @@ def render_request_bundle(data: Dict[str, Any]) -> str:
                 f"  +{offset_ms:9.2f} ms  "
                 f"{str(event.get('kind', '?')):<18}{fields}"
             )
-    if not entry and not spans and not events:
+    profile = data.get("profile") or {}
+    if profile:
+        from repro.obs.profiler import top_frames
+
+        total = sum(profile.values())
+        lines += ["", f"profile slice ({total} samples):"]
+        for frame, count in top_frames(profile, 8):
+            lines.append(f"  {count:>6}  {frame}")
+    if not entry and not spans and not events and not profile:
         lines.append("  (nothing correlated — recorder/tracing off, "
                      "or the id aged out)")
     return "\n".join(lines)
@@ -472,15 +524,22 @@ def diff_trace_reports(
     are matched by name, percentiles compared pairwise, counters
     subtracted.  Returns ``{"histograms": {...}, "counters": {...},
     "ledger": {...}}`` — rendering is :func:`render_report_diff`'s job.
+
+    A site present in only one report (instrumentation added or removed
+    between captures) is treated as zero on the missing side and flagged
+    via ``in_a``/``in_b`` so the renderer can mark it ``(new)``/``(gone)``
+    instead of reporting a meaningless percentage.
     """
     out: Dict[str, Any] = {"histograms": {}, "counters": {}, "ledger": {}}
-    hists_a = a.get("metrics", {}).get("histograms", {})
-    hists_b = b.get("metrics", {}).get("histograms", {})
+    hists_a = a.get("metrics", {}).get("histograms", {}) or {}
+    hists_b = b.get("metrics", {}).get("histograms", {}) or {}
     for site in sorted(set(hists_a) | set(hists_b)):
         sa, sb = hists_a.get(site, {}), hists_b.get(site, {})
         entry: Dict[str, Any] = {
             "count_a": sa.get("count", 0),
             "count_b": sb.get("count", 0),
+            "in_a": site in hists_a,
+            "in_b": site in hists_b,
         }
         for p in (50, 90, 99):
             va = sa.get(f"p{p}_s", 0.0)
@@ -488,7 +547,11 @@ def diff_trace_reports(
             entry[f"p{p}_a_s"] = va
             entry[f"p{p}_b_s"] = vb
             entry[f"p{p}_delta_s"] = vb - va
-            entry[f"p{p}_pct"] = 100 * (vb - va) / va if va else None
+            # A percentage needs a nonzero baseline *and* both sides
+            # present; a one-sided site renders as (new)/(gone), not ±∞%.
+            present = site in hists_a and site in hists_b
+            entry[f"p{p}_pct"] = \
+                100 * (vb - va) / va if va and present else None
         out["histograms"][site] = entry
     counters_a = a.get("metrics", {}).get("counters", {})
     counters_b = b.get("metrics", {}).get("counters", {})
@@ -507,11 +570,27 @@ def diff_trace_reports(
 def render_report_diff(
     diff: Dict[str, Any], label_a: str = "A", label_b: str = "B"
 ) -> str:
-    """A :func:`diff_trace_reports` result as aligned tables."""
+    """A :func:`diff_trace_reports` result as aligned tables.
+
+    Sites present in only one report carry a ``(new)``/``(gone)`` mark next
+    to their name (their missing side reads as zero).  All entry fields are
+    read defensively — a diff computed by an older checkout (no presence
+    flags) still renders.
+    """
     lines: List[str] = [f"trace diff: {label_a} -> {label_b}"]
     histograms = diff.get("histograms", {})
     if histograms:
-        width = 2 + max(len(site) for site in histograms)
+        marks = {}
+        for site, e in histograms.items():
+            in_a = e.get("in_a", e.get("count_a", 0) > 0)
+            in_b = e.get("in_b", e.get("count_b", 0) > 0)
+            if in_a and not in_b:
+                marks[site] = f"{site} (gone)"
+            elif in_b and not in_a:
+                marks[site] = f"{site} (new)"
+            else:
+                marks[site] = site
+        width = 2 + max(len(label) for label in marks.values())
         header = (
             f"{'site':<{width}}{'n: A->B':>12}"
             f"{'p50 A->B':>20}{'p90 A->B':>20}{'p99 A->B':>20}"
@@ -519,14 +598,21 @@ def render_report_diff(
         lines += ["", header, "-" * len(header)]
         for site in sorted(histograms):
             e = histograms[site]
-            cells = [f"{site:<{width}}"
-                     f"{str(e['count_a']) + '->' + str(e['count_b']):>12}"]
+            count_a, count_b = e.get("count_a", 0), e.get("count_b", 0)
+            cells = [f"{marks[site]:<{width}}"
+                     f"{str(count_a) + '->' + str(count_b):>12}"]
             for p in (50, 90, 99):
-                pct = e[f"p{p}_pct"]
-                pct_text = f"{pct:+.0f}%" if pct is not None else "new"
+                pct = e.get(f"p{p}_pct")
+                if pct is not None:
+                    pct_text = f"{pct:+.0f}%"
+                elif e.get("in_a", count_a > 0) and \
+                        not e.get("in_b", count_b > 0):
+                    pct_text = "gone"
+                else:
+                    pct_text = "new"
                 cells.append(
-                    f"{1000 * e[f'p{p}_a_s']:>7.2f}->"
-                    f"{1000 * e[f'p{p}_b_s']:<7.2f}{pct_text:>5}"
+                    f"{1000 * e.get(f'p{p}_a_s', 0.0):>7.2f}->"
+                    f"{1000 * e.get(f'p{p}_b_s', 0.0):<7.2f}{pct_text:>5}"
                 )
             lines.append("".join(cells))
     counters = diff.get("counters", {})

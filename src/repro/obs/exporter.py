@@ -189,11 +189,44 @@ class ContinuousExporter:
             self.active = False
             return None
         self.snapshots_written += 1
+        self._write_profiles()
         return path
+
+    def _write_profiles(self) -> None:
+        """Refresh the ``profiles/`` section when the sampler has samples.
+
+        Two files, same atomicity contract as the metrics pair:
+        ``profiles/profile.folded`` (collapsed stacks, flamegraph.pl input)
+        and ``profiles/profile.json`` (the full attributed profile with its
+        summary).  Skipped entirely — no directory created — while the
+        sampler is off or empty.
+        """
+        from repro.obs.profiler import PROFILER, folded_lines, profile_summary
+
+        if not PROFILER.enabled or not PROFILER.samples:
+            return
+        try:
+            (self._directory / "profiles").mkdir(exist_ok=True)
+            profile = PROFILER.collect()
+            self._atomic_write(
+                "profiles/profile.folded",
+                "\n".join(folded_lines(PROFILER.stacks())) + "\n",
+            )
+            from repro.obs.export import envelope
+
+            self._atomic_write(
+                "profiles/profile.json",
+                json.dumps(envelope("profile", {
+                    "profile": profile,
+                    "summary": profile_summary(profile),
+                }), indent=2, default=str) + "\n",
+            )
+        except OSError:  # pragma: no cover - same contract as tick()
+            pass
 
     def _atomic_write(self, name: str, text: str) -> Path:
         path = self._directory / name
-        tmp = self._directory / f".{name}.tmp"
+        tmp = path.with_name(f".{path.name}.tmp")
         tmp.write_text(text)
         os.replace(tmp, path)
         return path

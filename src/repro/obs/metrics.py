@@ -120,6 +120,30 @@ def gauge(name: str, value: Number) -> None:
 _CANONICAL_COUNTER_KEYS = ("graph_hits", "lru_hits", "misses")
 
 
+def _rss_bytes() -> int:
+    """This process's resident set size in bytes (0 when unknowable).
+
+    ``/proc/self/statm`` is the cheap, current-value source on Linux; the
+    ``resource`` fallback reports the *peak* RSS (the best portable
+    approximation), and any failure degrades to 0 rather than raising —
+    memory gauges must never break a snapshot.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            resident_pages = int(handle.read().split()[1])
+        import os as _os
+
+        return resident_pages * _os.sysconf("SC_PAGE_SIZE")
+    except Exception:
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:
+        return 0
+
+
 def full_snapshot() -> Dict[str, Dict[str, Any]]:
     """The metrics snapshot with canonical-cache stats and histograms merged.
 
@@ -136,6 +160,12 @@ def full_snapshot() -> Dict[str, Dict[str, Any]]:
     of :mod:`repro.obs.histogram` (always on, independent of the tracing
     switch), and ``"slo"`` the rolling-window objective state of
     :data:`repro.obs.slo.SLO` — both feed the Prometheus export.
+
+    Process-level memory gauges (``proc.rss_bytes``,
+    ``arena.segment_bytes``, ``tracemalloc.peak_bytes``) are sampled at
+    snapshot time and always present (zero when the source is off or
+    unavailable), independent of the tracing switch — like the canonical
+    bridge, their shape is part of the observable API.
     """
     from repro.graph.canonical import cache_stats
     from repro.obs.histogram import histogram_summaries
@@ -152,6 +182,16 @@ def full_snapshot() -> Dict[str, Dict[str, Any]]:
     size = stats.get("size", 0)
     out["gauges"]["canonical.lru_size"] = size if \
         isinstance(size, (int, float)) else 0
+    out["gauges"]["proc.rss_bytes"] = _rss_bytes()
+    try:
+        from repro.core.pool import arena_segment_bytes
+
+        out["gauges"]["arena.segment_bytes"] = arena_segment_bytes()
+    except Exception:
+        out["gauges"]["arena.segment_bytes"] = 0
+    from repro.obs.profiler import PROFILER
+
+    out["gauges"]["tracemalloc.peak_bytes"] = PROFILER.tracemalloc_peak_bytes()
     out["histograms"] = histogram_summaries()
     out["slo"] = SLO.snapshot()
     return out

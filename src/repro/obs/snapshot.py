@@ -44,6 +44,7 @@ from repro.obs.histogram import (
     snapshot_histograms,
 )
 from repro.obs.metrics import METRICS, count
+from repro.obs.profiler import PROFILER
 from repro.obs.recorder import RECORDER
 from repro.obs.requests import current_request_id, set_request_id
 from repro.obs.tracer import TRACER
@@ -54,12 +55,15 @@ def worker_context() -> Dict[str, Any]:
 
     Includes the dispatching thread's request id (if an HTTP request scope
     is active), so events a pool worker records carry the same correlation
-    id as the handler that triggered the batch.
+    id as the handler that triggered the batch, and the sampler rate so a
+    profiled parent gets profiled workers (their samples merge home through
+    :func:`merge_worker_delta`).
     """
     return {
         "trace": TRACER.enabled,
         "recorder": RECORDER.enabled,
         "request_id": current_request_id(),
+        "profile_hz": PROFILER.hz,
     }
 
 
@@ -76,11 +80,17 @@ def begin_worker_capture(ctx: Dict[str, Any]) -> None:
     EXPORTER.suspend()
     TRACER.force(bool(ctx.get("trace")))
     RECORDER.force(bool(ctx.get("recorder")))
+    PROFILER.force(float(ctx.get("profile_hz") or 0.0))
     TRACER.reset()
     METRICS.reset()
     reset_histograms()
     RECORDER.reset()
+    PROFILER.reset()
     set_request_id(ctx.get("request_id"))
+    # Attribute the worker's samples to the dispatching request: the chunk
+    # runs on this very thread, so scoping it here covers the whole chunk.
+    if PROFILER.enabled:
+        PROFILER.set_scope(ctx.get("request_id"), "verify.chunk")
 
 
 def collect_worker_delta(label: str = "") -> Dict[str, Any]:
@@ -91,13 +101,16 @@ def collect_worker_delta(label: str = "") -> Dict[str, Any]:
     tag that ends up on merged gauges and recorder events.
     """
     snap = METRICS.snapshot()
-    return {
+    delta: Dict[str, Any] = {
         "worker": label or f"pid-{os.getpid()}",
         "counters": snap["counters"],
         "gauges": snap["gauges"],
         "histograms": snapshot_histograms(),
         "events": RECORDER.snapshot(),
     }
+    if PROFILER.enabled and PROFILER.samples:
+        delta["profile"] = PROFILER.collect()
+    return delta
 
 
 def merge_worker_delta(delta: Dict[str, Any]) -> None:
@@ -119,5 +132,6 @@ def merge_worker_delta(delta: Dict[str, Any]) -> None:
     )
     merge_histograms(delta.get("histograms", {}))
     RECORDER.merge(delta.get("events", []), source=source)
+    PROFILER.merge(delta.get("profile"), source=source)
     count("obs.merge.deltas")
     count("obs.merge.events", len(delta.get("events", [])))

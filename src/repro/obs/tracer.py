@@ -40,6 +40,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.config import trace_enabled
 from repro.obs.exporter import EXPORTER as _EXPORTER
+from repro.obs.profiler import PROFILER as _PROFILER
 from repro.obs.recorder import RECORDER as _RECORDER
 from repro.obs.requests import current_request_id as _current_request_id
 
@@ -246,15 +247,17 @@ def sync_env() -> bool:
     """Refresh the observability switches from the environment.
 
     Called at engine action entry: re-reads ``REPRO_TRACE`` for the tracer,
-    ``REPRO_RECORDER``/``REPRO_RECORDER_SIZE`` for the flight recorder and
+    ``REPRO_RECORDER``/``REPRO_RECORDER_SIZE`` for the flight recorder,
     ``REPRO_OBS_EXPORT``/``REPRO_OBS_EXPORT_INTERVAL`` for the continuous
-    exporter, so flipping any knob mid-process takes effect at the next
-    action.  All three cache the raw environment strings, so the per-action
-    cost with everything at its default is a handful of ``environ`` probes
-    (bounded by ``benchmarks/bench_obs_overhead.py``).  Returns the tracer's
-    enabled state (the historical contract).
+    exporter and ``REPRO_PROFILE_HZ``/``REPRO_PROFILE_MEM`` for the
+    statistical sampler, so flipping any knob mid-process takes effect at
+    the next action.  All four cache the raw environment strings, so the
+    per-action cost with everything at its default is a handful of
+    ``environ`` probes (bounded by ``benchmarks/bench_obs_overhead.py``).
+    Returns the tracer's enabled state (the historical contract).
     """
     _RECORDER.sync_env()
+    _PROFILER.sync_env()
     if _EXPORTER.sync_env():
         _EXPORTER.tick()
     return TRACER.sync_env()

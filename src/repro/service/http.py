@@ -44,6 +44,7 @@ from repro.config import service_port
 from repro.obs.metrics import METRICS, full_snapshot
 from repro.obs.recorder import RECORDER
 from repro.obs.requests import REQUEST_LOG, request_scope
+from repro.obs.profiler import PROFILER, profile_summary
 from repro.obs.slo import SLO, record_request
 from repro.obs.tracer import TRACER
 from repro.service.protocol import (
@@ -100,7 +101,8 @@ def _request_bundle(request_id: str) -> Dict[str, Any]:
         root.to_dict() for root in list(TRACER.roots)
         if root.attrs.get("request_id") == request_id
     ]
-    if entry is None and not events and not spans:
+    profile = PROFILER.slice_for_request(request_id)
+    if entry is None and not events and not spans and not profile:
         raise UnknownRequestError(
             f"no telemetry correlates with request {request_id!r} "
             "(unknown id, aged out of the rings, or recorder/tracing off)"
@@ -110,6 +112,7 @@ def _request_bundle(request_id: str) -> Dict[str, Any]:
         "request": entry,
         "events": events,
         "spans": spans,
+        "profile": profile,
     }
 
 
@@ -241,6 +244,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     "recent": REQUEST_LOG.recent(OBS_TOP_REQUESTS),
                 },
                 "events": RECORDER.snapshot()[-OBS_EVENT_TAIL:],
+                "profile": profile_summary(PROFILER.collect())
+                if PROFILER.enabled and PROFILER.samples else None,
             }))
             return True
         if path == "/v1/sessions":

@@ -79,9 +79,19 @@ def test_trajectory_rejects_non_list_records(tmp_path):
 # ----------------------------------------------------------------------
 # the CLI gate
 # ----------------------------------------------------------------------
+def _profile(stacks, wall_s=1.0):
+    return {"hz": 200.0, "seed": 2012, "wall_s": wall_s, "replays": 10,
+            "samples": sum(stacks.values()), "stacks": stacks}
+
+
 def _patch_suite(monkeypatch, metrics, calibration=0.005):
     monkeypatch.setattr(ledger, "run_perf_suite", lambda seed=2012: metrics)
     monkeypatch.setattr(ledger, "calibrate", lambda repeats=5: calibration)
+    monkeypatch.setattr(
+        ledger, "collect_profile",
+        lambda seed=2012, hz=200.0, min_seconds=0.5:
+            _profile({"a.py:main;a.py:hot": 10}),
+    )
 
 
 def test_cli_perf_appends_then_check_passes(tmp_path, monkeypatch, capsys):
@@ -123,6 +133,104 @@ def test_cli_perf_threshold_override(tmp_path, monkeypatch):
     assert main(["perf", "--check", "--trajectory", str(path)]) == 0
     assert main(["perf", "--check", "--threshold", "5",
                  "--trajectory", str(path)]) == 1
+
+
+def test_cli_perf_append_attaches_a_profile(tmp_path, monkeypatch):
+    path = tmp_path / "trajectory.json"
+    _patch_suite(monkeypatch, FAST)
+    assert main(["perf", "--trajectory", str(path)]) == 0
+    record = ledger.load_trajectory(path)[-1]
+    assert record["profile"]["stacks"] == {"a.py:main;a.py:hot": 10}
+    assert main(["perf", "--no-profile", "--trajectory", str(path)]) == 0
+    assert "profile" not in ledger.load_trajectory(path)[-1]
+
+
+def test_collect_profile_samples_a_real_session():
+    profile = ledger.collect_profile(seed=2012, hz=300.0, min_seconds=0.2)
+    assert profile["replays"] >= 1
+    assert profile["wall_s"] >= 0.2
+    assert profile["stacks"], "a real replay must yield sampled stacks"
+    assert len(profile["stacks"]) <= 200  # compact: top stacks only
+    assert profile["samples"] >= sum(profile["stacks"].values())
+
+
+def test_explain_profiles_names_the_slowed_frame():
+    before = _profile({"m:f;m:steady": 8, "m:f;m:hot": 2}, wall_s=1.0)
+    after = _profile({"m:f;m:steady": 4, "m:f;m:hot": 16}, wall_s=2.0)
+    rows = ledger.explain_profiles(before, after)
+    assert rows[0]["frame"] == "m:hot"
+    assert rows[0]["delta_s"] > 0
+    assert rows[0]["in_a"] and rows[0]["in_b"]
+    # self-seconds = wall x leaf share: hot was 2/10 of 1 s, now 16/20 of 2 s
+    assert rows[0]["self_a_s"] == pytest.approx(0.2)
+    assert rows[0]["self_b_s"] == pytest.approx(1.6)
+
+
+def test_explain_profiles_marks_new_and_gone_frames():
+    before = _profile({"m:f;m:removed": 5}, wall_s=1.0)
+    after = _profile({"m:f;m:added": 5}, wall_s=1.0)
+    rows = ledger.explain_profiles(before, after)
+    by_frame = {r["frame"]: r for r in rows}
+    assert by_frame["m:added"]["in_a"] is False
+    assert by_frame["m:added"]["in_b"] is True
+    assert by_frame["m:removed"]["in_b"] is False
+    assert by_frame["m:removed"]["self_b_s"] == 0.0
+
+
+class TestCliPerfExplain:
+    def _write_trajectory(self, path, records):
+        ledger.save_trajectory(path, records)
+
+    def test_explain_names_the_biggest_slowdown(self, tmp_path, capsys):
+        path = tmp_path / "trajectory.json"
+        self._write_trajectory(path, [
+            {"label": "before",
+             "profile": _profile({"m:f;m:steady": 10}, wall_s=1.0)},
+            {"label": "after",
+             "profile": _profile({"m:f;m:steady": 10, "m:f;m:spin": 10},
+                                 wall_s=2.0)},
+        ])
+        code = main(["perf", "--trajectory", str(path),
+                     "--explain", "before", "after"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "m:spin (new)" in out
+        assert "biggest slowdown: m:spin" in out
+
+    def test_explain_resolves_numeric_and_negative_indexes(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "trajectory.json"
+        self._write_trajectory(path, [
+            {"label": "x", "profile": _profile({"m:f": 5}, wall_s=1.0)},
+            {"label": "y", "profile": _profile({"m:f": 5}, wall_s=1.0)},
+        ])
+        assert main(["perf", "--trajectory", str(path),
+                     "--explain", "-2", "-1"]) == 0
+        out = capsys.readouterr().out
+        assert "no frame got slower" in out
+
+    def test_explain_without_profiles_is_a_usage_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "trajectory.json"
+        self._write_trajectory(path, [
+            {"label": "old-record"}, {"label": "new-record"},
+        ])
+        assert main(["perf", "--trajectory", str(path),
+                     "--explain", "old-record", "new-record"]) == 2
+        assert "profile" in capsys.readouterr().err
+
+    def test_explain_with_unknown_label_is_a_usage_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "trajectory.json"
+        self._write_trajectory(path, [
+            {"label": "only", "profile": _profile({"m:f": 1})},
+        ])
+        assert main(["perf", "--trajectory", str(path),
+                     "--explain", "only", "missing"]) == 2
+        assert "missing" in capsys.readouterr().err
 
 
 def test_checked_in_trajectory_is_valid_and_seeded():

@@ -58,6 +58,39 @@ class TestStreaming:
         assert "# TYPE repro_latency_seconds summary" in prom
         assert not list(directory.glob(".*.tmp"))  # no temp litter
 
+    def test_tick_exports_profiles_when_the_sampler_has_samples(
+        self, exporter
+    ):
+        from repro.obs.profiler import PROFILER
+
+        exp, directory = exporter
+        PROFILER.reset()
+        PROFILER.force(200.0)
+        try:
+            PROFILER.merge({
+                "hz": 200.0, "samples": 4,
+                "slices": [{"request_id": None, "action": "run",
+                            "stacks": {"a.py:main;a.py:hot": 4}}],
+                "memory": {},
+            })
+            exp.tick(force=True)
+        finally:
+            PROFILER.force(None)
+        folded = (directory / "profiles" / "profile.folded").read_text()
+        assert "a.py:main;a.py:hot 4" in folded
+        payload = json.loads(
+            (directory / "profiles" / "profile.json").read_text()
+        )
+        assert payload["kind"] == "profile"
+        assert payload["summary"]["samples"] == 4
+        assert not list((directory / "profiles").glob(".*.tmp"))
+        PROFILER.reset()
+
+    def test_tick_skips_profiles_while_the_sampler_is_off(self, exporter):
+        exp, directory = exporter
+        exp.tick(force=True)
+        assert not (directory / "profiles").exists()
+
     def test_interval_gates_snapshot_rewrites(self, tmp_path):
         with mock.patch.dict(os.environ, {
             "REPRO_OBS_EXPORT": str(tmp_path),

@@ -63,6 +63,7 @@ def test_all_writers_share_the_declared_kinds():
     assert set(ENVELOPE_KINDS) == {
         "trace-report", "postmortem", "trajectory",
         "obs-event", "metrics-snapshot", "service-response",
+        "profile",
     }
 
 

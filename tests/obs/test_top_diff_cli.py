@@ -15,7 +15,12 @@ import pytest
 
 from repro import obs
 from repro.cli import main
-from repro.obs.export import diff_trace_reports, render_top
+from repro.obs.export import (
+    diff_trace_reports,
+    render_report_diff,
+    render_request_bundle,
+    render_top,
+)
 
 
 @pytest.fixture
@@ -80,6 +85,54 @@ class TestTopCli:
         assert "waiting" in out
 
 
+class TestTopDegradesAgainstOlderServers:
+    """Satellite regression: ``top --server`` / ``postmortem --server``
+    against an ``/obs`` payload from an older server — one with no ``slo``
+    or ``requests`` section — must label the gaps ``n/a``, not crash."""
+
+    OLD_METRICS = {
+        "counters": {"canonical.cache.hits": 3, "canonical.cache.misses": 1},
+        "gauges": {},
+        "histograms": {"action.new": {
+            "count": 2, "sum_s": 0.01, "min_s": 0.001, "max_s": 0.009,
+            "p50_s": 0.005, "p90_s": 0.009, "p99_s": 0.009,
+        }},
+        # note: no "slo" key at all — the pre-SLO payload shape
+    }
+
+    def test_missing_slo_section_renders_na(self):
+        out = render_top({"metrics": self.OLD_METRICS}, [])
+        assert "SLOs (rolling window): n/a" in out
+        assert "not reported by this source" in out
+
+    def test_missing_requests_section_renders_na(self):
+        out = render_top({"metrics": self.OLD_METRICS}, [], requests=None)
+        assert "slowest recent requests: n/a" in out
+
+    def test_an_empty_requests_section_is_silent_not_na(self):
+        # distinguish "server reported zero requests" from "server has no
+        # requests surface" — only the latter earns the n/a label
+        out = render_top({"metrics": self.OLD_METRICS}, [], requests=())
+        assert "slowest recent requests" not in out
+
+    def test_request_bundle_without_span_or_event_keys_renders_na(self):
+        out = render_request_bundle({
+            "request_id": "r-1",
+            "request": {"method": "GET", "path": "/v1/x", "status": 200,
+                        "duration_ms": 1.5},
+            # no "spans"/"events" keys: an older /v1/requests/<id> payload
+        })
+        assert "correlated spans: n/a" in out
+        assert "correlated events: n/a" in out
+
+    def test_malformed_slo_entries_are_skipped_not_fatal(self):
+        metrics = dict(self.OLD_METRICS)
+        metrics["slo"] = {"action_latency": "bogus-not-a-dict"}
+        out = render_top({"metrics": metrics}, [])
+        assert "repro top" in out
+        assert "bogus-not-a-dict" not in out
+
+
 class TestTraceDiffCli:
     def test_diff_renders_per_site_and_counter_deltas(self, two_reports,
                                                       capsys):
@@ -126,6 +179,32 @@ class TestTraceDiffCli:
         ]
         assert new_rows
         assert all(r["p50_pct"] is None for r in new_rows)
+
+    def test_one_sided_sites_are_marked_and_zero_filled(self):
+        """Satellite regression: a site present in only one report is
+        treated as zero on the other side and marked ``(new)``/``(gone)``
+        instead of crashing or reporting a bogus percentage."""
+        hist = {"count": 3, "sum_s": 0.3, "min_s": 0.05, "max_s": 0.15,
+                "p50_s": 0.1, "p90_s": 0.15, "p99_s": 0.15}
+        report_a = {"metrics": {"histograms": {"action.old": hist},
+                                "counters": {}}}
+        report_b = {"metrics": {"histograms": {"action.fresh": hist},
+                                "counters": {}}}
+        diff = diff_trace_reports(report_a, report_b)
+        gone = diff["histograms"]["action.old"]
+        fresh = diff["histograms"]["action.fresh"]
+        assert gone["in_a"] and not gone["in_b"]
+        assert not fresh["in_a"] and fresh["in_b"]
+        assert gone["count_b"] == 0 and fresh["count_a"] == 0
+        # absent side reads as zero, so deltas are well-defined numbers
+        assert gone["p50_delta_s"] == pytest.approx(-0.1)
+        assert fresh["p50_delta_s"] == pytest.approx(0.1)
+        # no percentage fabricated against a missing baseline
+        assert gone["p50_pct"] is None and fresh["p50_pct"] is None
+
+        text = render_report_diff(diff, "a.json", "b.json")
+        assert "action.old (gone)" in text
+        assert "action.fresh (new)" in text
 
     def test_diff_rejects_non_report_artifacts(self, tmp_path, capsys):
         bogus = tmp_path / "bogus.json"
